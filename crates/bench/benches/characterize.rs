@@ -1,0 +1,102 @@
+//! Criterion benches for the characterization kernels behind Fig 5 /
+//! Table 2: histogramming + smoothing, and the k-means clustering of
+//! group PMF vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rv_core::rv_cluster::{kmeans, minibatch_kmeans, KMeansConfig, MiniBatchConfig};
+use rv_core::rv_stats::{smooth_pmf, BinSpec, Histogram, SmoothingKernel};
+use rv_core::rv_scope::job::stream_rng;
+use rand::Rng;
+
+fn synth_samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = stream_rng(seed, 0);
+    (0..n).map(|_| 0.5 + rng.gen_range(0.0..1.5)).collect()
+}
+
+fn synth_pmfs(n_groups: usize, n_bins: usize) -> Vec<Vec<f64>> {
+    let spec = BinSpec::new(0.0, 10.0, n_bins);
+    (0..n_groups)
+        .map(|g| {
+            let samples = synth_samples(200, g as u64);
+            Histogram::from_samples(spec, samples)
+                .to_pmf()
+                .probs()
+                .to_vec()
+        })
+        .collect()
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let spec = BinSpec::ratio();
+    let samples = synth_samples(10_000, 1);
+    c.bench_function("histogram/10k-samples-200-bins", |b| {
+        b.iter(|| Histogram::from_samples(spec, black_box(&samples).iter().copied()))
+    });
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let spec = BinSpec::ratio();
+    let pmf = Histogram::from_samples(spec, synth_samples(5_000, 2)).to_pmf();
+    let mut group = c.benchmark_group("smoothing");
+    for sigma in [1.0, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(sigma), &sigma, |b, &s| {
+            b.iter(|| smooth_pmf(black_box(&pmf), SmoothingKernel::Gaussian { sigma_bins: s }))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans-200bins-k8");
+    for n_groups in [100usize, 400] {
+        let pmfs = synth_pmfs(n_groups, 200);
+        group.bench_with_input(BenchmarkId::from_parameter(n_groups), &pmfs, |b, p| {
+            b.iter(|| {
+                kmeans(
+                    black_box(p),
+                    &KMeansConfig {
+                        k: 8,
+                        n_init: 1,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_minibatch(c: &mut Criterion) {
+    let pmfs = synth_pmfs(400, 200);
+    c.bench_function("minibatch-kmeans/400-groups-k8", |b| {
+        b.iter(|| {
+            minibatch_kmeans(
+                black_box(&pmfs),
+                &MiniBatchConfig {
+                    k: 8,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_wasserstein(c: &mut Criterion) {
+    let a = synth_samples(2_000, 5);
+    let b_samples = synth_samples(2_000, 6);
+    c.bench_function("wasserstein/2k-vs-2k", |b| {
+        b.iter(|| rv_core::rv_stats::wasserstein_distance(black_box(&a), black_box(&b_samples)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_smoothing,
+    bench_kmeans,
+    bench_minibatch,
+    bench_wasserstein
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the from-scratch learners (the §5.2 model family):
+//! GBDT and random-forest training and prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rv_core::rv_learn::{
+    Classifier, GbdtClassifier, GbdtConfig, RandomForestClassifier, RandomForestConfig,
+};
+use rv_core::rv_scope::job::stream_rng;
+use rand::Rng;
+
+fn task(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = stream_rng(3, 0);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let score = row[0] + 0.5 * row[1] - row[2];
+        y.push(if score < 0.1 {
+            0
+        } else if score < 0.6 {
+            1
+        } else {
+            2
+        });
+        x.push(row);
+    }
+    (x, y)
+}
+
+fn bench_gbdt_train(c: &mut Criterion) {
+    let (x, y) = task(4000, 40);
+    c.bench_function("gbdt/train-4k-rows-40f-20rounds", |b| {
+        b.iter(|| {
+            GbdtClassifier::fit(
+                black_box(&x),
+                black_box(&y),
+                3,
+                &GbdtConfig {
+                    n_rounds: 20,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_forest_train(c: &mut Criterion) {
+    let (x, y) = task(4000, 40);
+    c.bench_function("forest/train-4k-rows-40f-20trees", |b| {
+        b.iter(|| {
+            RandomForestClassifier::fit(
+                black_box(&x),
+                black_box(&y),
+                3,
+                &RandomForestConfig {
+                    n_trees: 20,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (x, y) = task(4000, 40);
+    let model = GbdtClassifier::fit(
+        &x,
+        &y,
+        3,
+        &GbdtConfig {
+            n_rounds: 20,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("gbdt-predict");
+    group.throughput(Throughput::Elements(x.len() as u64));
+    group.bench_function("4k-rows", |b| {
+        b.iter(|| {
+            for row in &x {
+                black_box(model.predict(row));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gbdt_train, bench_forest_train, bench_predict);
+criterion_main!(benches);

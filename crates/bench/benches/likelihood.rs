@@ -1,0 +1,43 @@
+//! Criterion bench for the posterior-likelihood assignment (Eq. 9) — the
+//! per-group labeling kernel behind Fig 6 and the prediction targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rv_core::likelihood::assign_samples;
+use rv_core::shapes::{ShapeCatalog, ShapeStats};
+use rv_core::rv_scope::job::stream_rng;
+use rv_core::rv_stats::{BinSpec, Histogram, Normalization};
+use rand::Rng;
+
+fn catalog(k: usize) -> ShapeCatalog {
+    let spec = BinSpec::ratio();
+    let mut pmfs = Vec::new();
+    let mut stats = Vec::new();
+    for i in 0..k {
+        let width = 0.05 + i as f64 * 0.12;
+        let mut rng = stream_rng(9, i as u64);
+        let samples: Vec<f64> = (0..3000)
+            .map(|_| 1.0 + rng.gen_range(-width..width))
+            .collect();
+        pmfs.push(Histogram::from_samples(spec, samples.iter().copied()).to_pmf());
+        stats.push(ShapeStats::from_samples(&samples, &spec, 1).expect("non-empty"));
+    }
+    ShapeCatalog::new(Normalization::Ratio, spec, pmfs, stats)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let cat = catalog(8);
+    let mut group = c.benchmark_group("likelihood-assign-k8");
+    for n_obs in [10usize, 100, 1000] {
+        let mut rng = stream_rng(4, n_obs as u64);
+        let obs: Vec<f64> = (0..n_obs).map(|_| 0.8 + rng.gen_range(0.0..0.5)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_obs), &obs, |b, o| {
+            b.iter(|| assign_samples(black_box(&cat), black_box(o)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for the Monte-Carlo Shapley estimator (§6): cost per
+//! explained instance as a function of permutation budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rv_core::rv_learn::{GbdtClassifier, GbdtConfig};
+use rv_core::rv_scope::job::stream_rng;
+use rv_core::rv_shap::{shapley_values, ShapConfig};
+use rand::Rng;
+
+fn bench_shapley(c: &mut Criterion) {
+    let d = 30;
+    let mut rng = stream_rng(8, 0);
+    let x: Vec<Vec<f64>> = (0..800)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+    let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] + r[1] > 1.0)).collect();
+    let model = GbdtClassifier::fit(
+        &x,
+        &y,
+        2,
+        &GbdtConfig {
+            n_rounds: 15,
+            ..Default::default()
+        },
+    );
+    let background: Vec<Vec<f64>> = x.iter().take(32).cloned().collect();
+    let probe = x[100].clone();
+
+    let mut group = c.benchmark_group("shapley-30-features");
+    for perms in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(perms), &perms, |b, &p| {
+            b.iter(|| {
+                shapley_values(
+                    black_box(&model),
+                    black_box(&probe),
+                    1,
+                    black_box(&background),
+                    &ShapConfig {
+                        n_permutations: p,
+                        seed: 5,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapley);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the cluster-simulator substrate: job execution
+//! throughput and utilization sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use rv_core::rv_scope::{GeneratorConfig, WorkloadGenerator};
+use rv_core::rv_sim::exec::ExecOverrides;
+use rv_core::rv_sim::{simulate_job, Cluster, ClusterConfig, SimConfig};
+
+fn bench_simulate(c: &mut Criterion) {
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        n_templates: 50,
+        ..Default::default()
+    });
+    let cluster = Cluster::new(ClusterConfig::default());
+    let config = SimConfig::default();
+    let instances = generator.instances_within(86_400.0);
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(instances.len() as u64));
+    group.bench_function(format!("one-day-{}-instances", instances.len()), |b| {
+        b.iter(|| {
+            for instance in &instances {
+                let template = &generator.templates()[instance.template_id as usize];
+                black_box(simulate_job(
+                    template,
+                    instance,
+                    &cluster,
+                    &config,
+                    ExecOverrides::default(),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_utilization(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig::default());
+    c.bench_function("cluster/sku-utilization-440-machines", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 17.0;
+            black_box(cluster.sku_utilization(t))
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_utilization);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the what-if engine (§7): re-scoring throughput of a
+//! full test window under a scenario transformation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::rv_sim::SkuGeneration;
+use rv_core::whatif::{Scenario, WhatIfEngine};
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| {
+        let mut cfg = FrameworkConfig::small();
+        cfg.generator.n_templates = 24;
+        cfg.characterize_support = 8;
+        Framework::run(cfg)
+    })
+}
+
+fn bench_whatif(c: &mut Criterion) {
+    let f = framework();
+    let engine = WhatIfEngine::new(&f.ratio.predictor);
+    let mut group = c.benchmark_group("whatif");
+    group.throughput(Throughput::Elements(f.d3.store.len() as u64));
+    group.bench_function("disable-spare-over-d3", |b| {
+        b.iter(|| black_box(engine.evaluate(&f.d3.store, Scenario::DisableSpareTokens)))
+    });
+    group.bench_function("shift-sku-over-d3", |b| {
+        b.iter(|| {
+            black_box(engine.evaluate(
+                &f.d3.store,
+                Scenario::ShiftSku {
+                    from: SkuGeneration::Gen3_5,
+                    to: SkuGeneration::Gen5_2,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_whatif);
+criterion_main!(benches);

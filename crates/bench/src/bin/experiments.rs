@@ -1,0 +1,131 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--scale small|full] [--out DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment names, runs everything. Valid names: `table1`, `fig1`,
+//! `fig3`, `fig4a`, `fig4b`, `fig5`, `table2`, `fig6`, `fig7a`, `fig7b`,
+//! `fig8`, `fig9`, `importances`, `scenario1`, `scenario2`, `scenario3`,
+//! `ablation-bins`, `ablation-cluster`, `ablation-smooth`, `ablation-k`,
+//! `ablation-model`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rv_bench::ctx::{Ctx, Scale};
+use rv_bench::{exp_characterize, exp_descriptive, exp_explain, exp_predict, exp_whatif};
+
+const ALL: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "table2",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig9",
+    "importances",
+    "scenario1",
+    "scenario2",
+    "scenario3",
+    "ablation-bins",
+    "ablation-cluster",
+    "ablation-smooth",
+    "ablation-k",
+    "ablation-model",
+];
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from("target/experiments");
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("full") => scale = Scale::Full,
+                other => {
+                    eprintln!("--scale must be 'small' or 'full', got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("experiments [--scale small|full] [--out DIR] [EXPERIMENT...]");
+                println!("experiments: {}", ALL.join(", "));
+                return ExitCode::SUCCESS;
+            }
+            name if ALL.contains(&name) => selected.push(name.to_string()),
+            other => {
+                eprintln!("unknown experiment {other:?}; valid: {}", ALL.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!(
+        "running {} experiment(s) at {:?} scale; artifacts -> {}",
+        selected.len(),
+        scale,
+        out_dir.display()
+    );
+    let start = std::time::Instant::now();
+    let ctx = Ctx::new(scale, &out_dir);
+    println!(
+        "framework run complete in {:.1}s ({} telemetry rows, {} groups)",
+        start.elapsed().as_secs_f64(),
+        ctx.framework.store.len(),
+        ctx.framework.store.n_groups()
+    );
+
+    for name in &selected {
+        match name.as_str() {
+            "table1" => exp_descriptive::table1(&ctx),
+            "fig1" => exp_descriptive::fig1(&ctx),
+            "fig3" => exp_descriptive::fig3(&ctx),
+            "fig4a" => exp_descriptive::fig4a(&ctx),
+            "fig4b" => exp_descriptive::fig4b(&ctx),
+            "fig5" => exp_characterize::fig5(&ctx),
+            "table2" => exp_characterize::table2(&ctx),
+            "fig6" => exp_characterize::fig6(&ctx),
+            "fig7a" => exp_predict::fig7a(&ctx),
+            "fig7b" => exp_predict::fig7b(&ctx),
+            "fig8" => exp_predict::fig8(&ctx),
+            "fig9" => exp_explain::fig9(&ctx),
+            "importances" => exp_predict::feature_importances(&ctx),
+            "scenario1" => exp_whatif::scenario1(&ctx),
+            "scenario2" => exp_whatif::scenario2(&ctx),
+            "scenario3" => exp_whatif::scenario3(&ctx),
+            "ablation-bins" => exp_characterize::ablation_bins(&ctx),
+            "ablation-cluster" => exp_characterize::ablation_cluster(&ctx),
+            "ablation-smooth" => exp_characterize::ablation_smooth(&ctx),
+            "ablation-k" => exp_characterize::ablation_k(&ctx),
+            "ablation-model" => exp_predict::ablation_model(&ctx),
+            _ => unreachable!("validated above"),
+        }
+    }
+    println!(
+        "\nall done in {:.1}s; artifacts in {}",
+        start.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}

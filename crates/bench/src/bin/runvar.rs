@@ -1,0 +1,245 @@
+//! `runvar` — command-line front end for the runtime-variation framework.
+//!
+//! ```text
+//! runvar simulate  --out telemetry.csv [--templates N] [--days D] [--seed S]
+//! runvar characterize --telemetry telemetry.csv --out catalog.txt
+//!                     [--normalization ratio|delta] [--k K] [--support N]
+//! runvar assess    --telemetry telemetry.csv --catalog catalog.txt
+//!                  [--threshold 2.0]
+//! runvar explain-plan --telemetry telemetry.csv --group NAME
+//! ```
+//!
+//! The subcommands compose through files: capture a campaign once
+//! (`simulate`), learn the shape catalog from it (`characterize`), then
+//! assess SLO risk for every group against a saved catalog (`assess`).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use rv_core::likelihood::assign_group;
+use rv_core::characterize::{characterize, CharacterizeConfig};
+use rv_core::persist::{read_catalog, write_catalog};
+use rv_core::risk::{breach_probability, RiskLevel};
+use rv_core::rv_scope::{GeneratorConfig, WorkloadGenerator};
+use rv_core::rv_sim::{Cluster, ClusterConfig, SimConfig};
+use rv_core::rv_stats::{median, Normalization};
+use rv_core::rv_telemetry::{
+    collect_telemetry, read_store, write_store, CampaignConfig, TelemetryStore,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: runvar <simulate|characterize|assess|explain-plan> [flags]");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "simulate" => simulate(&flags),
+        "characterize" => run_characterize(&flags),
+        "assess" => assess(&flags),
+        "explain-plan" => explain_plan(&flags),
+        "--help" | "-h" | "help" => {
+            println!("subcommands: simulate, characterize, assess, explain-plan");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` flag parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if let Some(v) = it.next() {
+                    out.push((key.to_string(), v.clone()));
+                }
+            }
+        }
+        Self(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+}
+
+fn load_store(path: &str) -> Result<TelemetryStore, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_store(BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn simulate(flags: &Flags) -> Result<(), String> {
+    let out_path = flags.require("out")?;
+    let n_templates: usize = flags
+        .get_or("templates", "100")
+        .parse()
+        .map_err(|_| "bad --templates")?;
+    let days: f64 = flags
+        .get_or("days", "14")
+        .parse()
+        .map_err(|_| "bad --days")?;
+    let seed: u64 = flags
+        .get_or("seed", "1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
+
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        n_templates,
+        seed,
+        window_days_hint: days,
+        ..Default::default()
+    });
+    let cluster = Cluster::new(ClusterConfig::default());
+    let sim = SimConfig {
+        seed: seed ^ 0x51u64,
+        ..Default::default()
+    };
+    let store = collect_telemetry(
+        &generator,
+        &cluster,
+        &sim,
+        &CampaignConfig {
+            window_days: days,
+            ..Default::default()
+        },
+    );
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_store(&store, &mut w).map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} instances across {} groups over {days} days -> {out_path}",
+        store.len(),
+        store.n_groups()
+    );
+    Ok(())
+}
+
+fn run_characterize(flags: &Flags) -> Result<(), String> {
+    let store = load_store(flags.require("telemetry")?)?;
+    let out_path = flags.require("out")?;
+    let normalization = match flags.get_or("normalization", "ratio") {
+        "ratio" => Normalization::Ratio,
+        "delta" => Normalization::Delta,
+        other => return Err(format!("unknown normalization {other:?}")),
+    };
+    let k: usize = flags.get_or("k", "8").parse().map_err(|_| "bad --k")?;
+    let support: usize = flags
+        .get_or("support", "20")
+        .parse()
+        .map_err(|_| "bad --support")?;
+
+    let ch = characterize(
+        &store,
+        &CharacterizeConfig {
+            k,
+            min_support: support,
+            ..CharacterizeConfig::paper(normalization)
+        },
+    );
+    println!("{}", ch.catalog.to_table());
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_catalog(&ch.catalog, &mut w).map_err(|e| e.to_string())?;
+    println!(
+        "catalog with {k} shapes over {} groups -> {out_path}",
+        ch.memberships.len()
+    );
+    Ok(())
+}
+
+fn assess(flags: &Flags) -> Result<(), String> {
+    let store = load_store(flags.require("telemetry")?)?;
+    let catalog_path = flags.require("catalog")?;
+    let file = File::open(catalog_path).map_err(|e| format!("open {catalog_path}: {e}"))?;
+    let catalog = read_catalog(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let threshold: f64 = flags
+        .get_or("threshold", "2.0")
+        .parse()
+        .map_err(|_| "bad --threshold")?;
+
+    println!(
+        "{:<40} {:>6} {:>11} {:>8}",
+        "group", "shape", "P(breach)", "risk"
+    );
+    let mut flagged = 0;
+    let mut total = 0;
+    // Assign each group from its observed runtimes (Eq. 9) and read the
+    // breach probability off its shape.
+    for key in store.group_keys() {
+        let runtimes = store.group_runtimes(key);
+        if runtimes.len() < 3 {
+            continue;
+        }
+        total += 1;
+        let med = median(&runtimes).expect("non-empty");
+        let (shape, _) = assign_group(&catalog, &runtimes, med);
+        let breach = breach_probability(&catalog, shape, threshold);
+        let level = RiskLevel::from_probability(breach);
+        if level != RiskLevel::Low {
+            flagged += 1;
+            println!(
+                "{:<40} {:>6} {:>10.2}% {:>8}",
+                key.normalized_name,
+                shape,
+                breach * 100.0,
+                level
+            );
+        }
+    }
+    println!("\n{flagged} of {total} groups above the low-risk band");
+    Ok(())
+}
+
+fn explain_plan(flags: &Flags) -> Result<(), String> {
+    let store = load_store(flags.require("telemetry")?)?;
+    let name = flags.require("group")?;
+    let Some(key) = store
+        .group_keys()
+        .find(|k| k.normalized_name.contains(name))
+        .cloned()
+    else {
+        return Err(format!("no group matching {name:?}"));
+    };
+    let rows = store.group_rows(&key);
+    let row = rows.first().expect("group has rows");
+    println!("group {key}: {} recurrences captured", rows.len());
+    println!(
+        "plan summary: {} stages, critical path {}, {} base vertices",
+        row.n_stages, row.critical_path, row.total_base_vertices
+    );
+    println!(
+        "operator counts: {:?}",
+        row.operator_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("{}x{c}", rv_core::rv_scope::OperatorKind::ALL[i].name()))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

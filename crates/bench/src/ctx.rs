@@ -1,0 +1,57 @@
+//! Shared experiment context: one framework run + an output directory.
+
+use std::path::{Path, PathBuf};
+
+use rv_core::framework::{Framework, FrameworkConfig};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick run (~seconds): fewer templates, shorter campaign, k = 4.
+    Small,
+    /// The full reproduction (~a minute): 200 templates, 28 days, k = 8.
+    Full,
+}
+
+impl Scale {
+    /// The framework configuration for this scale.
+    pub fn config(self) -> FrameworkConfig {
+        match self {
+            Scale::Small => FrameworkConfig::small(),
+            Scale::Full => FrameworkConfig::default(),
+        }
+    }
+}
+
+/// Shared state across experiments in one invocation.
+pub struct Ctx {
+    /// The completed framework run.
+    pub framework: Framework,
+    /// Where CSV artifacts go.
+    pub out_dir: PathBuf,
+    /// The scale that was run.
+    pub scale: Scale,
+}
+
+impl Ctx {
+    /// Runs the framework at `scale` and prepares the output directory.
+    pub fn new(scale: Scale, out_dir: &Path) -> Self {
+        std::fs::create_dir_all(out_dir).expect("create output directory");
+        let framework = Framework::run(scale.config());
+        Self {
+            framework,
+            out_dir: out_dir.to_path_buf(),
+            scale,
+        }
+    }
+
+    /// Path of an output artifact.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// Prints a section banner.
+    pub fn banner(&self, title: &str) {
+        println!("\n==== {title} ====");
+    }
+}

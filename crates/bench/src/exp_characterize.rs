@@ -1,0 +1,304 @@
+//! Characterization experiments: Fig 5, Table 2, Fig 6, and the §4.2
+//! design-choice ablations.
+
+use rv_core::characterize::{characterize, group_distributions, CharacterizeConfig};
+use rv_core::likelihood::{group_pmf, log_likelihoods, posterior_probs};
+use rv_core::report::{write_csv, write_csv_records};
+use rv_core::rv_cluster::{agglomerative, elbow_point, inertia_curve, KMeansConfig, Linkage};
+use rv_core::rv_stats::{normalize_all, Normalization, SmoothingKernel};
+
+use crate::ctx::Ctx;
+
+/// Fig 5: the catalog PMFs for both normalizations.
+pub fn fig5(ctx: &Ctx) {
+    ctx.banner("Fig 5 — typical distributions of normalized runtime");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for pipe in [&ctx.framework.ratio, &ctx.framework.delta] {
+        let catalog = &pipe.characterization.catalog;
+        println!(
+            "{}: {} shapes over {} bins",
+            pipe.normalization,
+            catalog.n_shapes(),
+            catalog.spec.n_bins
+        );
+        for cid in 0..catalog.n_shapes() {
+            let pmf = catalog.pmf(cid);
+            for (b, &p) in pmf.probs().iter().enumerate() {
+                if p > 0.0 {
+                    rows.push(vec![
+                        pipe.normalization.to_string(),
+                        cid.to_string(),
+                        format!("{:.4}", catalog.spec.bin_center(b)),
+                        format!("{p:.6}"),
+                    ]);
+                }
+            }
+        }
+    }
+    write_csv_records(
+        &ctx.path("fig5_shape_pmfs.csv"),
+        &["normalization", "cluster", "bin_center", "probability"],
+        rows,
+    )
+    .expect("write fig5");
+}
+
+/// Table 2: per-cluster statistics for both normalizations.
+pub fn table2(ctx: &Ctx) {
+    ctx.banner("Table 2 — cluster statistics");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for pipe in [&ctx.framework.ratio, &ctx.framework.delta] {
+        let catalog = &pipe.characterization.catalog;
+        println!("{}", catalog.to_table());
+        for (cid, s) in catalog.all_stats().iter().enumerate() {
+            rows.push(vec![
+                pipe.normalization.to_string(),
+                cid.to_string(),
+                format!("{:.4}", s.outlier_prob * 100.0),
+                format!("{:.4}", s.iqr()),
+                format!("{:.4}", s.p95),
+                format!("{:.4}", s.std),
+                s.n_groups.to_string(),
+                s.n_instances.to_string(),
+            ]);
+        }
+    }
+    write_csv_records(
+        &ctx.path("table2_cluster_stats.csv"),
+        &[
+            "normalization",
+            "cluster",
+            "outlier_pct",
+            "iqr",
+            "p95",
+            "std",
+            "n_groups",
+            "n_instances",
+        ],
+        rows,
+    )
+    .expect("write table2");
+}
+
+/// Fig 6: posterior likelihood of one group against its best and worst
+/// catalog shapes.
+pub fn fig6(ctx: &Ctx) {
+    ctx.banner("Fig 6 — posterior likelihood examples");
+    let f = &ctx.framework;
+    let pipe = &f.delta; // the paper's Fig 6 uses Delta-normalization
+    let catalog = &pipe.characterization.catalog;
+
+    // A group with ~10 observations in D3, like the paper's example.
+    let key = f
+        .d3
+        .store
+        .group_keys()
+        .min_by_key(|k| (f.d3.store.group_rows(k).len() as i64 - 10).abs())
+        .expect("d3 non-empty")
+        .clone();
+    let runtimes = f.d3.store.group_runtimes(&key);
+    let median = f
+        .history
+        .median_or(&key, &runtimes)
+        .expect("group has runtimes");
+    let normalized = normalize_all(catalog.normalization, &runtimes, median);
+    let lls = log_likelihoods(catalog, &normalized);
+    let posterior = posterior_probs(&lls);
+    let best = (0..lls.len())
+        .max_by(|&a, &b| lls[a].partial_cmp(&lls[b]).expect("finite"))
+        .expect("non-empty");
+    let worst = (0..lls.len())
+        .min_by(|&a, &b| lls[a].partial_cmp(&lls[b]).expect("finite"))
+        .expect("non-empty");
+    println!(
+        "group {key} ({} observations): best = cluster {best} (log-likelihood {:.1}), \
+         worst = cluster {worst} (log-likelihood {:.1})",
+        runtimes.len(),
+        lls[best],
+        lls[worst]
+    );
+    println!("posterior over shapes: {posterior:.3?}");
+
+    // Export the group PMF and the best/worst catalog PMFs for plotting.
+    let phi = group_pmf(catalog, &normalized);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (b, ((&pg, &pb), &pw)) in phi
+        .probs()
+        .iter()
+        .zip(catalog.pmf(best).probs())
+        .zip(catalog.pmf(worst).probs())
+        .enumerate()
+    {
+        if pg > 0.0 || pb > 0.0 || pw > 0.0 {
+            rows.push(vec![
+                format!("{:.4}", catalog.spec.bin_center(b)),
+                format!("{pg:.6}"),
+                format!("{pb:.6}"),
+                format!("{pw:.6}"),
+            ]);
+        }
+    }
+    write_csv_records(
+        &ctx.path("fig6_likelihood_example.csv"),
+        &["bin_center", "group_pmf", "best_cluster_pmf", "worst_cluster_pmf"],
+        rows,
+    )
+    .expect("write fig6");
+}
+
+/// Ablation A1: bin-count choice (50 / 100 / 200 / 500, §4.2).
+pub fn ablation_bins(ctx: &Ctx) {
+    ctx.banner("Ablation — histogram bin count (§4.2)");
+    let f = &ctx.framework;
+    let mut rows = Vec::new();
+    for n_bins in [50usize, 100, 200, 500] {
+        let cfg = CharacterizeConfig {
+            n_bins,
+            k: f.config.k,
+            min_support: f.config.characterize_support,
+            ..CharacterizeConfig::paper(Normalization::Ratio)
+        };
+        let ch = characterize(&f.d1.store, &cfg);
+        // Normalize inertia by the bin count so scales are comparable.
+        let per_dim = ch.inertia / n_bins as f64;
+        println!(
+            "{n_bins:>4} bins: inertia {:.5} ({:.2e}/bin), largest-cluster share {:.2}",
+            ch.inertia,
+            per_dim,
+            largest_share(&ch.memberships, f.config.k)
+        );
+        rows.push(vec![
+            n_bins as f64,
+            ch.inertia,
+            per_dim,
+            largest_share(&ch.memberships, f.config.k),
+        ]);
+    }
+    write_csv(
+        &ctx.path("ablation_bins.csv"),
+        &["n_bins", "inertia", "inertia_per_bin", "largest_cluster_share"],
+        rows,
+    )
+    .expect("write ablation_bins");
+}
+
+fn largest_share(
+    memberships: &std::collections::BTreeMap<rv_core::rv_scope::JobGroupKey, usize>,
+    k: usize,
+) -> f64 {
+    let mut counts = vec![0usize; k];
+    for &c in memberships.values() {
+        counts[c] += 1;
+    }
+    let max = counts.into_iter().max().unwrap_or(0);
+    max as f64 / memberships.len().max(1) as f64
+}
+
+/// Ablation A2: clustering algorithm — k-means vs agglomerative linkages.
+/// Reproduces the paper's finding that hierarchical methods produce
+/// imbalanced clusters (">90% of the data in one cluster").
+pub fn ablation_cluster(ctx: &Ctx) {
+    ctx.banner("Ablation — clustering algorithm (§4.2)");
+    let f = &ctx.framework;
+    let cfg = CharacterizeConfig {
+        k: f.config.k,
+        min_support: f.config.characterize_support,
+        ..CharacterizeConfig::paper(Normalization::Ratio)
+    };
+    let dists = group_distributions(&f.d1.store, &cfg);
+    let vectors: Vec<Vec<f64>> = dists.pmfs.iter().map(|p| p.probs().to_vec()).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    // k-means baseline.
+    let km = rv_core::rv_cluster::kmeans(
+        &vectors,
+        &KMeansConfig {
+            k: cfg.k,
+            ..Default::default()
+        },
+    );
+    let km_share = km.max_cluster_share();
+    println!("k-means           : largest-cluster share {km_share:.2}");
+    rows.push(vec!["kmeans".into(), format!("{km_share:.4}")]);
+
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        let dendro = agglomerative(&vectors, linkage);
+        let labels = dendro.cut(cfg.k);
+        let mut counts = vec![0usize; cfg.k];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        let share = *counts.iter().max().expect("k >= 1") as f64 / labels.len() as f64;
+        println!("agglomerative {linkage:?}: largest-cluster share {share:.2}");
+        rows.push(vec![format!("agglomerative-{linkage:?}"), format!("{share:.4}")]);
+    }
+    write_csv_records(
+        &ctx.path("ablation_cluster_algorithm.csv"),
+        &["algorithm", "largest_cluster_share"],
+        rows,
+    )
+    .expect("write ablation_cluster");
+}
+
+/// Ablation A3: PMF smoothing on/off (§4.2).
+pub fn ablation_smooth(ctx: &Ctx) {
+    ctx.banner("Ablation — PMF smoothing (§4.2)");
+    let f = &ctx.framework;
+    let mut rows = Vec::new();
+    for (name, kernel) in [
+        ("none", SmoothingKernel::None),
+        ("box-2", SmoothingKernel::Box { radius: 2 }),
+        ("gauss-2", SmoothingKernel::Gaussian { sigma_bins: 2.0 }),
+        ("gauss-4", SmoothingKernel::Gaussian { sigma_bins: 4.0 }),
+    ] {
+        let cfg = CharacterizeConfig {
+            smoothing: kernel,
+            k: f.config.k,
+            min_support: f.config.characterize_support,
+            ..CharacterizeConfig::paper(Normalization::Ratio)
+        };
+        let ch = characterize(&f.d1.store, &cfg);
+        println!(
+            "smoothing {name:>7}: inertia {:.5}, largest-cluster share {:.2}",
+            ch.inertia,
+            largest_share(&ch.memberships, f.config.k)
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.6}", ch.inertia),
+            format!("{:.4}", largest_share(&ch.memberships, f.config.k)),
+        ]);
+    }
+    write_csv_records(
+        &ctx.path("ablation_smoothing.csv"),
+        &["kernel", "inertia", "largest_cluster_share"],
+        rows,
+    )
+    .expect("write ablation_smooth");
+}
+
+/// Ablation A4: number of clusters via the inertia elbow (§4.2).
+pub fn ablation_k(ctx: &Ctx) {
+    ctx.banner("Ablation — number of clusters (inertia elbow, §4.2)");
+    let f = &ctx.framework;
+    let cfg = CharacterizeConfig {
+        min_support: f.config.characterize_support,
+        ..CharacterizeConfig::paper(Normalization::Ratio)
+    };
+    let dists = group_distributions(&f.d1.store, &cfg);
+    let vectors: Vec<Vec<f64>> = dists.pmfs.iter().map(|p| p.probs().to_vec()).collect();
+    let max_k = 12.min(vectors.len());
+    let curve = inertia_curve(&vectors, 1..=max_k, &KMeansConfig::default());
+    for &(k, inertia) in &curve {
+        println!("k = {k:>2}: inertia {inertia:.5}");
+    }
+    if let Some(elbow) = elbow_point(&curve) {
+        println!("elbow at k = {elbow} (paper selected k = 8 on its population)");
+    }
+    write_csv(
+        &ctx.path("ablation_k_inertia.csv"),
+        &["k", "inertia"],
+        curve.iter().map(|&(k, i)| vec![k as f64, i]),
+    )
+    .expect("write ablation_k");
+}

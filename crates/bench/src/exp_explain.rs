@@ -1,0 +1,106 @@
+//! Explanation experiments: Fig 9 (Shapley value distributions).
+
+use rv_core::explain::explain_shape;
+use rv_core::report::write_csv_records;
+use rv_core::rv_shap::ShapConfig;
+use rv_core::rv_telemetry::JobTelemetry;
+
+use crate::ctx::Ctx;
+
+/// Fig 9: Shapley attributions toward the high-variance Delta shape
+/// (the paper's "Cluster 6") and the stable Ratio shape.
+pub fn fig9(ctx: &Ctx) {
+    ctx.banner("Fig 9 — Shapley value distributions");
+    let f = &ctx.framework;
+    let shap_cfg = ShapConfig {
+        n_permutations: 24,
+        seed: 0xf19,
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // Delta: explain the shape with the highest outlier probability among
+    // shapes that actually have members (paper's Cluster 6 insight: larger
+    // inputs and fewer tokens push jobs there).
+    {
+        let pipe = &f.delta;
+        let catalog = &pipe.characterization.catalog;
+        let target = (0..catalog.n_shapes())
+            .filter(|&i| catalog.stats(i).n_groups > 0)
+            .max_by(|&a, &b| {
+                catalog
+                    .stats(a)
+                    .outlier_prob
+                    .partial_cmp(&catalog.stats(b).outlier_prob)
+                    .expect("finite")
+            })
+            .expect("catalog non-empty");
+        let (sample, background) = sample_rows(f, 60, 40);
+        let explanation =
+            explain_shape(&pipe.predictor, &sample, &background, target, &shap_cfg);
+        println!(
+            "Delta, high-variance shape {target} (outlier {:.2}%):",
+            catalog.stats(target).outlier_prob * 100.0
+        );
+        println!("{}", explanation.to_table(10));
+        for (name, s) in explanation.features.iter().take(20) {
+            rows.push(vec![
+                "Delta".into(),
+                target.to_string(),
+                (*name).to_string(),
+                format!("{:.6}", s.mean_abs),
+                format!("{:.4}", s.value_correlation),
+            ]);
+        }
+    }
+
+    // Ratio: explain the most stable shape (smallest IQR) — §6 finds lower
+    // CPU utilization / less spare usage / newer SKUs push jobs there.
+    {
+        let pipe = &f.ratio;
+        let (sample, background) = sample_rows(f, 60, 40);
+        let explanation = explain_shape(&pipe.predictor, &sample, &background, 0, &shap_cfg);
+        println!("Ratio, most-stable shape 0:");
+        println!("{}", explanation.to_table(10));
+        for (name, s) in explanation.features.iter().take(20) {
+            rows.push(vec![
+                "Ratio".into(),
+                "0".into(),
+                (*name).to_string(),
+                format!("{:.6}", s.mean_abs),
+                format!("{:.4}", s.value_correlation),
+            ]);
+        }
+    }
+
+    write_csv_records(
+        &ctx.path("fig9_shap.csv"),
+        &["normalization", "target_shape", "feature", "mean_abs_shap", "value_correlation"],
+        rows,
+    )
+    .expect("write fig9");
+}
+
+/// Deterministically samples explanation and background rows from D3,
+/// stratified across groups (every nth row).
+fn sample_rows(
+    f: &rv_core::framework::Framework,
+    n_sample: usize,
+    n_background: usize,
+) -> (Vec<&JobTelemetry>, Vec<&JobTelemetry>) {
+    let rows = f.d3.store.rows();
+    let stride = (rows.len() / (n_sample + n_background)).max(1);
+    let picked: Vec<&JobTelemetry> = rows.iter().step_by(stride).collect();
+    let sample: Vec<&JobTelemetry> = picked.iter().copied().take(n_sample).collect();
+    let background: Vec<&JobTelemetry> = picked
+        .iter()
+        .copied()
+        .skip(n_sample)
+        .take(n_background)
+        .collect();
+    let background = if background.is_empty() {
+        sample.clone()
+    } else {
+        background
+    };
+    (sample, background)
+}

@@ -1,0 +1,258 @@
+//! Prediction experiments: Fig 7a, Fig 7b, Fig 8, and the model ablation.
+
+use std::collections::BTreeMap;
+
+use rv_core::predictor::{ModelKind, PredictorConfig, ShapePredictor};
+use rv_core::regression_baseline::{compare_distribution_fidelity, RuntimeRegressor};
+use rv_core::report::{text_table, write_csv_records};
+use rv_core::rv_learn::{accuracy, GbdtConfig, RandomForestConfig};
+use rv_core::rv_telemetry::FeatureExtractor;
+
+use crate::ctx::Ctx;
+
+/// Fig 7a: confusion matrices and overall accuracy for both normalizations.
+pub fn fig7a(ctx: &Ctx) {
+    ctx.banner("Fig 7a — confusion matrix (test = D3)");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for pipe in [&ctx.framework.ratio, &ctx.framework.delta] {
+        println!(
+            "{}: overall accuracy {:.2}% (paper: > 96%)",
+            pipe.normalization,
+            pipe.test_accuracy * 100.0
+        );
+        println!("{}", pipe.confusion.to_table());
+        for (actual, row) in pipe.confusion.row_rates().iter().enumerate() {
+            for (predicted, &rate) in row.iter().enumerate() {
+                rows.push(vec![
+                    pipe.normalization.to_string(),
+                    actual.to_string(),
+                    predicted.to_string(),
+                    format!("{rate:.4}"),
+                ]);
+            }
+        }
+    }
+    write_csv_records(
+        &ctx.path("fig7a_confusion.csv"),
+        &["normalization", "actual", "predicted", "rate"],
+        rows,
+    )
+    .expect("write fig7a");
+}
+
+/// Fig 7b: accuracy and group counts bucketed by historic occurrences.
+pub fn fig7b(ctx: &Ctx) {
+    ctx.banner("Fig 7b — accuracy by number of historic occurrences");
+    let f = &ctx.framework;
+    let d3_start_s = f.d3.spec.from_days * 86_400.0;
+    let buckets: [(usize, usize); 5] = [(1, 5), (6, 10), (11, 15), (16, 50), (51, usize::MAX)];
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for pipe in [&f.ratio, &f.delta] {
+        // historic occurrences = runs observed before D3 begins.
+        let mut acc: BTreeMap<usize, (usize, usize, usize)> = BTreeMap::new(); // bucket -> (n_inst, n_correct, n_groups)
+        for key in f.d3.store.group_keys() {
+            let historic = f
+                .store
+                .group_rows(key)
+                .iter()
+                .filter(|r| r.submit_time_s < d3_start_s)
+                .count();
+            let bucket = buckets
+                .iter()
+                .position(|&(lo, hi)| historic >= lo && historic <= hi)
+                .unwrap_or(0);
+            let Some(&truth) = pipe.test_labels.get(key) else {
+                continue;
+            };
+            let e = acc.entry(bucket).or_default();
+            e.2 += 1;
+            for row in f.d3.store.group_rows(key) {
+                e.0 += 1;
+                if pipe.predictor.predict_row(row) == truth {
+                    e.1 += 1;
+                }
+            }
+        }
+        println!("{}:", pipe.normalization);
+        for (bucket, (n, correct, groups)) in &acc {
+            let (lo, hi) = buckets[*bucket];
+            let label = if hi == usize::MAX {
+                format!("{lo}+")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            let a = *correct as f64 / (*n).max(1) as f64;
+            println!(
+                "  occurrences {label:>6}: accuracy {:.2}% ({groups} groups, {n} instances)",
+                a * 100.0
+            );
+            csv_rows.push(vec![
+                pipe.normalization.to_string(),
+                label,
+                format!("{a:.4}"),
+                groups.to_string(),
+                n.to_string(),
+            ]);
+        }
+    }
+    write_csv_records(
+        &ctx.path("fig7b_accuracy_by_occurrences.csv"),
+        &["normalization", "occurrence_bucket", "accuracy", "n_groups", "n_instances"],
+        csv_rows,
+    )
+    .expect("write fig7b");
+}
+
+/// Fig 8: distribution fidelity — regression baseline vs classification.
+pub fn fig8(ctx: &Ctx) {
+    ctx.banner("Fig 8 — QQ fidelity: regression baseline vs proposed approach");
+    let f = &ctx.framework;
+    let regressor = RuntimeRegressor::train(
+        &f.d2.store,
+        FeatureExtractor::new(f.history.clone()),
+        &RandomForestConfig {
+            n_trees: 40,
+            ..Default::default()
+        },
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for pipe in [&f.ratio, &f.delta] {
+        let report = compare_distribution_fidelity(
+            &f.d3.store,
+            &pipe.predictor,
+            &pipe.characterization.catalog,
+            &regressor,
+            0x88f1,
+        );
+        println!(
+            "{}: QQ-MAE regression {:.1}s vs classification {:.1}s; \
+             tail(>=p90) MAE {:.1}s vs {:.1}s; KS {:.4} vs {:.4} (reduction {:.1}%)",
+            pipe.normalization,
+            report.qq_mae_regression,
+            report.qq_mae_classification,
+            report.tail_mae_regression,
+            report.tail_mae_classification,
+            report.ks_regression,
+            report.ks_classification,
+            report.ks_reduction_pct()
+        );
+        rows.push(vec![
+            pipe.normalization.to_string(),
+            format!("{:.4}", report.qq_mae_regression),
+            format!("{:.4}", report.qq_mae_classification),
+            format!("{:.4}", report.tail_mae_regression),
+            format!("{:.4}", report.tail_mae_classification),
+            format!("{:.6}", report.ks_regression),
+            format!("{:.6}", report.ks_classification),
+            format!("{:.2}", report.ks_reduction_pct()),
+        ]);
+    }
+    write_csv_records(
+        &ctx.path("fig8_fidelity.csv"),
+        &[
+            "normalization",
+            "qq_mae_regression",
+            "qq_mae_classification",
+            "tail_mae_regression",
+            "tail_mae_classification",
+            "ks_regression",
+            "ks_classification",
+            "ks_reduction_pct",
+        ],
+        rows,
+    )
+    .expect("write fig8");
+}
+
+/// Ablation A5: classifier family comparison (§5.2).
+pub fn ablation_model(ctx: &Ctx) {
+    ctx.banner("Ablation — classifier family (§5.2)");
+    let f = &ctx.framework;
+    let pipe = &f.ratio;
+    let kinds: Vec<(&str, ModelKind)> = vec![
+        (
+            "gbdt",
+            ModelKind::Gbdt(GbdtConfig {
+                n_rounds: 40,
+                ..Default::default()
+            }),
+        ),
+        (
+            "random-forest",
+            ModelKind::RandomForest(RandomForestConfig {
+                n_trees: 40,
+                ..Default::default()
+            }),
+        ),
+        ("naive-bayes", ModelKind::NaiveBayes),
+        (
+            "ensemble",
+            ModelKind::Ensemble(
+                GbdtConfig {
+                    n_rounds: 30,
+                    ..Default::default()
+                },
+                RandomForestConfig {
+                    n_trees: 30,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ];
+
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    for (name, model) in kinds {
+        let (predictor, _) = ShapePredictor::train(
+            &f.d2.store,
+            &pipe.train_labels,
+            FeatureExtractor::new(f.history.clone()),
+            f.config.k,
+            &PredictorConfig {
+                model,
+                ..Default::default()
+            },
+        );
+        let mut truth = Vec::new();
+        let mut predicted = Vec::new();
+        for row in f.d3.store.rows() {
+            if let Some(&label) = pipe.test_labels.get(&row.group) {
+                truth.push(label);
+                predicted.push(predictor.predict_row(row));
+            }
+        }
+        let a = accuracy(&truth, &predicted);
+        table_rows.push(vec![name.to_string(), format!("{:.4}", a)]);
+    }
+    println!("{}", text_table(&["model", "accuracy"], &table_rows));
+    write_csv_records(
+        &ctx.path("ablation_model.csv"),
+        &["model", "accuracy"],
+        table_rows,
+    )
+    .expect("write ablation_model");
+}
+
+/// Top feature importances of the trained predictors (§5.2's Gini
+/// importance discussion).
+pub fn feature_importances(ctx: &Ctx) {
+    ctx.banner("Feature importances (Gini/gain, §5.2)");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for pipe in [&ctx.framework.ratio, &ctx.framework.delta] {
+        println!("{} — top 12:", pipe.normalization);
+        for (name, v) in pipe.predictor.importances().into_iter().take(12) {
+            println!("  {name:<28} {v:.4}");
+            rows.push(vec![
+                pipe.normalization.to_string(),
+                name.to_string(),
+                format!("{v:.6}"),
+            ]);
+        }
+    }
+    write_csv_records(
+        &ctx.path("feature_importances.csv"),
+        &["normalization", "feature", "importance"],
+        rows,
+    )
+    .expect("write importances");
+}

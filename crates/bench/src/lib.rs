@@ -1,0 +1,22 @@
+//! # rv-bench — experiment harness
+//!
+//! Regenerates every table and figure of *Runtime Variation in Big Data
+//! Analytics* from the simulated substrate (see DESIGN.md for the
+//! experiment index). The `experiments` binary drives the modules here:
+//!
+//! * [`ctx`] — shared run context (one [`rv_core::Framework`] run, output
+//!   directory, scale selection);
+//! * [`exp_descriptive`] — Table 1, Fig 1, Fig 3, Fig 4a/4b;
+//! * [`exp_characterize`] — Fig 5, Table 2, Fig 6 and the §4.2
+//!   design-choice ablations (bins, clustering algorithm, smoothing, k);
+//! * [`exp_predict`] — Fig 7a/7b, Fig 8 and the §5.2 model ablation;
+//! * [`exp_explain`] — Fig 9;
+//! * [`exp_whatif`] — §7 Scenarios 1–3 (including the simulator-replay
+//!   corroboration of Scenario 1).
+
+pub mod ctx;
+pub mod exp_characterize;
+pub mod exp_descriptive;
+pub mod exp_explain;
+pub mod exp_predict;
+pub mod exp_whatif;

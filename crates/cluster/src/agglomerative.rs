@@ -1,0 +1,190 @@
+//! Agglomerative (bottom-up hierarchical) clustering.
+//!
+//! The baseline the paper evaluated and rejected for shape clustering
+//! (§4.2): with single/complete/average linkage it "resulted in imbalanced
+//! clusters (some with >90% of the data in one cluster)". We implement it
+//! (a) to reproduce that design-choice ablation and (b) as a general
+//! substrate utility. Uses the O(n² log n)-ish naive scheme with a
+//! distance matrix and Lance–Williams updates — adequate for the thousands
+//! of job groups we cluster.
+
+use crate::dendrogram::{Dendrogram, Merge};
+
+/// Linkage criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters (chains easily).
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA).
+    Average,
+}
+
+#[inline]
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Runs agglomerative clustering to a full hierarchy and returns the
+/// dendrogram (cut it to get flat clusters).
+///
+/// # Panics
+/// Panics on empty input or ragged dimensions.
+pub fn agglomerative(points: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let n = points.len();
+    assert!(n >= 1, "need at least one point");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share a dimension"
+    );
+    if n == 1 {
+        return Dendrogram::new(1, Vec::new());
+    }
+
+    // active[i] = Some(node_id, size); distance matrix over active slots.
+    let mut node_id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<f64> = vec![1.0; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclid(&points[i], &points[j]);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut merges = Vec::with_capacity(n - 1);
+    let mut next_id = n;
+    for _ in 0..n - 1 {
+        // Find the closest pair of alive slots.
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                if dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        merges.push(Merge {
+            a: node_id[i],
+            b: node_id[j],
+            distance: d,
+        });
+        // Merge j into i (Lance–Williams updates for the chosen linkage).
+        for k in 0..n {
+            if !alive[k] || k == i || k == j {
+                continue;
+            }
+            let dik = dist[i][k];
+            let djk = dist[j][k];
+            dist[i][k] = match linkage {
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => (size[i] * dik + size[j] * djk) / (size[i] + size[j]),
+            };
+            dist[k][i] = dist[i][k];
+        }
+        size[i] += size[j];
+        alive[j] = false;
+        node_id[i] = next_id;
+        next_id += 1;
+    }
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for &(cx, cy) in &[(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)] {
+            for _ in 0..20 {
+                pts.push(vec![
+                    cx + rng.gen_range(-0.4..0.4),
+                    cy + rng.gen_range(-0.4..0.4),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_blobs_any_linkage() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = agglomerative(&blobs(), linkage);
+            let labels = d.cut(3);
+            // Each blob of 20 should be uniform.
+            for blob in 0..3 {
+                let first = labels[blob * 20];
+                for i in 0..20 {
+                    assert_eq!(labels[blob * 20 + i], first, "{linkage:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_distances_non_decreasing_for_complete() {
+        // Complete/average linkage (reducible) yields monotone merges here.
+        let d = agglomerative(&blobs(), Linkage::Complete);
+        for w in d.merges().windows(2) {
+            assert!(w[1].distance >= w[0].distance - 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_linkage_chains_elongated_data() {
+        // An elongated chain of points plus a tight blob: single linkage
+        // absorbs the chain into one giant cluster — the imbalance failure
+        // mode the paper reports for hierarchical clustering.
+        let mut pts: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        for i in 0..5 {
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        let d = agglomerative(&pts, Linkage::Single);
+        let labels = d.cut(2);
+        let count0 = labels.iter().filter(|&&l| l == labels[0]).count();
+        let share = count0.max(labels.len() - count0) as f64 / labels.len() as f64;
+        assert!(share > 0.85, "expected imbalance, share {share}");
+    }
+
+    #[test]
+    fn single_point() {
+        let d = agglomerative(&[vec![1.0, 2.0]], Linkage::Average);
+        assert_eq!(d.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn two_points() {
+        let d = agglomerative(&[vec![0.0], vec![3.0]], Linkage::Average);
+        assert_eq!(d.merges().len(), 1);
+        assert!((d.merges()[0].distance - 3.0).abs() < 1e-12);
+        assert_eq!(d.cut(1), vec![0, 0]);
+        let two = d.cut(2);
+        assert_ne!(two[0], two[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_input_panics() {
+        agglomerative(&[vec![1.0], vec![1.0, 2.0]], Linkage::Single);
+    }
+}

@@ -1,0 +1,55 @@
+//! Nearest-centroid assignment for new vectors.
+
+/// Returns `(cluster_index, squared_distance)` of the centroid nearest to
+/// `point`.
+///
+/// # Panics
+/// Panics if `centroids` is empty or any centroid's dimension differs from
+/// the point's.
+pub fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    assert!(!centroids.is_empty(), "need at least one centroid");
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        assert_eq!(c.len(), point.len(), "dimension mismatch");
+        let d: f64 = point
+            .iter()
+            .zip(c)
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_closest() {
+        let centroids = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        assert_eq!(nearest_centroid(&[1.0, 0.0], &centroids).0, 0);
+        assert_eq!(nearest_centroid(&[9.0, 0.0], &centroids).0, 1);
+    }
+
+    #[test]
+    fn reports_squared_distance() {
+        let centroids = vec![vec![0.0, 0.0]];
+        let (_, d) = nearest_centroid(&[3.0, 4.0], &centroids);
+        assert!((d - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_goes_to_first() {
+        let centroids = vec![vec![-1.0], vec![1.0]];
+        assert_eq!(nearest_centroid(&[0.0], &centroids).0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn empty_centroids_panic() {
+        nearest_centroid(&[0.0], &[]);
+    }
+}

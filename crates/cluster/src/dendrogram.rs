@@ -1,0 +1,188 @@
+//! Dendrograms: the merge tree produced by agglomerative clustering.
+//!
+//! §4.2 evaluates "hierarchy clustering based on dendrogram" as a candidate
+//! method. The dendrogram records every pairwise merge with its distance; a
+//! *cut* at any cluster count reconstructs flat assignments.
+
+/// One merge step: clusters `a` and `b` (node ids) merge at `distance` into
+/// a new node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node (leaf ids are `0..n`, internal ids continue upward).
+    pub a: usize,
+    /// Second merged node.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// A full agglomerative merge history over `n_leaves` points.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Creates a dendrogram from a merge sequence.
+    ///
+    /// # Panics
+    /// Panics if the number of merges is not `n_leaves - 1` (a full
+    /// hierarchy) and not fewer (a partial one is allowed), or if any merge
+    /// references an id that does not exist yet.
+    pub fn new(n_leaves: usize, merges: Vec<Merge>) -> Self {
+        assert!(n_leaves >= 1, "need at least one leaf");
+        assert!(
+            merges.len() <= n_leaves.saturating_sub(1),
+            "too many merges for {n_leaves} leaves"
+        );
+        for (step, m) in merges.iter().enumerate() {
+            let max_id = n_leaves + step;
+            assert!(
+                m.a < max_id && m.b < max_id && m.a != m.b,
+                "merge {step} references invalid nodes"
+            );
+        }
+        Self { n_leaves, merges }
+    }
+
+    /// Number of leaf points.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge sequence, in merge order (increasing distance for standard
+    /// linkages).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into `k` flat clusters by undoing the last
+    /// `k - 1` merges. Returns per-leaf assignments labelled `0..k`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or larger than the number of leaves.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n_leaves, "invalid cut size {k}");
+        // Union-find over leaves, applying merges until only k clusters remain.
+        let n_merges_applied = self.n_leaves.saturating_sub(k).min(self.merges.len());
+        let mut parent: Vec<usize> = (0..self.n_leaves + n_merges_applied).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (step, m) in self.merges.iter().take(n_merges_applied).enumerate() {
+            let new_id = self.n_leaves + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // Relabel roots densely.
+        let mut labels = vec![usize::MAX; self.n_leaves];
+        let mut next_label = 0usize;
+        let mut root_label: Vec<(usize, usize)> = Vec::new();
+        for (leaf, slot) in labels.iter_mut().enumerate() {
+            let r = find(&mut parent, leaf);
+            let label = match root_label.iter().find(|&&(root, _)| root == r) {
+                Some(&(_, l)) => l,
+                None => {
+                    let l = next_label;
+                    root_label.push((r, l));
+                    next_label += 1;
+                    l
+                }
+            };
+            *slot = label;
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 leaves: (0,1) merge first, then (2,3), then the two pairs.
+    fn sample() -> Dendrogram {
+        Dendrogram::new(
+            4,
+            vec![
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    distance: 2.0,
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    distance: 5.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn cut_to_one_cluster() {
+        let labels = sample().cut(1);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+
+    #[test]
+    fn cut_to_two_clusters() {
+        let labels = sample().cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_to_leaves() {
+        let labels = sample().cut(4);
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_to_three() {
+        let labels = sample().cut(3);
+        // Only the first merge applies: {0,1} together, 2 and 3 separate.
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cut size")]
+    fn zero_cut_panics() {
+        sample().cut(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references invalid nodes")]
+    fn invalid_merge_rejected() {
+        Dendrogram::new(
+            2,
+            vec![Merge {
+                a: 0,
+                b: 5,
+                distance: 1.0,
+            }],
+        );
+    }
+}

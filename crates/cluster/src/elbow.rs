@@ -1,0 +1,128 @@
+//! Inertia curves and elbow detection for choosing the number of clusters.
+//!
+//! §4.2: "we pick an elbow point where adding more clusters does not
+//! significantly decrease the inertia". We compute the inertia curve by
+//! running k-means at each candidate `k`, then find the elbow as the point
+//! of maximum distance from the chord connecting the curve's endpoints
+//! (the "kneedle" construction).
+
+use crate::kmeans::{kmeans, KMeansConfig};
+
+/// Computes `(k, inertia)` pairs for `k` in `k_range` (inclusive).
+pub fn inertia_curve(
+    points: &[Vec<f64>],
+    k_range: std::ops::RangeInclusive<usize>,
+    base: &KMeansConfig,
+) -> Vec<(usize, f64)> {
+    let lo = *k_range.start();
+    let hi = *k_range.end();
+    assert!(lo >= 1 && hi >= lo, "invalid k range");
+    (lo..=hi.min(points.len()))
+        .map(|k| {
+            let cfg = KMeansConfig { k, ..*base };
+            (k, kmeans(points, &cfg).inertia)
+        })
+        .collect()
+}
+
+/// Finds the elbow of an inertia curve: the `k` whose point is farthest from
+/// the straight line joining the first and last points of the curve.
+///
+/// Returns `None` for curves with fewer than three points (no interior
+/// point can be an elbow).
+pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
+    if curve.len() < 3 {
+        return None;
+    }
+    let (x0, y0) = (curve[0].0 as f64, curve[0].1);
+    let (x1, y1) = (
+        curve[curve.len() - 1].0 as f64,
+        curve[curve.len() - 1].1,
+    );
+    // Normalize both axes so the chord distance is scale-free.
+    let dx = (x1 - x0).abs().max(1e-12);
+    let dy = (y0 - y1).abs().max(1e-12);
+    let mut best: Option<(usize, f64)> = None;
+    for &(k, inertia) in &curve[1..curve.len() - 1] {
+        let nx = (k as f64 - x0) / dx;
+        let ny = (y0 - inertia) / dy; // flipped so the curve rises 0→1
+        // Distance from (nx, ny) to the chord y = x (after normalization the
+        // endpoints are (0,0) and (1,1)).
+        let d = (ny - nx) / std::f64::consts::SQRT_2;
+        if best.map_or(true, |(_, bd)| d > bd) {
+            best = Some((k, d));
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n_blobs: usize) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for b in 0..n_blobs {
+            let cx = (b % 3) as f64 * 10.0;
+            let cy = (b / 3) as f64 * 10.0;
+            for _ in 0..30 {
+                pts.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let pts = blobs(4);
+        let curve = inertia_curve(&pts, 1..=8, &KMeansConfig::default());
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn elbow_finds_true_blob_count() {
+        let pts = blobs(4);
+        let curve = inertia_curve(
+            &pts,
+            1..=10,
+            &KMeansConfig {
+                n_init: 6,
+                ..Default::default()
+            },
+        );
+        let elbow = elbow_point(&curve).expect("curve long enough");
+        assert!(
+            (3..=5).contains(&elbow),
+            "elbow {elbow} should be near the true 4 blobs"
+        );
+    }
+
+    #[test]
+    fn short_curves_have_no_elbow() {
+        assert_eq!(elbow_point(&[]), None);
+        assert_eq!(elbow_point(&[(1, 10.0)]), None);
+        assert_eq!(elbow_point(&[(1, 10.0), (2, 5.0)]), None);
+    }
+
+    #[test]
+    fn synthetic_knee() {
+        // Inertia with a sharp knee at k = 3.
+        let curve = vec![
+            (1, 100.0),
+            (2, 50.0),
+            (3, 10.0),
+            (4, 9.0),
+            (5, 8.5),
+            (6, 8.2),
+        ];
+        assert_eq!(elbow_point(&curve), Some(3));
+    }
+}

@@ -1,0 +1,370 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! The paper chose k-means over hierarchical alternatives because it
+//! produced balanced clusters of runtime-distribution shapes (§4.2). The
+//! inputs here are smoothed PMF vectors (one per job group), but the
+//! implementation is generic over any equal-length `f64` vectors.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for one k-means run.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared L2).
+    pub tol: f64,
+    /// Number of k-means++ restarts; the best (lowest-inertia) run wins.
+    pub n_init: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 200,
+            tol: 1e-10,
+            n_init: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The outcome of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances from each point to its centroid.
+    pub inertia: f64,
+    /// Lloyd iterations executed in the winning restart.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Points per cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Ratio of the largest cluster to the total — the imbalance measure the
+    /// paper used to reject hierarchical clustering (">90% of the data in
+    /// one cluster").
+    pub fn max_cluster_share(&self) -> f64 {
+        let sizes = self.cluster_sizes();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        if self.assignments.is_empty() {
+            0.0
+        } else {
+            max as f64 / self.assignments.len() as f64
+        }
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means over `points` (each an equal-length vector).
+///
+/// # Panics
+/// Panics if `points` is empty, dimensions are ragged, `k` is zero, or `k`
+/// exceeds the number of points.
+pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(config.k >= 1, "k must be at least 1");
+    assert!(
+        config.k <= points.len(),
+        "k ({}) exceeds point count ({})",
+        config.k,
+        points.len()
+    );
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share a dimension"
+    );
+
+    let mut best: Option<KMeansResult> = None;
+    for init in 0..config.n_init.max(1) {
+        let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(init as u64));
+        let result = kmeans_once(points, config, &mut rng);
+        if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn kmeans_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut SmallRng) -> KMeansResult {
+    let mut centroids = plus_plus_init(points, config.k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid (standard remedy; keeps k clusters alive).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        dist_sq(a, &centroids[assignments[0]])
+                            .partial_cmp(&dist_sq(b, &centroids[assignments[0]]))
+                            .expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(rng.gen_range(0..points.len()));
+                centroids[c] = points[far].clone();
+                movement += 1.0;
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += dist_sq(&new, &centroids[c]);
+            centroids[c] = new;
+        }
+        if movement < config.tol {
+            break;
+        }
+    }
+    // Final assignment + inertia.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let (a, d) = nearest(p, &centroids);
+        assignments[i] = a;
+        inertia += d;
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist_sq(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+/// proportionally to squared distance from the nearest chosen centroid.
+fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| dist_sq(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut x = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if x < d {
+                    chosen = i;
+                    break;
+                }
+                x -= d;
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = dist_sq(p, centroids.last().expect("non-empty"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian-ish blobs in 2D.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &(cx, cy) in &centers {
+            for _ in 0..50 {
+                pts.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs();
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        let sizes = r.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 150);
+        for s in sizes {
+            assert_eq!(s, 50, "blobs should split evenly");
+        }
+        assert!(r.inertia < 150.0 * 0.5, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn balanced_on_blobs() {
+        let r = kmeans(
+            &blobs(),
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.max_cluster_share() < 0.4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = kmeans(&pts, &cfg);
+        let b = kmeans(&pts, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, 0.0]).collect();
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!((r.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_non_increasing_in_k() {
+        let pts = blobs();
+        let mut last = f64::INFINITY;
+        for k in 1..=6 {
+            let r = kmeans(
+                &pts,
+                &KMeansConfig {
+                    k,
+                    n_init: 6,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                r.inertia <= last + 1e-6,
+                "k={k}: inertia {} > previous {last}",
+                r.inertia
+            );
+            last = r.inertia;
+        }
+    }
+
+    #[test]
+    fn identical_points_handled() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let r = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds point count")]
+    fn k_too_large_panics() {
+        kmeans(
+            &[vec![1.0]],
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn ragged_points_panic() {
+        kmeans(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+    }
+}

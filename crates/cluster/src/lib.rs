@@ -1,0 +1,35 @@
+//! # rv-cluster — clustering algorithms
+//!
+//! The unsupervised half of the paper's 2-step approach (§4.2): cluster the
+//! smoothed PMF vectors of job groups into a small catalog of typical
+//! distribution shapes.
+//!
+//! * [`mod@kmeans`] — k-means with k-means++ seeding (the paper's choice: it
+//!   produced balanced clusters);
+//! * [`mod@agglomerative`] — bottom-up agglomerative clustering with
+//!   single/complete/average linkage (the paper's rejected baseline: it
+//!   produced clusters with >90% of the data in one cluster);
+//! * [`dendrogram`] — the merge tree recorded by agglomerative clustering,
+//!   cuttable at any cluster count;
+//! * [`elbow`] — inertia curves and elbow detection for choosing `k`;
+//! * [`minibatch`] — Sculley's web-scale mini-batch k-means (the paper's
+//!   actual k-means citation \[62\]), for populations too large for Lloyd;
+//! * [`silhouette`] — silhouette scores quantifying §4.2's "clusters are
+//!   sufficiently different from each other" check;
+//! * [`assign`] — nearest-centroid assignment for new vectors.
+
+pub mod agglomerative;
+pub mod assign;
+pub mod dendrogram;
+pub mod elbow;
+pub mod kmeans;
+pub mod minibatch;
+pub mod silhouette;
+
+pub use agglomerative::{agglomerative, Linkage};
+pub use assign::nearest_centroid;
+pub use dendrogram::Dendrogram;
+pub use elbow::{elbow_point, inertia_curve};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use minibatch::{minibatch_kmeans, MiniBatchConfig};
+pub use silhouette::{silhouette_samples, silhouette_score};

@@ -1,0 +1,209 @@
+//! Mini-batch k-means (Sculley, WWW 2010 — the paper's citation \[62\]).
+//!
+//! The paper's k-means reference is specifically the *web-scale* mini-batch
+//! variant, which scales to millions of PMF vectors: each iteration samples
+//! a small batch, assigns it to the nearest centroids, and moves each
+//! centroid toward its batch members with a per-centroid learning rate
+//! `1 / n_assigned`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::KMeansResult;
+
+/// Mini-batch k-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MiniBatchConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Batch size per iteration.
+    pub batch_size: usize,
+    /// Number of mini-batch iterations.
+    pub n_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            batch_size: 64,
+            n_iters: 300,
+            seed: 0x5c11e7,
+        }
+    }
+}
+
+/// Runs mini-batch k-means over `points` and returns the same result type
+/// as the exact algorithm (with a final full assignment pass for the
+/// inertia).
+///
+/// # Panics
+/// Panics if `points` is empty, ragged, or `k` exceeds the point count.
+pub fn minibatch_kmeans(points: &[Vec<f64>], config: &MiniBatchConfig) -> KMeansResult {
+    assert!(!points.is_empty(), "need at least one point");
+    assert!(config.k >= 1, "k must be at least 1");
+    assert!(
+        config.k <= points.len(),
+        "k ({}) exceeds point count ({})",
+        config.k,
+        points.len()
+    );
+    assert!(config.batch_size >= 1, "batch size must be positive");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share a dimension"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // Initialize centroids at random distinct-ish points.
+    let mut centroids: Vec<Vec<f64>> = (0..config.k)
+        .map(|_| points[rng.gen_range(0..points.len())].clone())
+        .collect();
+    let mut counts = vec![0u64; config.k];
+    let mut batch_assign = vec![0usize; config.batch_size];
+
+    for _ in 0..config.n_iters {
+        // Sample the batch and cache its assignments.
+        let batch: Vec<usize> = (0..config.batch_size)
+            .map(|_| rng.gen_range(0..points.len()))
+            .collect();
+        for (slot, &i) in batch_assign.iter_mut().zip(&batch) {
+            *slot = nearest(&points[i], &centroids);
+        }
+        // Gradient step per batch member.
+        for (&i, &c) in batch.iter().zip(&batch_assign) {
+            counts[c] += 1;
+            let lr = 1.0 / counts[c] as f64;
+            for (cv, &pv) in centroids[c].iter_mut().zip(&points[i]) {
+                *cv += lr * (pv - *cv);
+            }
+        }
+    }
+
+    // Full assignment pass for the final labels and inertia.
+    let mut assignments = vec![0usize; points.len()];
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let c = nearest(p, &centroids);
+        assignments[i] = c;
+        inertia += dist_sq(p, &centroids[c]);
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations: config.n_iters,
+    }
+}
+
+#[inline]
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist_sq(p, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &(cx, cy) in &[(0.0, 0.0), (12.0, 0.0), (0.0, 12.0)] {
+            for _ in 0..60 {
+                pts.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_blobs() {
+        let r = minibatch_kmeans(
+            &blobs(),
+            &MiniBatchConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        let sizes = {
+            let mut s = vec![0usize; 3];
+            for &a in &r.assignments {
+                s[a] += 1;
+            }
+            s
+        };
+        for s in sizes {
+            assert_eq!(s, 60, "blobs should split evenly");
+        }
+    }
+
+    #[test]
+    fn close_to_exact_kmeans_inertia() {
+        let pts = blobs();
+        let exact = kmeans(
+            &pts,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        let mb = minibatch_kmeans(
+            &pts,
+            &MiniBatchConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        // Sculley reports mini-batch lands within a few percent of full
+        // Lloyd on well-separated data.
+        assert!(
+            mb.inertia < exact.inertia * 1.2 + 1e-9,
+            "minibatch {} vs exact {}",
+            mb.inertia,
+            exact.inertia
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = blobs();
+        let cfg = MiniBatchConfig {
+            k: 3,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = minibatch_kmeans(&pts, &cfg);
+        let b = minibatch_kmeans(&pts, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds point count")]
+    fn k_too_large_panics() {
+        minibatch_kmeans(
+            &[vec![1.0]],
+            &MiniBatchConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

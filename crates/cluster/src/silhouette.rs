@@ -1,0 +1,136 @@
+//! Silhouette scores: cluster-quality measurement beyond inertia.
+//!
+//! §4.2 validates the cluster count "by visually examining the clustering
+//! results to check if the clusters are sufficiently different from each
+//! other". The silhouette coefficient quantifies that check: for each point,
+//! `(b - a) / max(a, b)` where `a` is the mean distance to its own cluster
+//! and `b` the mean distance to the nearest other cluster; +1 means crisp
+//! separation, 0 a boundary point, negative a likely misassignment.
+
+#[inline]
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Per-point silhouette coefficients. Points in singleton clusters score 0
+/// by convention (scikit-learn's choice).
+///
+/// # Panics
+/// Panics if lengths disagree, fewer than 2 clusters are present, or points
+/// are ragged.
+pub fn silhouette_samples(points: &[Vec<f64>], assignments: &[usize]) -> Vec<f64> {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    assert!(!points.is_empty(), "need points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    let k = assignments.iter().copied().max().expect("non-empty") + 1;
+    assert!(
+        assignments.iter().collect::<std::collections::BTreeSet<_>>().len() >= 2,
+        "need at least two clusters"
+    );
+
+    let mut cluster_sizes = vec![0usize; k];
+    for &a in assignments {
+        cluster_sizes[a] += 1;
+    }
+
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &own)| {
+            if cluster_sizes[own] <= 1 {
+                return 0.0;
+            }
+            // Mean distance to each cluster.
+            let mut sums = vec![0.0f64; k];
+            for (q, &c) in points.iter().zip(assignments) {
+                sums[c] += euclid(p, q);
+            }
+            let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && cluster_sizes[c] > 0)
+                .map(|c| sums[c] / cluster_sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if a.max(b) == 0.0 {
+                0.0
+            } else {
+                (b - a) / a.max(b)
+            }
+        })
+        .collect()
+}
+
+/// Mean silhouette over all points.
+pub fn silhouette_score(points: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    let s = silhouette_samples(points, assignments);
+    s.iter().sum::<f64>() / s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            labels.push(0);
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+            labels.push(1);
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn separated_blobs_score_near_one() {
+        let (pts, labels) = two_blobs();
+        let s = silhouette_score(&pts, &labels);
+        assert!(s > 0.99, "score {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_poorly() {
+        let (pts, mut labels) = two_blobs();
+        // Swap half the labels: many points now sit in the wrong cluster.
+        for l in labels.iter_mut().step_by(4) {
+            *l = 1 - *l;
+        }
+        let good = silhouette_score(&pts, &two_blobs().1);
+        let bad = silhouette_score(&pts, &labels);
+        assert!(bad < good - 0.5, "bad {bad} vs good {good}");
+    }
+
+    #[test]
+    fn boundary_point_scores_low() {
+        let pts = vec![
+            vec![0.0],
+            vec![1.0],
+            vec![10.0],
+            vec![11.0],
+            vec![5.5], // equidistant boundary point
+        ];
+        let labels = vec![0, 0, 1, 1, 0];
+        let s = silhouette_samples(&pts, &labels);
+        assert!(s[4] < 0.35, "boundary silhouette {}", s[4]);
+        assert!(s[0] > 0.5);
+    }
+
+    #[test]
+    fn singleton_cluster_scores_zero() {
+        let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+        let labels = vec![0, 0, 1];
+        let s = silhouette_samples(&pts, &labels);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn single_cluster_panics() {
+        silhouette_samples(&[vec![0.0], vec![1.0]], &[0, 0]);
+    }
+}

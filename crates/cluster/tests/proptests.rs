@@ -1,0 +1,56 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use rv_cluster::{agglomerative, kmeans, nearest_centroid, KMeansConfig, Linkage};
+
+fn points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0..100.0f64, dim..=dim),
+        2..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_assignments_are_valid(pts in points(40, 3), k in 1usize..4) {
+        let k = k.min(pts.len());
+        let r = kmeans(&pts, &KMeansConfig { k, n_init: 1, ..Default::default() });
+        prop_assert_eq!(r.assignments.len(), pts.len());
+        prop_assert!(r.assignments.iter().all(|&a| a < k));
+        prop_assert_eq!(r.centroids.len(), k);
+        prop_assert!(r.inertia >= 0.0);
+        // Every point's assigned centroid is its nearest centroid.
+        for (p, &a) in pts.iter().zip(&r.assignments) {
+            let (nearest, _) = nearest_centroid(p, &r.centroids);
+            let d_a: f64 = p.iter().zip(&r.centroids[a]).map(|(x, c)| (x - c).powi(2)).sum();
+            let d_n: f64 = p.iter().zip(&r.centroids[nearest]).map(|(x, c)| (x - c).powi(2)).sum();
+            prop_assert!(d_a <= d_n + 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_bounded_by_k1(pts in points(30, 2)) {
+        let r1 = kmeans(&pts, &KMeansConfig { k: 1, n_init: 1, ..Default::default() });
+        let r2 = kmeans(&pts, &KMeansConfig { k: 2.min(pts.len()), n_init: 4, ..Default::default() });
+        prop_assert!(r2.inertia <= r1.inertia + 1e-6);
+    }
+
+    #[test]
+    fn dendrogram_cut_is_a_partition(pts in points(25, 2), linkage_idx in 0usize..3) {
+        let linkage = [Linkage::Single, Linkage::Complete, Linkage::Average][linkage_idx];
+        let d = agglomerative(&pts, linkage);
+        for k in 1..=pts.len().min(5) {
+            let labels = d.cut(k);
+            prop_assert_eq!(labels.len(), pts.len());
+            let mut seen: Vec<usize> = labels.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), k, "cut({}) produced wrong cluster count", k);
+            // Labels are dense 0..k.
+            prop_assert!(labels.iter().all(|&l| l < k));
+        }
+    }
+}

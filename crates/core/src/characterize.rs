@@ -1,0 +1,342 @@
+//! Clustering analysis: from raw telemetry to the shape catalog (§4.2).
+//!
+//! Pipeline, exactly as the paper describes it:
+//!
+//! 1. take every job group in the characterization dataset (D1, support ≥20);
+//! 2. normalize each group's runtimes against its historic median (computed
+//!    from the group's own D1 observations — D1 *is* the history);
+//! 3. histogram into the shared 200-bin grid with outlier-absorbing edges;
+//! 4. smooth each PMF so adjacent bins share affinity;
+//! 5. k-means-cluster the smoothed PMF vectors (k chosen by the inertia
+//!    elbow, 8 in the paper);
+//! 6. compute Table 2 statistics from the pooled normalized samples of each
+//!    cluster's member groups, and rank clusters by IQR.
+
+use std::collections::BTreeMap;
+
+use rv_cluster::{kmeans, KMeansConfig};
+use rv_scope::JobGroupKey;
+use rv_stats::{
+    median, normalize_all, smooth_pmf, BinSpec, Histogram, Normalization, Pmf, SmoothingKernel,
+};
+use rv_telemetry::TelemetryStore;
+
+use crate::shapes::{ShapeCatalog, ShapeStats};
+
+/// Configuration of the characterization step.
+#[derive(Debug, Clone, Copy)]
+pub struct CharacterizeConfig {
+    /// Which normalization to characterize.
+    pub normalization: Normalization,
+    /// Number of clusters (the paper settles on 8 via the elbow).
+    pub k: usize,
+    /// Number of histogram bins (the paper evaluates 50/100/200/500 and
+    /// picks 200). The bin *range* follows the normalization's footnote-3
+    /// thresholds.
+    pub n_bins: usize,
+    /// PMF smoothing kernel.
+    pub smoothing: SmoothingKernel,
+    /// Minimum observations for a group to participate (the paper uses
+    /// >20 for D1).
+    pub min_support: usize,
+    /// Seed for k-means restarts.
+    pub seed: u64,
+}
+
+impl CharacterizeConfig {
+    /// The paper's configuration for a normalization policy.
+    pub fn paper(normalization: Normalization) -> Self {
+        Self {
+            normalization,
+            k: 8,
+            n_bins: 200,
+            smoothing: SmoothingKernel::Gaussian { sigma_bins: 2.0 },
+            min_support: 20,
+            seed: 0xcafe,
+        }
+    }
+
+    /// The bin grid implied by the normalization and bin count (footnote 3).
+    pub fn bin_spec(&self) -> BinSpec {
+        match self.normalization {
+            Normalization::Ratio => BinSpec::new(0.0, 10.0, self.n_bins),
+            Normalization::Delta => BinSpec::new(-900.0, 900.0, self.n_bins),
+        }
+    }
+}
+
+/// Intermediate product: each participating group's smoothed PMF and raw
+/// normalized samples.
+#[derive(Debug, Clone)]
+pub struct GroupDistributions {
+    /// The bin grid shared by all PMFs.
+    pub spec: BinSpec,
+    /// Group keys in deterministic order.
+    pub keys: Vec<JobGroupKey>,
+    /// Smoothed PMF per group (parallel to `keys`).
+    pub pmfs: Vec<Pmf>,
+    /// Normalized runtime samples per group (parallel to `keys`).
+    pub samples: Vec<Vec<f64>>,
+}
+
+/// Computes normalized-runtime distributions for every group in `store`
+/// with at least `config.min_support` observations.
+pub fn group_distributions(
+    store: &TelemetryStore,
+    config: &CharacterizeConfig,
+) -> GroupDistributions {
+    let spec = config.bin_spec();
+    let mut keys = Vec::new();
+    let mut pmfs = Vec::new();
+    let mut samples = Vec::new();
+    for key in store.group_keys() {
+        let runtimes = store.group_runtimes(key);
+        if runtimes.len() < config.min_support {
+            continue;
+        }
+        let hist_median = median(&runtimes).expect("non-empty group");
+        let normalized = normalize_all(config.normalization, &runtimes, hist_median);
+        let pmf = Histogram::from_samples(spec, normalized.iter().copied()).to_pmf();
+        keys.push(key.clone());
+        pmfs.push(smooth_pmf(&pmf, config.smoothing));
+        samples.push(normalized);
+    }
+    GroupDistributions {
+        spec,
+        keys,
+        pmfs,
+        samples,
+    }
+}
+
+/// The characterization outcome: the catalog plus each participating
+/// group's k-means cluster membership (in catalog-rank order).
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// The shape catalog (IQR-ranked).
+    pub catalog: ShapeCatalog,
+    /// Shape id per participating group.
+    pub memberships: BTreeMap<JobGroupKey, usize>,
+    /// k-means inertia of the final clustering.
+    pub inertia: f64,
+}
+
+/// Runs the full §4.2 clustering analysis over `store`.
+///
+/// # Panics
+/// Panics if fewer than `config.k` groups meet the support threshold.
+pub fn characterize(store: &TelemetryStore, config: &CharacterizeConfig) -> Characterization {
+    let dists = group_distributions(store, config);
+    assert!(
+        dists.keys.len() >= config.k,
+        "only {} groups with support >= {}, need at least k = {}",
+        dists.keys.len(),
+        config.min_support,
+        config.k
+    );
+    let vectors: Vec<Vec<f64>> = dists.pmfs.iter().map(|p| p.probs().to_vec()).collect();
+    let km = kmeans(
+        &vectors,
+        &KMeansConfig {
+            k: config.k,
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+
+    // Pool normalized samples per cluster for Table 2 statistics, and build
+    // the reference PMF from the pooled samples (smoothed), which is better
+    // estimated than the centroid for small clusters.
+    let mut pooled: Vec<Vec<f64>> = vec![Vec::new(); config.k];
+    let mut n_groups = vec![0usize; config.k];
+    for (g, &c) in km.assignments.iter().enumerate() {
+        pooled[c].extend_from_slice(&dists.samples[g]);
+        n_groups[c] += 1;
+    }
+    let mut pmfs = Vec::with_capacity(config.k);
+    let mut stats = Vec::with_capacity(config.k);
+    for c in 0..config.k {
+        let (pmf, stat) = if pooled[c].is_empty() {
+            // An empty cluster (extremely rare with k-means++): keep a
+            // uniform placeholder so indices stay dense.
+            (
+                Histogram::new(dists.spec).to_pmf(),
+                ShapeStats {
+                    outlier_prob: 0.0,
+                    p25: 0.0,
+                    p75: 0.0,
+                    p95: 0.0,
+                    std: 0.0,
+                    n_groups: 0,
+                    n_instances: 0,
+                },
+            )
+        } else {
+            let pmf = Histogram::from_samples(dists.spec, pooled[c].iter().copied()).to_pmf();
+            let stat = ShapeStats::from_samples(&pooled[c], &dists.spec, n_groups[c])
+                .expect("pooled samples non-empty");
+            (smooth_pmf(&pmf, config.smoothing), stat)
+        };
+        pmfs.push(pmf);
+        stats.push(stat);
+    }
+
+    // Rank order mapping: catalog sorts by IQR; recover the permutation to
+    // relabel group memberships accordingly.
+    let mut order: Vec<usize> = (0..config.k).collect();
+    order.sort_by(|&a, &b| {
+        stats[a]
+            .iqr()
+            .partial_cmp(&stats[b].iqr())
+            .expect("finite IQRs")
+            .then(a.cmp(&b))
+    });
+    let mut rank_of = vec![0usize; config.k];
+    for (rank, &orig) in order.iter().enumerate() {
+        rank_of[orig] = rank;
+    }
+
+    let catalog = ShapeCatalog::new(config.normalization, dists.spec, pmfs, stats);
+    let memberships: BTreeMap<JobGroupKey, usize> = dists
+        .keys
+        .iter()
+        .zip(&km.assignments)
+        .map(|(k, &c)| (k.clone(), rank_of[c]))
+        .collect();
+
+    Characterization {
+        catalog,
+        memberships,
+        inertia: km.inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_scope::PlanSignature;
+    use rv_telemetry::JobTelemetry;
+
+    /// Builds a store with `n_groups` groups of two families: tight groups
+    /// (runtimes ~100±1) and wide groups (runtimes 50..200).
+    fn synthetic_store(n_tight: usize, n_wide: usize, runs: usize) -> TelemetryStore {
+        let mut store = TelemetryStore::new();
+        let mut push = |name: String, seq: u32, runtime: f64| {
+            store.push(JobTelemetry {
+                group: JobGroupKey::new(name, PlanSignature(1)),
+                template_id: 0,
+                seq,
+                submit_time_s: seq as f64,
+                runtime_s: runtime,
+                disrupted: false,
+                operator_counts: vec![0; 18],
+                n_stages: 1,
+                critical_path: 1,
+                total_base_vertices: 1,
+                estimated_rows: 1.0,
+                estimated_cost: 1.0,
+                estimated_input_gb: 1.0,
+                data_read_gb: 1.0,
+                temp_data_gb: 0.1,
+                total_vertices: 1,
+                allocated_tokens: 1,
+                token_min: 1,
+                token_max: 1,
+                token_avg: 1.0,
+                spare_avg: 0.0,
+                spare_preempted: false,
+                cpu_seconds: 10.0,
+                peak_memory_gb: 0.5,
+                sku_fractions: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                sku_vertex_counts: [1, 0, 0, 0, 0, 0],
+                sku_util_mean: [0.5; 6],
+                sku_util_std: [0.1; 6],
+                cluster_load: 0.5,
+                spare_fraction: 0.2,
+            });
+        };
+        for g in 0..n_tight {
+            for s in 0..runs {
+                let jitter = ((s * 7919 + g * 104729) % 100) as f64 / 50.0 - 1.0;
+                push(format!("tight-{g}"), s as u32, 100.0 + jitter);
+            }
+        }
+        for g in 0..n_wide {
+            for s in 0..runs {
+                let spread = ((s * 6271 + g * 31337) % 100) as f64 * 1.5 + 50.0;
+                push(format!("wide-{g}"), s as u32, spread);
+            }
+        }
+        store
+    }
+
+    fn config(k: usize) -> CharacterizeConfig {
+        CharacterizeConfig {
+            k,
+            min_support: 20,
+            ..CharacterizeConfig::paper(Normalization::Ratio)
+        }
+    }
+
+    #[test]
+    fn distributions_respect_support() {
+        let store = synthetic_store(5, 5, 25);
+        let d = group_distributions(&store, &config(2));
+        assert_eq!(d.keys.len(), 10);
+        let short = synthetic_store(5, 5, 10); // below support
+        let d2 = group_distributions(&short, &config(2));
+        assert!(d2.keys.is_empty());
+    }
+
+    #[test]
+    fn separates_tight_from_wide() {
+        let store = synthetic_store(8, 8, 40);
+        let ch = characterize(&store, &config(2));
+        assert_eq!(ch.catalog.n_shapes(), 2);
+        // Shape 0 (smaller IQR) should hold the tight groups.
+        for (key, &shape) in &ch.memberships {
+            let expected = usize::from(!key.normalized_name.starts_with("tight"));
+            assert_eq!(shape, expected, "group {key}");
+        }
+        assert!(ch.catalog.stats(0).iqr() < ch.catalog.stats(1).iqr());
+    }
+
+    #[test]
+    fn ratio_catalog_centers_near_one() {
+        let store = synthetic_store(8, 0, 40);
+        let ch = characterize(&store, &config(1));
+        let pmf = ch.catalog.pmf(0);
+        // Mass concentrated around ratio 1.0.
+        let m = pmf.mean();
+        assert!((m - 1.0).abs() < 0.1, "mean ratio {m}");
+    }
+
+    #[test]
+    fn delta_normalization_works_too() {
+        let store = synthetic_store(6, 6, 30);
+        let cfg = CharacterizeConfig {
+            k: 2,
+            min_support: 20,
+            ..CharacterizeConfig::paper(Normalization::Delta)
+        };
+        let ch = characterize(&store, &cfg);
+        assert_eq!(ch.catalog.normalization, Normalization::Delta);
+        assert!(ch.catalog.stats(0).iqr() <= ch.catalog.stats(1).iqr());
+    }
+
+    #[test]
+    fn deterministic() {
+        let store = synthetic_store(6, 6, 30);
+        let a = characterize(&store, &config(3));
+        let b = characterize(&store, &config(3));
+        assert_eq!(a.memberships, b.memberships);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k")]
+    fn too_few_groups_panics() {
+        let store = synthetic_store(2, 0, 30);
+        characterize(&store, &config(8));
+    }
+}

@@ -1,0 +1,144 @@
+//! Shapley-value explanation of the shape predictor (§6).
+//!
+//! For a target shape (e.g. the high-variance "Cluster 6" of Fig 9), we
+//! estimate each feature's Shapley contribution to the predicted probability
+//! of that shape over a sample of instances, then aggregate into per-feature
+//! magnitude and direction statistics. Feature names come from the telemetry
+//! schema so insights read like the paper's ("jobs with larger inputs ...
+//! are more likely to have a large variation").
+
+use rv_shap::{shap_summary, shapley_values, FeatureShapStats, ShapConfig};
+use rv_telemetry::{JobTelemetry, FEATURE_NAMES};
+
+use crate::predictor::ShapePredictor;
+
+/// Per-feature explanation statistics for one target shape, named.
+#[derive(Debug, Clone)]
+pub struct ShapeExplanation {
+    /// The shape being explained.
+    pub target_shape: usize,
+    /// Named per-feature statistics, sorted by mean |φ| descending. Names
+    /// refer to the *full* feature schema.
+    pub features: Vec<(&'static str, FeatureShapStats)>,
+    /// Raw per-instance Shapley rows over the selected feature space
+    /// (parallel to the instance sample used).
+    pub shap_rows: Vec<Vec<f64>>,
+}
+
+impl ShapeExplanation {
+    /// The statistics for one feature by schema name, if it survived feature
+    /// selection.
+    pub fn feature(&self, name: &str) -> Option<&FeatureShapStats> {
+        self.features
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Renders the top contributors with direction arrows.
+    pub fn to_table(&self, top_n: usize) -> String {
+        let mut out = format!(
+            "Shapley attribution toward shape {} (top {top_n}):\n",
+            self.target_shape
+        );
+        for (name, s) in self.features.iter().take(top_n) {
+            let dir = if s.value_correlation > 0.15 {
+                "higher value -> more likely"
+            } else if s.value_correlation < -0.15 {
+                "higher value -> less likely"
+            } else {
+                "direction mixed"
+            };
+            out.push_str(&format!(
+                "  {name:<28} mean|phi| {:.5}  corr {:+.2}  ({dir})\n",
+                s.mean_abs, s.value_correlation
+            ));
+        }
+        out
+    }
+}
+
+/// Explains the predictor's attraction toward `target_shape` over a sample
+/// of telemetry rows, using `background_rows` as the Shapley background.
+pub fn explain_shape(
+    predictor: &ShapePredictor,
+    sample_rows: &[&JobTelemetry],
+    background_rows: &[&JobTelemetry],
+    target_shape: usize,
+    config: &ShapConfig,
+) -> ShapeExplanation {
+    assert!(!sample_rows.is_empty(), "need instances to explain");
+    assert!(!background_rows.is_empty(), "need background instances");
+    assert!(
+        target_shape < predictor.n_shapes(),
+        "target shape out of range"
+    );
+
+    let selection = predictor.selection();
+    let background: Vec<Vec<f64>> = background_rows
+        .iter()
+        .map(|r| selection.project(&predictor.features_of(r)))
+        .collect();
+    let samples: Vec<Vec<f64>> = sample_rows
+        .iter()
+        .map(|r| selection.project(&predictor.features_of(r)))
+        .collect();
+
+    let shap_rows: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|x| shapley_values(predictor.model(), x, target_shape, &background, config))
+        .collect();
+    let stats = shap_summary(&shap_rows, &samples);
+
+    // Map selected-space feature indices back to schema names.
+    let features: Vec<(&'static str, FeatureShapStats)> = stats
+        .into_iter()
+        .map(|s| (FEATURE_NAMES[selection.kept[s.feature]], s))
+        .collect();
+
+    ShapeExplanation {
+        target_shape,
+        features,
+        shap_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // End-to-end explanation behaviour is covered by the integration tests
+    // (tests/end_to_end.rs) and the Fig 9 experiment; here we only check the
+    // report-shaping helpers.
+    use super::*;
+
+    fn stats(feature: usize, mean_abs: f64, corr: f64) -> FeatureShapStats {
+        FeatureShapStats {
+            feature,
+            mean_abs,
+            mean: 0.0,
+            value_correlation: corr,
+            min: -mean_abs,
+            max: mean_abs,
+        }
+    }
+
+    #[test]
+    fn lookup_and_table() {
+        let e = ShapeExplanation {
+            target_shape: 6,
+            features: vec![
+                ("log_hist_data_read_avg", stats(0, 0.2, 0.9)),
+                ("allocated_tokens", stats(1, 0.1, -0.8)),
+                ("cluster_load", stats(2, 0.01, 0.0)),
+            ],
+            shap_rows: vec![],
+        };
+        assert!(e.feature("allocated_tokens").is_some());
+        assert!(e.feature("nonexistent").is_none());
+        let t = e.to_table(2);
+        assert!(t.contains("shape 6"));
+        assert!(t.contains("log_hist_data_read_avg"));
+        assert!(t.contains("more likely"));
+        assert!(t.contains("less likely"));
+        assert!(!t.contains("cluster_load"), "top_n=2 should truncate");
+    }
+}

@@ -1,0 +1,348 @@
+//! The end-to-end framework (Fig 2): one call from workload to predictor.
+//!
+//! [`Framework::run`] executes the whole study: simulate the measurement
+//! campaign, assemble the D1/D2/D3 datasets (Table 1), characterize shapes
+//! on D1 (Fig 5 / Table 2), label D2/D3 groups by posterior likelihood,
+//! train the classifier on D2, and evaluate on D3 (Fig 7) — for both
+//! normalizations. The returned struct exposes every intermediate product so
+//! examples, experiments, and what-if analyses can be built on top.
+
+use std::collections::BTreeMap;
+
+use rv_learn::{accuracy, confusion_matrix, ConfusionMatrix};
+use rv_scope::{GeneratorConfig, JobGroupKey, WorkloadGenerator};
+use rv_sim::{Cluster, ClusterConfig, SimConfig};
+use rv_stats::Normalization;
+use rv_telemetry::{
+    collect_telemetry, CampaignConfig, Dataset, DatasetSpec, FeatureExtractor, GroupHistory,
+    TelemetryStore,
+};
+
+use crate::characterize::{characterize, Characterization, CharacterizeConfig};
+use crate::predictor::{label_groups, PredictorConfig, ShapePredictor};
+
+/// Configuration of a full framework run.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// Workload population.
+    pub generator: GeneratorConfig,
+    /// Cluster provisioning.
+    pub cluster: ClusterConfig,
+    /// Execution physics.
+    pub sim: SimConfig,
+    /// Campaign length etc.
+    pub campaign: CampaignConfig,
+    /// Shape count for the catalog (the paper's 8).
+    pub k: usize,
+    /// Support threshold for characterization groups (the paper's 20).
+    pub characterize_support: usize,
+    /// Predictor configuration.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        Self {
+            generator: GeneratorConfig {
+                n_templates: 400,
+                ..Default::default()
+            },
+            cluster: ClusterConfig::default(),
+            sim: SimConfig::default(),
+            campaign: CampaignConfig {
+                window_days: 30.0,
+                ..Default::default()
+            },
+            k: 8,
+            characterize_support: 20,
+            predictor: PredictorConfig {
+                model: crate::predictor::ModelKind::Gbdt(rv_learn::GbdtConfig {
+                    n_rounds: 100,
+                    ..Default::default()
+                }),
+                ..PredictorConfig::default()
+            },
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// A scaled-down configuration for tests and quick demos (~1–2 s).
+    pub fn small() -> Self {
+        Self {
+            generator: GeneratorConfig {
+                n_templates: 48,
+                ..Default::default()
+            },
+            campaign: CampaignConfig {
+                window_days: 14.0,
+                ..Default::default()
+            },
+            k: 4,
+            characterize_support: 9,
+            predictor: PredictorConfig {
+                model: crate::predictor::ModelKind::Gbdt(rv_learn::GbdtConfig {
+                    n_rounds: 25,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// The per-normalization pipeline products.
+pub struct NormalizationPipeline {
+    /// Which normalization this pipeline used.
+    pub normalization: Normalization,
+    /// Shape catalog + D1 group memberships.
+    pub characterization: Characterization,
+    /// Posterior-likelihood shape labels for D2 groups.
+    pub train_labels: BTreeMap<JobGroupKey, usize>,
+    /// Posterior-likelihood shape labels for D3 groups.
+    pub test_labels: BTreeMap<JobGroupKey, usize>,
+    /// The trained predictor.
+    pub predictor: ShapePredictor,
+    /// Instance-level accuracy on D3.
+    pub test_accuracy: f64,
+    /// Instance-level confusion matrix on D3 (Fig 7a).
+    pub confusion: ConfusionMatrix,
+}
+
+impl NormalizationPipeline {
+    /// Per-instance `(truth, prediction, group)` triples over D3.
+    pub fn test_predictions(&self, d3: &Dataset) -> Vec<(usize, usize, JobGroupKey)> {
+        let mut out = Vec::new();
+        for row in d3.store.rows() {
+            if let Some(&truth) = self.test_labels.get(&row.group) {
+                out.push((truth, self.predictor.predict_row(row), row.group.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// All products of a full framework run.
+pub struct Framework {
+    /// The configuration used.
+    pub config: FrameworkConfig,
+    /// The full campaign telemetry.
+    pub store: TelemetryStore,
+    /// Characterization dataset (Table 1 D1 analog).
+    pub d1: Dataset,
+    /// Training dataset (D2 analog).
+    pub d2: Dataset,
+    /// Test dataset (D3 analog).
+    pub d3: Dataset,
+    /// Historic per-group statistics from D1 (feature source + normalization
+    /// medians).
+    pub history: GroupHistory,
+    /// Ratio-normalization pipeline.
+    pub ratio: NormalizationPipeline,
+    /// Delta-normalization pipeline.
+    pub delta: NormalizationPipeline,
+}
+
+impl Framework {
+    /// Runs the full study.
+    pub fn run(config: FrameworkConfig) -> Self {
+        let mut generator_config = config.generator.clone();
+        // Keep late-starting ("new job") templates inside the campaign.
+        generator_config.window_days_hint = config.campaign.window_days;
+        let generator = WorkloadGenerator::new(generator_config);
+        let cluster = Cluster::new(config.cluster.clone());
+        let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign);
+
+        let [d1_spec, d2_spec, d3_spec] = DatasetSpec::paper_trio(config.campaign.window_days);
+        let d1 = Dataset::assemble(&store, DatasetSpec {
+            min_support: config.characterize_support,
+            ..d1_spec
+        });
+        let d2 = Dataset::assemble(&store, d2_spec);
+        let d3 = Dataset::assemble(&store, d3_spec);
+        let history = GroupHistory::compute(&d1.store);
+
+        let ratio =
+            Self::pipeline(Normalization::Ratio, &config, &store, &d1, &d2, &d3, &history);
+        let delta =
+            Self::pipeline(Normalization::Delta, &config, &store, &d1, &d2, &d3, &history);
+
+        Self {
+            config,
+            store,
+            d1,
+            d2,
+            d3,
+            history,
+            ratio,
+            delta,
+        }
+    }
+
+    fn pipeline(
+        normalization: Normalization,
+        config: &FrameworkConfig,
+        full: &TelemetryStore,
+        d1: &Dataset,
+        d2: &Dataset,
+        d3: &Dataset,
+        history: &GroupHistory,
+    ) -> NormalizationPipeline {
+        let ch_config = CharacterizeConfig {
+            k: config.k,
+            min_support: config.characterize_support,
+            ..CharacterizeConfig::paper(normalization)
+        };
+        let characterization = characterize(&d1.store, &ch_config);
+        let catalog = &characterization.catalog;
+
+        // Labels are anchored to *long-interval* observations (§2, C2/C4:
+        // "we develop the model using the observations of distributions
+        // over a long time interval"): a group's training label uses every
+        // observation up to the end of the training window, and the test
+        // truth uses the group's full observed history. Short-window
+        // re-labeling would make the target itself noisy for groups near a
+        // shape boundary.
+        let upto_train_end: rv_telemetry::TelemetryStore = full
+            .rows_in_window(0.0, d2.spec.to_days * 86_400.0)
+            .into_iter()
+            .cloned()
+            .collect();
+        let train_labels_all = label_groups(catalog, &upto_train_end, history);
+        let test_labels_all = label_groups(catalog, full, history);
+        let train_labels: BTreeMap<JobGroupKey, usize> = d2
+            .store
+            .group_keys()
+            .filter_map(|k| train_labels_all.get(k).map(|&l| (k.clone(), l)))
+            .collect();
+        let test_labels: BTreeMap<JobGroupKey, usize> = d3
+            .store
+            .group_keys()
+            .filter_map(|k| test_labels_all.get(k).map(|&l| (k.clone(), l)))
+            .collect();
+
+        let (predictor, _n_train) = ShapePredictor::train(
+            &d2.store,
+            &train_labels,
+            FeatureExtractor::new(history.clone()),
+            config.k,
+            &config.predictor,
+        );
+
+        // Instance-level evaluation on D3.
+        let mut truth = Vec::new();
+        let mut predicted = Vec::new();
+        for row in d3.store.rows() {
+            if let Some(&label) = test_labels.get(&row.group) {
+                truth.push(label);
+                predicted.push(predictor.predict_row(row));
+            }
+        }
+        assert!(!truth.is_empty(), "no labeled test instances");
+        let test_accuracy = accuracy(&truth, &predicted);
+        let confusion = confusion_matrix(&truth, &predicted, config.k);
+
+        NormalizationPipeline {
+            normalization,
+            characterization,
+            train_labels,
+            test_labels,
+            predictor,
+            test_accuracy,
+            confusion,
+        }
+    }
+
+    /// The pipeline for one normalization.
+    pub fn pipeline_for(&self, normalization: Normalization) -> &NormalizationPipeline {
+        match normalization {
+            Normalization::Ratio => &self.ratio,
+            Normalization::Delta => &self.delta,
+        }
+    }
+
+    /// Table 1 analog: `(name, n_groups, n_instances, support)` per dataset.
+    pub fn dataset_summary(&self) -> Vec<(String, usize, usize, usize)> {
+        [&self.d1, &self.d2, &self.d3]
+            .iter()
+            .map(|d| {
+                (
+                    d.spec.name.clone(),
+                    d.n_groups(),
+                    d.n_instances(),
+                    d.spec.min_support,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One shared small run for all assertions (the run itself is the
+    // expensive part).
+    fn framework() -> &'static Framework {
+        use std::sync::OnceLock;
+        static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+        FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+    }
+
+    #[test]
+    fn datasets_partition_campaign() {
+        let f = framework();
+        let summary = f.dataset_summary();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary[0].0, "D1");
+        // D1 must dominate instance counts (71% of the window, support 20).
+        assert!(summary[0].2 > summary[1].2);
+        assert!(summary[1].2 > 0 && summary[2].2 > 0);
+        assert_eq!(summary[0].3, f.config.characterize_support);
+        assert_eq!(summary[2].3, 3);
+    }
+
+    #[test]
+    fn catalogs_have_k_ranked_shapes() {
+        let f = framework();
+        for pipe in [&f.ratio, &f.delta] {
+            let cat = &pipe.characterization.catalog;
+            assert_eq!(cat.n_shapes(), f.config.k);
+            for i in 1..cat.n_shapes() {
+                assert!(cat.stats(i).iqr() >= cat.stats(i - 1).iqr());
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_beats_chance_substantially() {
+        let f = framework();
+        let chance = 1.0 / f.config.k as f64;
+        assert!(
+            f.ratio.test_accuracy > chance + 0.3,
+            "ratio accuracy {}",
+            f.ratio.test_accuracy
+        );
+        assert!(
+            f.delta.test_accuracy > chance + 0.3,
+            "delta accuracy {}",
+            f.delta.test_accuracy
+        );
+    }
+
+    #[test]
+    fn confusion_matches_accuracy() {
+        let f = framework();
+        assert!((f.ratio.confusion.accuracy() - f.ratio.test_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_cover_test_groups() {
+        let f = framework();
+        assert!(!f.ratio.test_labels.is_empty());
+        for key in f.d3.store.group_keys() {
+            assert!(f.ratio.test_labels.contains_key(key), "unlabeled {key}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # rv-core — the runtime-variation framework
+//!
+//! The paper's contribution (Fig 2), end to end:
+//!
+//! 1. **Characterize** ([`mod@characterize`], [`shapes`]) — normalize each
+//!    recurring job group's runtimes (Ratio and Delta, Definition 4.1),
+//!    histogram them (200 bins with outlier-absorbing edges), smooth, and
+//!    k-means-cluster the PMF vectors into a small catalog of typical
+//!    distribution shapes (Fig 5 / Table 2).
+//! 2. **Assign** ([`likelihood`]) — associate any job group (even with few
+//!    observations) to its most probable shape via the posterior
+//!    log-likelihood of Eq. (9): `argmax_i Σ_h φ_h · log θ^i_h`.
+//! 3. **Predict** ([`predictor`]) — train a classifier (GBDT by default,
+//!    §5.2) that maps compile-time features to the shape; the
+//!    [`regression_baseline`] is the Griffon-style random-forest regressor
+//!    the paper outperforms (Fig 8).
+//! 4. **Explain** ([`explain`]) — Shapley values over the predictor (§6).
+//! 5. **Control** ([`whatif`]) — what-if scenarios (§7): disable spare
+//!    tokens, shift vertices to newer SKUs, equalize machine load; measure
+//!    predicted shape transitions.
+//!
+//! [`scalar_metrics`] reproduces §4.1's critique of medians and COV
+//! (Fig 4), and [`framework`] wires the whole pipeline behind one call.
+//! Operational add-ons: [`risk`] turns predicted shapes into SLO-breach
+//! probabilities (§1's motivating question) and [`monitor`] is a streaming
+//! drift detector flagging groups whose recent runs no longer match their
+//! assigned shape.
+
+pub mod characterize;
+pub mod explain;
+pub mod framework;
+pub mod likelihood;
+pub mod monitor;
+pub mod persist;
+pub mod predictor;
+pub mod regression_baseline;
+pub mod report;
+pub mod risk;
+pub mod scalar_metrics;
+pub mod shapes;
+pub mod whatif;
+
+pub use characterize::{characterize, CharacterizeConfig};
+pub use explain::{explain_shape, ShapeExplanation};
+pub use framework::{Framework, FrameworkConfig};
+pub use likelihood::{assign_group, assign_samples, log_likelihoods};
+pub use monitor::{DriftMonitor, DriftVerdict};
+pub use persist::{read_catalog, write_catalog};
+pub use predictor::{ModelKind, PredictorConfig, ShapePredictor};
+pub use regression_baseline::{compare_distribution_fidelity, FidelityReport, RuntimeRegressor};
+pub use risk::{assess_row, assess_store, breach_probability, RiskAssessment, RiskLevel};
+pub use scalar_metrics::{cov_pairs, median_scatter, stalagmite_stats};
+pub use shapes::{ShapeCatalog, ShapeStats};
+pub use whatif::{Scenario, TransitionMatrix, WhatIfEngine, WhatIfOutcome};
+
+// Re-export the substrate crates so downstream users (examples, benches)
+// need only depend on rv-core.
+pub use rv_cluster;
+pub use rv_learn;
+pub use rv_scope;
+pub use rv_shap;
+pub use rv_sim;
+pub use rv_stats;
+pub use rv_telemetry;

@@ -1,0 +1,252 @@
+//! Posterior-likelihood shape assignment (§5.2, Eqs. 1–9).
+//!
+//! Given a job group's runtime observations and the catalog of `K`
+//! pre-defined shape PMFs `θ^i`, the posterior log-likelihood of cluster
+//! `z_i` is (up to a shared constant, with a non-informative prior):
+//!
+//! ```text
+//! log p(z_i | x_1..x_N) ∝ Σ_n log θ^i_{h(x_n)}      (Eq. 8, counts form)
+//!                       ∝ Σ_h φ_h · log θ^i_h       (Eq. 9, PMF form)
+//! ```
+//!
+//! The counts form (Eq. 8) is *adaptive to sample size*: more observations
+//! sharpen the posterior. The PMF form (Eq. 9) is the sample-size-free dot
+//! product between the group's empirical PMF and the catalog's log-PMFs.
+//! Catalog probabilities are floored at `EPSILON` so empty bins cannot veto
+//! a cluster outright (the paper's smoothed PMFs are implicitly non-zero).
+
+use rv_stats::{Histogram, Pmf};
+
+use crate::shapes::ShapeCatalog;
+
+/// Probability floor applied to catalog bins before taking logs (guards
+/// against degenerate zero bins after mixing).
+pub const EPSILON: f64 = 1e-12;
+
+/// Uniform-mixture weight applied to catalog PMFs before taking logs.
+///
+/// The catalog PMFs are only locally smoothed, so bins far from a shape's
+/// support carry zero mass; with a bare epsilon floor a *single* stray
+/// observation would contribute a ~−20-nat penalty and dominate dozens of
+/// conforming observations, making assignments wildly unstable between
+/// observation windows. Mixing with `α · uniform` caps the penalty a stray
+/// sample can inflict (Laplace smoothing of the catalog, the standard
+/// treatment of zero-probability bins in multinomial likelihoods).
+pub const SMOOTHING_ALPHA: f64 = 0.05;
+
+/// Log of the uniform-mixed catalog bin probabilities for shape `i`.
+fn mixed_log_probs(catalog: &ShapeCatalog, i: usize) -> Vec<f64> {
+    let h = catalog.spec.n_bins as f64;
+    catalog
+        .pmf(i)
+        .probs()
+        .iter()
+        .map(|&p| ((1.0 - SMOOTHING_ALPHA) * p + SMOOTHING_ALPHA / h).max(EPSILON).ln())
+        .collect()
+}
+
+/// Eq. 8: log-likelihood of each catalog shape given raw normalized
+/// observations (scales with `N` — adaptive to sample size).
+pub fn log_likelihoods(catalog: &ShapeCatalog, normalized_samples: &[f64]) -> Vec<f64> {
+    assert!(
+        !normalized_samples.is_empty(),
+        "need at least one observation"
+    );
+    let spec = catalog.spec;
+    let mut counts = vec![0.0f64; spec.n_bins];
+    for &x in normalized_samples {
+        counts[spec.bin_index(x)] += 1.0;
+    }
+    (0..catalog.n_shapes())
+        .map(|i| {
+            let log_theta = mixed_log_probs(catalog, i);
+            counts
+                .iter()
+                .zip(&log_theta)
+                .map(|(&n_h, &lt)| n_h * lt)
+                .sum()
+        })
+        .collect()
+}
+
+/// Eq. 9: log-likelihood of each catalog shape given a group PMF `φ`
+/// (normalized per observation, so independent of sample size).
+pub fn log_likelihoods_pmf(catalog: &ShapeCatalog, phi: &Pmf) -> Vec<f64> {
+    assert_eq!(
+        phi.spec(),
+        catalog.spec,
+        "group PMF must share the catalog bin grid"
+    );
+    (0..catalog.n_shapes())
+        .map(|i| {
+            let log_theta = mixed_log_probs(catalog, i);
+            phi.probs()
+                .iter()
+                .zip(&log_theta)
+                .map(|(&p, &lt)| p * lt)
+                .sum()
+        })
+        .collect()
+}
+
+/// Assigns raw normalized observations to the most likely shape. Returns
+/// `(shape_id, log_likelihoods)`.
+pub fn assign_samples(catalog: &ShapeCatalog, normalized_samples: &[f64]) -> (usize, Vec<f64>) {
+    let lls = log_likelihoods(catalog, normalized_samples);
+    (argmax(&lls), lls)
+}
+
+/// Assigns a group (given its raw runtimes and historic median) to the most
+/// likely shape, normalizing internally.
+pub fn assign_group(
+    catalog: &ShapeCatalog,
+    runtimes: &[f64],
+    historic_median: f64,
+) -> (usize, Vec<f64>) {
+    let normalized = rv_stats::normalize_all(catalog.normalization, runtimes, historic_median);
+    assign_samples(catalog, &normalized)
+}
+
+/// Posterior probabilities over shapes from log-likelihoods (softmax with a
+/// flat prior — Eq. 5 normalized).
+pub fn posterior_probs(log_likelihoods: &[f64]) -> Vec<f64> {
+    let max = log_likelihoods
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut p: Vec<f64> = log_likelihoods.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= sum;
+    }
+    p
+}
+
+/// The empirical PMF of a group's normalized samples on the catalog grid
+/// (the `φ` of Eq. 9) — exposed for Fig 6-style reports.
+pub fn group_pmf(catalog: &ShapeCatalog, normalized_samples: &[f64]) -> Pmf {
+    Histogram::from_samples(catalog.spec, normalized_samples.iter().copied()).to_pmf()
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite log-likelihoods"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_stats::{BinSpec, Normalization};
+
+    use crate::shapes::ShapeStats;
+
+    /// Catalog with a tight shape near ratio 1 and a wide shape.
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        let tight: Vec<f64> = (0..2000).map(|i| 0.97 + (i % 60) as f64 * 0.001).collect();
+        let wide: Vec<f64> = (0..2000).map(|i| 0.3 + (i % 100) as f64 * 0.05).collect();
+        let mk = |samples: &[f64]| {
+            (
+                Histogram::from_samples(spec, samples.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(samples, &spec, 1).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&tight);
+        let (p2, s2) = mk(&wide);
+        ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2])
+    }
+
+    #[test]
+    fn assigns_matching_shape() {
+        let c = catalog();
+        let tight_obs: Vec<f64> = (0..15).map(|i| 0.98 + i as f64 * 0.002).collect();
+        let (shape, lls) = assign_samples(&c, &tight_obs);
+        assert_eq!(shape, 0);
+        assert!(lls[0] > lls[1]);
+
+        let wide_obs: Vec<f64> = (0..15).map(|i| 0.5 + i as f64 * 0.2).collect();
+        let (shape, _) = assign_samples(&c, &wide_obs);
+        assert_eq!(shape, 1);
+    }
+
+    #[test]
+    fn counts_form_scales_with_n() {
+        let c = catalog();
+        let obs: Vec<f64> = vec![1.0; 10];
+        let ll10 = log_likelihoods(&c, &obs);
+        let obs20: Vec<f64> = vec![1.0; 20];
+        let ll20 = log_likelihoods(&c, &obs20);
+        assert!((ll20[0] - 2.0 * ll10[0]).abs() < 1e-6, "adaptive to N");
+    }
+
+    #[test]
+    fn pmf_form_matches_counts_form_up_to_n() {
+        let c = catalog();
+        let obs: Vec<f64> = (0..40).map(|i| 0.9 + i as f64 * 0.005).collect();
+        let counts_ll = log_likelihoods(&c, &obs);
+        let pmf_ll = log_likelihoods_pmf(&c, &group_pmf(&c, &obs));
+        for (a, b) in counts_ll.iter().zip(&pmf_ll) {
+            assert!((a - b * obs.len() as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn assign_group_normalizes_internally() {
+        let c = catalog();
+        // Raw runtimes around 200 s with median 200 → ratios near 1 → tight.
+        let runtimes: Vec<f64> = (0..12).map(|i| 196.0 + i as f64).collect();
+        let (shape, _) = assign_group(&c, &runtimes, 200.0);
+        assert_eq!(shape, 0);
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_orders() {
+        let p = posterior_probs(&[-400.0, -420.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1]);
+        // Extreme gaps do not overflow.
+        let p = posterior_probs(&[-1e6, -10.0]);
+        assert!(p[1] > 0.999);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn outlier_heavy_group_prefers_outlier_shape() {
+        let spec = BinSpec::ratio();
+        let clean: Vec<f64> = vec![1.0; 2000];
+        let mut tailed: Vec<f64> = vec![1.0; 1900];
+        tailed.extend(vec![12.0; 100]); // 5% outliers
+        let mk = |s: &[f64]| {
+            (
+                Histogram::from_samples(spec, s.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(s, &spec, 1).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&clean);
+        let (p2, s2) = mk(&tailed);
+        let c = ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2]);
+        // Find which catalog slot is the tailed shape after IQR ranking.
+        let tailed_idx = (0..2)
+            .max_by(|&a, &b| {
+                c.stats(a)
+                    .outlier_prob
+                    .partial_cmp(&c.stats(b).outlier_prob)
+                    .expect("finite")
+            })
+            .expect("two shapes");
+        // A group with one visible outlier out of 10 runs.
+        let mut obs = vec![1.0; 9];
+        obs.push(15.0);
+        let (shape, _) = assign_samples(&c, &obs);
+        assert_eq!(shape, tailed_idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        log_likelihoods(&catalog(), &[]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Drift monitoring: does a job still follow its assigned shape?
+//!
+//! The paper's opening question (§1): "how likely it is for the next job
+//! run to be an outlier compared to historic runs", and when a job's
+//! behaviour changes, operators want to know *before* the SLO breaks. The
+//! monitor keeps a window of recent normalized runtimes per group and
+//! applies two tests against the catalog:
+//!
+//! 1. **Relative** (likelihood ratio): if the best-scoring shape beats the
+//!    group's assigned shape by more than a threshold (nats per
+//!    observation), the group now follows a *different known* shape.
+//! 2. **Absolute** (goodness of fit): if the assigned shape's realized
+//!    log-likelihood per observation falls far below its *expected* value
+//!    (`Σ_h θ_h · log θ_h`, the negative entropy), the group has moved to a
+//!    region where no catalog shape has mass — e.g. a sudden 2.5× slowdown.
+//!    A pure ratio test is blind there, because every shape scores the same
+//!    floor.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rv_scope::JobGroupKey;
+use rv_stats::normalize;
+
+use crate::likelihood::log_likelihoods;
+use crate::shapes::ShapeCatalog;
+
+/// Verdict for one group at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftVerdict {
+    /// The shape the group is assigned to (being monitored against).
+    pub assigned_shape: usize,
+    /// The shape the recent window most likely follows.
+    pub best_shape: usize,
+    /// Log-likelihood advantage of `best_shape` over `assigned_shape`,
+    /// per observation (nats).
+    pub advantage_per_obs: f64,
+    /// How far the assigned shape's realized fit falls below its expected
+    /// log-likelihood per observation (nats; higher = worse fit).
+    pub fit_deficit_per_obs: f64,
+    /// Whether either drift test fired.
+    pub drifted: bool,
+    /// Observations in the window.
+    pub window_len: usize,
+}
+
+/// Streaming drift monitor over recurring job groups.
+pub struct DriftMonitor {
+    catalog: ShapeCatalog,
+    /// Assigned shape and historic median per monitored group.
+    groups: BTreeMap<JobGroupKey, (usize, f64)>,
+    /// Recent normalized runtimes per group.
+    windows: BTreeMap<JobGroupKey, VecDeque<f64>>,
+    /// Window capacity.
+    window: usize,
+    /// Minimum observations before verdicts are issued.
+    min_obs: usize,
+    /// Relative drift threshold in nats per observation.
+    threshold: f64,
+    /// Absolute (goodness-of-fit) threshold in nats per observation.
+    fit_threshold: f64,
+    /// Expected log-likelihood per observation of each shape under itself
+    /// (negative entropy, with the same mixture smoothing as Eq. 9).
+    expected_fit: Vec<f64>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor over `catalog` with a rolling window of `window`
+    /// observations, requiring `min_obs` before judging, and flagging drift
+    /// when another shape beats the assigned one by `threshold` nats per
+    /// observation.
+    /// The absolute test fires when the realized fit per observation drops
+    /// more than `2 × threshold` nats below the shape's expected fit.
+    pub fn new(catalog: ShapeCatalog, window: usize, min_obs: usize, threshold: f64) -> Self {
+        assert!(window >= 1, "window must hold at least one observation");
+        assert!(min_obs >= 1 && min_obs <= window, "min_obs must fit the window");
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        // Expected per-observation log-likelihood of samples from shape i
+        // scored against shape i: Σ_h θ_h · log θ'_h, exactly the Eq. 9
+        // machinery evaluated on the shape's own PMF.
+        let expected_fit: Vec<f64> = (0..catalog.n_shapes())
+            .map(|i| {
+                crate::likelihood::log_likelihoods_pmf(&catalog, catalog.pmf(i))[i]
+            })
+            .collect();
+        Self {
+            catalog,
+            groups: BTreeMap::new(),
+            windows: BTreeMap::new(),
+            window,
+            min_obs,
+            threshold,
+            fit_threshold: 2.0 * threshold,
+            expected_fit,
+        }
+    }
+
+    /// Registers a group with its assigned shape and historic median.
+    ///
+    /// # Panics
+    /// Panics if the shape is out of catalog range or the median is not
+    /// positive.
+    pub fn track(&mut self, group: JobGroupKey, assigned_shape: usize, historic_median_s: f64) {
+        assert!(
+            assigned_shape < self.catalog.n_shapes(),
+            "shape out of range"
+        );
+        assert!(historic_median_s > 0.0, "median must be positive");
+        self.groups.insert(group.clone(), (assigned_shape, historic_median_s));
+        self.windows.entry(group).or_default();
+    }
+
+    /// Number of tracked groups.
+    pub fn n_tracked(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Feeds one completed run and returns the current verdict (or `None`
+    /// until the window holds `min_obs` observations).
+    ///
+    /// # Panics
+    /// Panics if the group was never [`Self::track`]ed.
+    pub fn observe(&mut self, group: &JobGroupKey, runtime_s: f64) -> Option<DriftVerdict> {
+        let &(assigned, median) = self
+            .groups
+            .get(group)
+            .expect("observe() on an untracked group");
+        let normalized = normalize(self.catalog.normalization, runtime_s, median);
+        let w = self.windows.get_mut(group).expect("tracked group has window");
+        if w.len() == self.window {
+            w.pop_front();
+        }
+        w.push_back(normalized);
+        if w.len() < self.min_obs {
+            return None;
+        }
+        let samples: Vec<f64> = w.iter().copied().collect();
+        let lls = log_likelihoods(&self.catalog, &samples);
+        let best = (0..lls.len())
+            .max_by(|&a, &b| lls[a].partial_cmp(&lls[b]).expect("finite"))
+            .expect("catalog non-empty");
+        let advantage_per_obs = (lls[best] - lls[assigned]) / samples.len() as f64;
+        let fit_deficit_per_obs =
+            self.expected_fit[assigned] - lls[assigned] / samples.len() as f64;
+        let relative_drift = best != assigned && advantage_per_obs > self.threshold;
+        let absolute_drift = fit_deficit_per_obs > self.fit_threshold;
+        Some(DriftVerdict {
+            assigned_shape: assigned,
+            best_shape: best,
+            advantage_per_obs,
+            fit_deficit_per_obs,
+            drifted: relative_drift || absolute_drift,
+            window_len: samples.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_scope::PlanSignature;
+    use rv_stats::{BinSpec, Histogram, Normalization};
+
+    use crate::shapes::ShapeStats;
+
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        let tight: Vec<f64> = (0..2000).map(|i| 0.96 + (i % 80) as f64 * 0.001).collect();
+        let slow: Vec<f64> = (0..2000).map(|i| 1.8 + (i % 80) as f64 * 0.005).collect();
+        let mk = |s: &[f64]| {
+            (
+                Histogram::from_samples(spec, s.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(s, &spec, 1).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&tight);
+        let (p2, s2) = mk(&slow);
+        ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2])
+    }
+
+    fn key() -> JobGroupKey {
+        JobGroupKey::new("pipeline", PlanSignature(1))
+    }
+
+    fn monitor() -> DriftMonitor {
+        let mut m = DriftMonitor::new(catalog(), 12, 5, 0.5);
+        m.track(key(), 0, 100.0);
+        m
+    }
+
+    #[test]
+    fn silent_until_min_obs() {
+        let mut m = monitor();
+        for i in 0..4 {
+            assert!(m.observe(&key(), 100.0 + i as f64 * 0.1).is_none());
+        }
+        assert!(m.observe(&key(), 100.0).is_some());
+    }
+
+    #[test]
+    fn conforming_runs_do_not_drift() {
+        let mut m = monitor();
+        let mut last = None;
+        for i in 0..20 {
+            last = m.observe(&key(), 98.0 + (i % 7) as f64);
+        }
+        let v = last.expect("window full");
+        assert!(!v.drifted, "verdict {v:?}");
+        assert_eq!(v.best_shape, 0);
+        assert_eq!(v.window_len, 12);
+    }
+
+    #[test]
+    fn regime_change_is_detected() {
+        let mut m = monitor();
+        for i in 0..12 {
+            m.observe(&key(), 99.0 + (i % 5) as f64);
+        }
+        // The job starts running ~2x slower (e.g. its input doubled).
+        let mut verdict = None;
+        for i in 0..12 {
+            verdict = m.observe(&key(), 190.0 + (i % 9) as f64);
+        }
+        let v = verdict.expect("window full");
+        assert!(v.drifted, "verdict {v:?}");
+        assert_eq!(v.best_shape, 1);
+        assert!(v.advantage_per_obs > 0.5);
+    }
+
+    #[test]
+    fn window_forgets_old_behaviour() {
+        let mut m = monitor();
+        // Drift, then return to normal for a full window: verdict recovers.
+        for _ in 0..12 {
+            m.observe(&key(), 200.0);
+        }
+        let mut verdict = None;
+        for i in 0..12 {
+            verdict = m.observe(&key(), 99.5 + (i % 3) as f64 * 0.3);
+        }
+        let v = verdict.expect("window full");
+        assert!(!v.drifted, "verdict {v:?}");
+    }
+
+    #[test]
+    fn off_catalog_regime_fires_absolute_test() {
+        // A 4x slowdown lands where NO shape has mass: the ratio test is
+        // blind (all shapes score the uniform floor) but the fit test fires.
+        let mut m = monitor();
+        for i in 0..12 {
+            m.observe(&key(), 99.0 + (i % 5) as f64);
+        }
+        let mut verdict = None;
+        for _ in 0..12 {
+            verdict = m.observe(&key(), 400.0);
+        }
+        let v = verdict.expect("window full");
+        assert!(v.drifted, "verdict {v:?}");
+        assert!(v.fit_deficit_per_obs > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked group")]
+    fn untracked_group_panics() {
+        let mut m = monitor();
+        m.observe(&JobGroupKey::new("other", PlanSignature(2)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape out of range")]
+    fn bad_shape_rejected() {
+        let mut m = monitor();
+        m.track(key(), 99, 100.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Shape-catalog persistence.
+//!
+//! A catalog learned from a long characterization window (the expensive
+//! step: months of telemetry in the paper) is reusable across sessions and
+//! services. This module round-trips a [`ShapeCatalog`] through a compact,
+//! serde-free text format: a header line with the normalization and bin
+//! grid, one stats line per shape, then the PMF rows as sparse
+//! `shape,bin,probability` triples (most of the 200 bins are empty).
+
+use std::io::{BufRead, Write};
+
+use rv_stats::{BinSpec, Normalization, Pmf};
+
+use crate::shapes::{ShapeCatalog, ShapeStats};
+
+/// Writes the catalog.
+pub fn write_catalog<W: Write>(catalog: &ShapeCatalog, out: &mut W) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "catalog,{},{},{},{}",
+        catalog.normalization.name(),
+        catalog.spec.lo,
+        catalog.spec.hi,
+        catalog.spec.n_bins
+    )?;
+    for i in 0..catalog.n_shapes() {
+        let s = catalog.stats(i);
+        writeln!(
+            out,
+            "stats,{i},{},{},{},{},{},{},{}",
+            s.outlier_prob, s.p25, s.p75, s.p95, s.std, s.n_groups, s.n_instances
+        )?;
+    }
+    for i in 0..catalog.n_shapes() {
+        for (b, &p) in catalog.pmf(i).probs().iter().enumerate() {
+            if p > 0.0 {
+                writeln!(out, "pmf,{i},{b},{p}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Catalog parse error.
+#[derive(Debug)]
+pub struct CatalogParseError(pub String);
+
+impl std::fmt::Display for CatalogParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "catalog parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CatalogParseError {}
+
+/// Reads a catalog previously written by [`write_catalog`].
+pub fn read_catalog<R: BufRead>(input: R) -> Result<ShapeCatalog, CatalogParseError> {
+    let err = |m: String| CatalogParseError(m);
+    let mut header: Option<(Normalization, BinSpec)> = None;
+    let mut stats: Vec<(usize, ShapeStats)> = Vec::new();
+    let mut weights: Vec<Vec<f64>> = Vec::new();
+
+    for line in input.lines() {
+        let line = line.map_err(|e| err(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        let pf = |s: &str| -> Result<f64, CatalogParseError> {
+            s.parse().map_err(|_| err(format!("bad float {s:?}")))
+        };
+        let pu = |s: &str| -> Result<usize, CatalogParseError> {
+            s.parse().map_err(|_| err(format!("bad integer {s:?}")))
+        };
+        match fields[0] {
+            "catalog" => {
+                if fields.len() != 5 {
+                    return Err(err("malformed catalog header".into()));
+                }
+                let normalization = match fields[1] {
+                    "Ratio" => Normalization::Ratio,
+                    "Delta" => Normalization::Delta,
+                    other => return Err(err(format!("unknown normalization {other:?}"))),
+                };
+                let spec = BinSpec::new(pf(fields[2])?, pf(fields[3])?, pu(fields[4])?);
+                header = Some((normalization, spec));
+            }
+            "stats" => {
+                if fields.len() != 9 {
+                    return Err(err("malformed stats line".into()));
+                }
+                stats.push((
+                    pu(fields[1])?,
+                    ShapeStats {
+                        outlier_prob: pf(fields[2])?,
+                        p25: pf(fields[3])?,
+                        p75: pf(fields[4])?,
+                        p95: pf(fields[5])?,
+                        std: pf(fields[6])?,
+                        n_groups: pu(fields[7])?,
+                        n_instances: pu(fields[8])?,
+                    },
+                ));
+            }
+            "pmf" => {
+                if fields.len() != 4 {
+                    return Err(err("malformed pmf line".into()));
+                }
+                let (_, spec) = header.ok_or_else(|| err("pmf before header".into()))?;
+                let shape = pu(fields[1])?;
+                let bin = pu(fields[2])?;
+                if bin >= spec.n_bins {
+                    return Err(err(format!("bin {bin} out of range")));
+                }
+                while weights.len() <= shape {
+                    weights.push(vec![0.0; spec.n_bins]);
+                }
+                weights[shape][bin] = pf(fields[3])?;
+            }
+            other => return Err(err(format!("unknown record kind {other:?}"))),
+        }
+    }
+
+    let (normalization, spec) = header.ok_or_else(|| err("missing header".into()))?;
+    if stats.len() != weights.len() || stats.is_empty() {
+        return Err(err(format!(
+            "shape count mismatch: {} stats vs {} pmfs",
+            stats.len(),
+            weights.len()
+        )));
+    }
+    stats.sort_by_key(|&(i, _)| i);
+    let pmfs: Vec<Pmf> = weights
+        .iter()
+        .map(|w| Pmf::from_weights(spec, w))
+        .collect();
+    Ok(ShapeCatalog::new(
+        normalization,
+        spec,
+        pmfs,
+        stats.into_iter().map(|(_, s)| s).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_stats::Histogram;
+
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        let a: Vec<f64> = (0..500).map(|i| 0.9 + (i % 40) as f64 * 0.005).collect();
+        let mut b: Vec<f64> = (0..500).map(|i| 0.5 + (i % 80) as f64 * 0.03).collect();
+        b.extend(vec![12.0; 10]);
+        let mk = |s: &[f64]| {
+            (
+                Histogram::from_samples(spec, s.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(s, &spec, 7).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&a);
+        let (p2, s2) = mk(&b);
+        ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2])
+    }
+
+    #[test]
+    fn round_trip_preserves_catalog() {
+        let c = catalog();
+        let mut buf = Vec::new();
+        write_catalog(&c, &mut buf).expect("write");
+        let restored = read_catalog(std::io::BufReader::new(&buf[..])).expect("parse");
+        assert_eq!(restored.normalization, c.normalization);
+        assert_eq!(restored.spec, c.spec);
+        assert_eq!(restored.n_shapes(), c.n_shapes());
+        for i in 0..c.n_shapes() {
+            assert_eq!(restored.stats(i), c.stats(i));
+            for (a, b) in restored.pmf(i).probs().iter().zip(c.pmf(i).probs()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_identical_after_round_trip() {
+        let c = catalog();
+        let mut buf = Vec::new();
+        write_catalog(&c, &mut buf).expect("write");
+        let restored = read_catalog(std::io::BufReader::new(&buf[..])).expect("parse");
+        let obs: Vec<f64> = vec![0.95, 1.0, 1.02, 0.98, 11.0];
+        let (s1, ll1) = crate::likelihood::assign_samples(&c, &obs);
+        let (s2, ll2) = crate::likelihood::assign_samples(&restored, &obs);
+        assert_eq!(s1, s2);
+        for (a, b) in ll1.iter().zip(&ll2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_catalog(std::io::BufReader::new("nonsense,1,2\n".as_bytes())).is_err());
+        assert!(read_catalog(std::io::BufReader::new("".as_bytes())).is_err());
+        assert!(read_catalog(std::io::BufReader::new(
+            "pmf,0,5,0.5\n".as_bytes()
+        ))
+        .is_err());
+        // Bin out of range.
+        let bad = "catalog,Ratio,0,10,200\nstats,0,0,0,0,0,0,1,1\npmf,0,999,1.0\n";
+        assert!(read_catalog(std::io::BufReader::new(bad.as_bytes())).is_err());
+    }
+}

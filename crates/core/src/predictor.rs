@@ -1,0 +1,434 @@
+//! The shape predictor (§5.2): compile-time features → distribution shape.
+//!
+//! Pipeline, as in the paper: (1) importance-guided feature selection that
+//! drops correlated features, (2) optional hyper-parameter sweep, (3) a
+//! classifier — LightGBM-style GBDT by default, with RandomForest,
+//! GaussianNB, and a soft-voting ensemble available for the model ablation.
+//!
+//! Labels come from the posterior-likelihood assignment ([`label_groups`]):
+//! every group in the training window is associated with the catalog shape
+//! its observed runtimes are most likely drawn from, and each of the
+//! group's instances inherits that label.
+
+use std::collections::BTreeMap;
+
+use rv_learn::{
+    select_features, Classifier, FeatureSelection, GaussianNb, GbdtClassifier, GbdtConfig,
+    RandomForestClassifier, RandomForestConfig, SoftVotingEnsemble,
+};
+use rv_scope::JobGroupKey;
+use rv_telemetry::{FeatureExtractor, GroupHistory, JobTelemetry, TelemetryStore, FEATURE_NAMES};
+
+use crate::likelihood::assign_group;
+use crate::shapes::ShapeCatalog;
+
+/// Which classifier family to fit.
+#[derive(Debug, Clone, Copy)]
+pub enum ModelKind {
+    /// Histogram GBDT (the paper's best model).
+    Gbdt(GbdtConfig),
+    /// Bagged random forest.
+    RandomForest(RandomForestConfig),
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+    /// Soft vote over GBDT + RandomForest + GaussianNB (§5.2's
+    /// `EnsembledClassifier`).
+    Ensemble(GbdtConfig, RandomForestConfig),
+}
+
+impl Default for ModelKind {
+    fn default() -> Self {
+        ModelKind::Gbdt(GbdtConfig::default())
+    }
+}
+
+/// Predictor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Classifier family.
+    pub model: ModelKind,
+    /// Correlation threshold for feature pruning (1.0 disables pruning of
+    /// correlated pairs but still drops zero-importance features).
+    pub max_abs_corr: f64,
+    /// Rounds of the preliminary importance probe.
+    pub probe_rounds: usize,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::default(),
+            max_abs_corr: 0.98,
+            probe_rounds: 15,
+        }
+    }
+}
+
+/// Labels every group in `store` with its most likely catalog shape, using
+/// `history` for normalization medians (falling back to the group's own
+/// in-window median for groups without history).
+pub fn label_groups(
+    catalog: &ShapeCatalog,
+    store: &TelemetryStore,
+    history: &GroupHistory,
+) -> BTreeMap<JobGroupKey, usize> {
+    let mut labels = BTreeMap::new();
+    for key in store.group_keys() {
+        let runtimes = store.group_runtimes(key);
+        if runtimes.is_empty() {
+            continue;
+        }
+        let median = history
+            .median_or(key, &runtimes)
+            .expect("group has runtimes");
+        let (shape, _) = assign_group(catalog, &runtimes, median);
+        labels.insert(key.clone(), shape);
+    }
+    labels
+}
+
+/// A trained shape predictor.
+pub struct ShapePredictor {
+    extractor: FeatureExtractor,
+    selection: FeatureSelection,
+    model: Box<dyn Classifier>,
+    n_shapes: usize,
+    /// Gain importances mapped back to the full schema width.
+    full_importances: Vec<f64>,
+}
+
+impl ShapePredictor {
+    /// Trains on `train` rows whose groups appear in `labels`; rows of
+    /// unlabeled groups are skipped. Returns the predictor and the number of
+    /// training instances used.
+    pub fn train(
+        train: &TelemetryStore,
+        labels: &BTreeMap<JobGroupKey, usize>,
+        extractor: FeatureExtractor,
+        n_shapes: usize,
+        config: &PredictorConfig,
+    ) -> (Self, usize) {
+        assert!(n_shapes >= 2, "need at least two shapes");
+        let mut x_full: Vec<Vec<f64>> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        for row in train.rows() {
+            if let Some(&label) = labels.get(&row.group) {
+                x_full.push(extractor.extract(row));
+                y.push(label);
+            }
+        }
+        assert!(!x_full.is_empty(), "no labeled training rows");
+
+        // Importance probe on the full feature set.
+        let probe = GbdtClassifier::fit(
+            &x_full,
+            &y,
+            n_shapes,
+            &GbdtConfig {
+                n_rounds: config.probe_rounds,
+                ..GbdtConfig::default()
+            },
+        );
+        let probe_importance = probe.feature_importances();
+        let selection = select_features(&x_full, &probe_importance, config.max_abs_corr);
+        let x: Vec<Vec<f64>> = selection.project_all(&x_full);
+
+        let (model, kept_importances): (Box<dyn Classifier>, Vec<f64>) = match config.model {
+            ModelKind::Gbdt(cfg) => {
+                let m = GbdtClassifier::fit(&x, &y, n_shapes, &cfg);
+                let imp = m.feature_importances();
+                (Box::new(m), imp)
+            }
+            ModelKind::RandomForest(cfg) => {
+                let m = RandomForestClassifier::fit(&x, &y, n_shapes, &cfg);
+                let imp = m.feature_importances();
+                (Box::new(m), imp)
+            }
+            ModelKind::NaiveBayes => {
+                let m = GaussianNb::fit(&x, &y, n_shapes);
+                (Box::new(m), vec![0.0; selection.kept.len()])
+            }
+            ModelKind::Ensemble(gcfg, rcfg) => {
+                let g = GbdtClassifier::fit(&x, &y, n_shapes, &gcfg);
+                let imp = g.feature_importances();
+                let r = RandomForestClassifier::fit(&x, &y, n_shapes, &rcfg);
+                let nb = GaussianNb::fit(&x, &y, n_shapes);
+                let e = SoftVotingEnsemble::weighted(
+                    vec![Box::new(g), Box::new(r), Box::new(nb)],
+                    vec![2.0, 1.5, 0.5],
+                );
+                (Box::new(e), imp)
+            }
+        };
+
+        let mut full_importances = vec![0.0; x_full[0].len()];
+        for (slot, &col) in selection.kept.iter().enumerate() {
+            full_importances[col] = kept_importances[slot];
+        }
+
+        let n_train = y.len();
+        (
+            Self {
+                extractor,
+                selection,
+                model,
+                n_shapes,
+                full_importances,
+            },
+            n_train,
+        )
+    }
+
+    /// Full-width feature vector for a row (before selection) — the input
+    /// the what-if engine transforms.
+    pub fn features_of(&self, row: &JobTelemetry) -> Vec<f64> {
+        self.extractor.extract(row)
+    }
+
+    /// Predicts the shape from a full-width feature vector.
+    pub fn predict_features(&self, full_features: &[f64]) -> usize {
+        self.model.predict(&self.selection.project(full_features))
+    }
+
+    /// Shape probabilities from a full-width feature vector.
+    pub fn predict_proba_features(&self, full_features: &[f64]) -> Vec<f64> {
+        self.model
+            .predict_proba(&self.selection.project(full_features))
+    }
+
+    /// Predicts the shape of one telemetry row.
+    pub fn predict_row(&self, row: &JobTelemetry) -> usize {
+        self.predict_features(&self.features_of(row))
+    }
+
+    /// Shape probabilities of one telemetry row.
+    pub fn predict_proba_row(&self, row: &JobTelemetry) -> Vec<f64> {
+        self.predict_proba_features(&self.features_of(row))
+    }
+
+    /// Number of shapes.
+    pub fn n_shapes(&self) -> usize {
+        self.n_shapes
+    }
+
+    /// The feature selection that was applied.
+    pub fn selection(&self) -> &FeatureSelection {
+        &self.selection
+    }
+
+    /// The feature extractor (with its history).
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The underlying classifier (for Shapley explanation on *selected*
+    /// features).
+    pub fn model(&self) -> &dyn Classifier {
+        self.model.as_ref()
+    }
+
+    /// Named gain importances over the full schema, sorted descending,
+    /// zero-importance columns omitted.
+    pub fn importances(&self) -> Vec<(&'static str, f64)> {
+        let mut named: Vec<(&'static str, f64)> = FEATURE_NAMES
+            .iter()
+            .zip(&self.full_importances)
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(&n, &v)| (n, v))
+            .collect();
+        named.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+        named
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_scope::PlanSignature;
+    use rv_stats::{BinSpec, Histogram, Normalization};
+
+    use crate::shapes::ShapeStats;
+
+    /// Two shapes: tight (ratio ≈ 1) and wide; two families of groups whose
+    /// telemetry differs in a visible feature (allocated tokens).
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        let tight: Vec<f64> = (0..2000).map(|i| 0.97 + (i % 60) as f64 * 0.001).collect();
+        let wide: Vec<f64> = (0..2000).map(|i| 0.3 + (i % 100) as f64 * 0.03).collect();
+        let mk = |s: &[f64]| {
+            (
+                Histogram::from_samples(spec, s.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(s, &spec, 1).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&tight);
+        let (p2, s2) = mk(&wide);
+        ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2])
+    }
+
+    fn row(name: &str, seq: u32, runtime: f64, tokens: u32) -> JobTelemetry {
+        JobTelemetry {
+            group: JobGroupKey::new(name, PlanSignature(1)),
+            template_id: 0,
+            seq,
+            submit_time_s: seq as f64 * 100.0,
+            runtime_s: runtime,
+            disrupted: false,
+            operator_counts: vec![1; 18],
+            n_stages: 3,
+            critical_path: 3,
+            total_base_vertices: 10,
+            estimated_rows: 100.0,
+            estimated_cost: 10.0,
+            estimated_input_gb: 1.0,
+            data_read_gb: 1.0,
+            temp_data_gb: 0.2,
+            total_vertices: 10,
+            allocated_tokens: tokens,
+            token_min: 1,
+            token_max: tokens,
+            token_avg: tokens as f64 * 0.7,
+            spare_avg: 0.0,
+            spare_preempted: false,
+            cpu_seconds: 10.0,
+            peak_memory_gb: 0.5,
+            sku_fractions: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            sku_vertex_counts: [10, 0, 0, 0, 0, 0],
+            sku_util_mean: [0.5; 6],
+            sku_util_std: [0.1; 6],
+            cluster_load: 0.5,
+            spare_fraction: 0.2,
+        }
+    }
+
+    fn training_store() -> TelemetryStore {
+        let mut store = TelemetryStore::new();
+        for g in 0..6 {
+            for s in 0..20u32 {
+                // Tight groups: runtime 100±1, 64 tokens.
+                let jitter = ((s * 13 + g * 7) % 20) as f64 / 10.0 - 1.0;
+                store.push(row(&format!("tight-{g}"), s, 100.0 + jitter, 64));
+                // Wide groups: runtime 40..160, 8 tokens.
+                let spread = 40.0 + ((s * 31 + g * 17) % 40) as f64 * 3.0;
+                store.push(row(&format!("wide-{g}"), s, spread, 8));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn labels_follow_observed_shape() {
+        let store = training_store();
+        let history = GroupHistory::compute(&store);
+        let labels = label_groups(&catalog(), &store, &history);
+        assert_eq!(labels.len(), 12);
+        for (key, &label) in &labels {
+            let expected = usize::from(!key.normalized_name.starts_with("tight"));
+            assert_eq!(label, expected, "group {key}");
+        }
+    }
+
+    #[test]
+    fn trains_and_generalizes() {
+        let store = training_store();
+        let history = GroupHistory::compute(&store);
+        let labels = label_groups(&catalog(), &store, &history);
+        let (predictor, n) = ShapePredictor::train(
+            &store,
+            &labels,
+            FeatureExtractor::new(history),
+            2,
+            &PredictorConfig::default(),
+        );
+        assert_eq!(n, 240);
+        // Predict on fresh rows of the same groups.
+        let tight_probe = row("tight-0", 99, 100.5, 64);
+        let wide_probe = row("wide-0", 99, 80.0, 8);
+        assert_eq!(predictor.predict_row(&tight_probe), 0);
+        assert_eq!(predictor.predict_row(&wide_probe), 1);
+        let p = predictor.predict_proba_row(&tight_probe);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importances_are_named_and_positive() {
+        let store = training_store();
+        let history = GroupHistory::compute(&store);
+        let labels = label_groups(&catalog(), &store, &history);
+        let (predictor, _) = ShapePredictor::train(
+            &store,
+            &labels,
+            FeatureExtractor::new(history),
+            2,
+            &PredictorConfig::default(),
+        );
+        let imps = predictor.importances();
+        assert!(!imps.is_empty());
+        for (name, v) in &imps {
+            assert!(FEATURE_NAMES.contains(name));
+            assert!(*v > 0.0);
+        }
+        // Sorted descending.
+        for w in imps.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn model_kinds_all_train() {
+        let store = training_store();
+        let history = GroupHistory::compute(&store);
+        let labels = label_groups(&catalog(), &store, &history);
+        let kinds = [
+            ModelKind::Gbdt(GbdtConfig {
+                n_rounds: 10,
+                ..Default::default()
+            }),
+            ModelKind::RandomForest(RandomForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            }),
+            ModelKind::NaiveBayes,
+            ModelKind::Ensemble(
+                GbdtConfig {
+                    n_rounds: 8,
+                    ..Default::default()
+                },
+                RandomForestConfig {
+                    n_trees: 8,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for kind in kinds {
+            let (predictor, _) = ShapePredictor::train(
+                &store,
+                &labels,
+                FeatureExtractor::new(GroupHistory::compute(&store)),
+                2,
+                &PredictorConfig {
+                    model: kind,
+                    ..Default::default()
+                },
+            );
+            let probe = row("tight-0", 50, 100.0, 64);
+            let shape = predictor.predict_row(&probe);
+            assert!(shape < 2);
+            let _ = labels.len();
+            let _ = &history;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no labeled training rows")]
+    fn empty_training_panics() {
+        let store = TelemetryStore::new();
+        ShapePredictor::train(
+            &store,
+            &BTreeMap::new(),
+            FeatureExtractor::new(GroupHistory::default()),
+            2,
+            &PredictorConfig::default(),
+        );
+    }
+}

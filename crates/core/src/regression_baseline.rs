@@ -1,0 +1,152 @@
+//! The Griffon-style regression baseline and the Fig 8 comparison.
+//!
+//! §5.2 extends the random-forest regression model of Griffon \[65\] "by
+//! adding more query optimizer and near-real-time machine status information
+//! as features to predict the job runtime as the label", then shows that the
+//! proposed classification approach reproduces the *distribution* of
+//! runtimes better — especially the high percentiles where outliers live —
+//! measured by Q–Q mean absolute error and Kolmogorov–Smirnov distance.
+//!
+//! The comparison runs in *normalized-runtime* space (runtime over/minus the
+//! group's historic median, matching the paper's normalized axes): a point
+//! regressor necessarily concentrates each group's predicted mass at its
+//! conditional mean, so it cannot reproduce the within-group spread or the
+//! rare-outlier tail; the classification approach samples from the predicted
+//! shape PMF and can.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rv_learn::{RandomForestConfig, RandomForestRegressor, Regressor};
+use rv_stats::{ks_distance, qq_mae, qq_tail_mae};
+use rv_telemetry::{FeatureExtractor, JobTelemetry, TelemetryStore};
+
+use crate::shapes::ShapeCatalog;
+use crate::predictor::ShapePredictor;
+
+/// A random-forest runtime regressor over the same feature schema as the
+/// shape predictor (log-runtime target for numeric stability, as is
+/// standard for heavy-tailed latencies).
+pub struct RuntimeRegressor {
+    extractor: FeatureExtractor,
+    model: RandomForestRegressor,
+}
+
+impl RuntimeRegressor {
+    /// Trains on every row of `train`.
+    pub fn train(
+        train: &TelemetryStore,
+        extractor: FeatureExtractor,
+        config: &RandomForestConfig,
+    ) -> Self {
+        assert!(!train.is_empty(), "need training rows");
+        let x: Vec<Vec<f64>> = train.rows().iter().map(|r| extractor.extract(r)).collect();
+        let y: Vec<f64> = train.rows().iter().map(|r| r.runtime_s.ln_1p()).collect();
+        let model = RandomForestRegressor::fit(&x, &y, config);
+        Self { extractor, model }
+    }
+
+    /// Predicted runtime (seconds) for one row.
+    pub fn predict_row(&self, row: &JobTelemetry) -> f64 {
+        self.model.predict(&self.extractor.extract(row)).exp_m1().max(0.0)
+    }
+}
+
+/// The Fig 8 report: distribution fidelity of the two approaches, in
+/// normalized-runtime units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityReport {
+    /// Q–Q MAE of the regression baseline against actual runtimes.
+    pub qq_mae_regression: f64,
+    /// Q–Q MAE of the proposed classification approach.
+    pub qq_mae_classification: f64,
+    /// Q–Q MAE restricted to the ≥90th percentile (the outlier region).
+    pub tail_mae_regression: f64,
+    /// Tail Q–Q MAE of the classification approach.
+    pub tail_mae_classification: f64,
+    /// KS distance of the regression baseline.
+    pub ks_regression: f64,
+    /// KS distance of the classification approach.
+    pub ks_classification: f64,
+}
+
+impl FidelityReport {
+    /// Relative KS reduction of classification vs regression, in percent
+    /// (the paper reports 9.2%).
+    pub fn ks_reduction_pct(&self) -> f64 {
+        if self.ks_regression == 0.0 {
+            0.0
+        } else {
+            (self.ks_regression - self.ks_classification) / self.ks_regression * 100.0
+        }
+    }
+}
+
+/// Materializes both predicted runtime distributions over the test set and
+/// compares them to the actual distribution (Fig 8).
+///
+/// For the classification approach each test row contributes one sample:
+/// draw a normalized runtime from the row's *predicted* shape PMF and
+/// denormalize it with the group's historic median (falling back to the
+/// group's in-window median).
+pub fn compare_distribution_fidelity(
+    test: &TelemetryStore,
+    predictor: &ShapePredictor,
+    catalog: &ShapeCatalog,
+    regressor: &RuntimeRegressor,
+    seed: u64,
+) -> FidelityReport {
+    assert!(!test.is_empty(), "need test rows");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut actual = Vec::with_capacity(test.len());
+    let mut reg_pred = Vec::with_capacity(test.len());
+    let mut cls_pred = Vec::with_capacity(test.len());
+
+    for row in test.rows() {
+        let median = predictor
+            .extractor()
+            .history()
+            .median_or(&row.group, &test.group_runtimes(&row.group))
+            .expect("group has runtimes");
+        // Everything is compared in normalized-runtime units.
+        let norm = |runtime: f64| rv_stats::normalize(catalog.normalization, runtime, median);
+        actual.push(norm(row.runtime_s));
+        reg_pred.push(norm(regressor.predict_row(row)));
+        let shape = predictor.predict_row(row);
+        cls_pred.push(catalog.sample_normalized(shape, &mut rng));
+    }
+
+    let n_points = 200.min(actual.len());
+    FidelityReport {
+        qq_mae_regression: qq_mae(&actual, &reg_pred, n_points).expect("non-empty"),
+        qq_mae_classification: qq_mae(&actual, &cls_pred, n_points).expect("non-empty"),
+        tail_mae_regression: qq_tail_mae(&actual, &reg_pred, n_points, 0.9).expect("non-empty"),
+        tail_mae_classification: qq_tail_mae(&actual, &cls_pred, n_points, 0.9)
+            .expect("non-empty"),
+        ks_regression: ks_distance(&actual, &reg_pred).expect("non-empty"),
+        ks_classification: ks_distance(&actual, &cls_pred).expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ks_reduction_math() {
+        let r = FidelityReport {
+            qq_mae_regression: 2.0,
+            qq_mae_classification: 1.0,
+            tail_mae_regression: 5.0,
+            tail_mae_classification: 2.0,
+            ks_regression: 0.5,
+            ks_classification: 0.45,
+        };
+        assert!((r.ks_reduction_pct() - 10.0).abs() < 1e-9);
+        let z = FidelityReport {
+            ks_regression: 0.0,
+            ..r
+        };
+        assert_eq!(z.ks_reduction_pct(), 0.0);
+    }
+}

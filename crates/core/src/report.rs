@@ -1,0 +1,126 @@
+//! Report helpers: CSV writing and aligned text tables for the experiment
+//! harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes rows of `f64` columns (with a header) as CSV.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let mut first = true;
+        for v in row {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+            first = false;
+        }
+        out.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Writes pre-formatted string records as CSV (caller handles quoting).
+pub fn write_csv_records(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Renders an aligned text table with a header row.
+pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "{:>width$}  ", h, width = widths[i]);
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("rv-core-report-test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], vec![vec![1.0, 2.5], vec![3.0, 4.0]]).expect("write");
+        let content = fs::read_to_string(&path).expect("read");
+        assert_eq!(content, "a,b\n1,2.5\n3,4\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn records_csv() {
+        let dir = std::env::temp_dir().join("rv-core-report-test2");
+        let path = dir.join("r.csv");
+        write_csv_records(
+            &path,
+            &["name", "v"],
+            vec![vec!["x".to_string(), "1".to_string()]],
+        )
+        .expect("write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "name,v\nx,1\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = text_table(
+            &["id", "value"],
+            &[
+                vec!["1".into(), "10.5".into()],
+                vec!["22".into(), "3".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("id"));
+        assert!(lines[1].ends_with("10.5  "));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_table_panics() {
+        text_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

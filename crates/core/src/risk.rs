@@ -1,0 +1,173 @@
+//! SLO risk assessment from predicted runtime distributions.
+//!
+//! The paper's §1 motivation: pipelines have strong data dependencies, so
+//! operators need "the probability that a job runtime may exceed an extreme
+//! value". A predicted *distribution* answers that directly where a point
+//! estimate cannot: read the breach probability off the predicted shape's
+//! PMF.
+
+use rv_telemetry::{JobTelemetry, TelemetryStore};
+
+use crate::predictor::ShapePredictor;
+use crate::shapes::ShapeCatalog;
+
+/// Risk severity bands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RiskLevel {
+    /// Breach probability below 2%.
+    Low,
+    /// Breach probability in `[2%, 10%)`.
+    Medium,
+    /// Breach probability of 10% or more.
+    High,
+}
+
+impl RiskLevel {
+    /// Bands a breach probability.
+    pub fn from_probability(p: f64) -> Self {
+        if p >= 0.10 {
+            RiskLevel::High
+        } else if p >= 0.02 {
+            RiskLevel::Medium
+        } else {
+            RiskLevel::Low
+        }
+    }
+}
+
+impl std::fmt::Display for RiskLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RiskLevel::Low => "low",
+            RiskLevel::Medium => "medium",
+            RiskLevel::High => "high",
+        })
+    }
+}
+
+/// One job's SLO risk assessment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskAssessment {
+    /// The predicted shape.
+    pub shape: usize,
+    /// Probability that the normalized runtime breaches the threshold.
+    pub breach_probability: f64,
+    /// Banded severity.
+    pub level: RiskLevel,
+    /// The shape's outlier probability (≥10× / ≥+900 s, per footnote 3).
+    pub outlier_probability: f64,
+}
+
+/// Probability mass of `shape`'s PMF at or above `threshold` (in normalized
+/// units: a ratio for Ratio catalogs, seconds-over-median for Delta).
+pub fn breach_probability(catalog: &ShapeCatalog, shape: usize, threshold: f64) -> f64 {
+    let pmf = catalog.pmf(shape);
+    let spec = catalog.spec;
+    pmf.probs()
+        .iter()
+        .enumerate()
+        // A bin contributes if any part of it lies at/above the threshold.
+        .filter(|(b, _)| spec.bin_lo(*b) + spec.bin_width() > threshold)
+        .map(|(_, &p)| p)
+        .sum()
+}
+
+/// Assesses one telemetry row against an SLO threshold in normalized units.
+pub fn assess_row(
+    predictor: &ShapePredictor,
+    catalog: &ShapeCatalog,
+    row: &JobTelemetry,
+    threshold: f64,
+) -> RiskAssessment {
+    let shape = predictor.predict_row(row);
+    let breach = breach_probability(catalog, shape, threshold);
+    RiskAssessment {
+        shape,
+        breach_probability: breach,
+        level: RiskLevel::from_probability(breach),
+        outlier_probability: catalog.stats(shape).outlier_prob,
+    }
+}
+
+/// Assesses every group in `store` (one representative row per group) and
+/// returns `(group name, assessment)` sorted by descending breach
+/// probability.
+pub fn assess_store(
+    predictor: &ShapePredictor,
+    catalog: &ShapeCatalog,
+    store: &TelemetryStore,
+    threshold: f64,
+) -> Vec<(String, RiskAssessment)> {
+    let mut out = Vec::new();
+    for key in store.group_keys() {
+        if let Some(row) = store.group_rows(key).first() {
+            out.push((
+                key.normalized_name.clone(),
+                assess_row(predictor, catalog, row, threshold),
+            ));
+        }
+    }
+    out.sort_by(|a, b| {
+        b.1.breach_probability
+            .partial_cmp(&a.1.breach_probability)
+            .expect("finite probabilities")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_stats::{BinSpec, Histogram, Normalization};
+
+    use crate::shapes::ShapeStats;
+
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        // Shape A: all mass near 1.0 — never breaches 2x.
+        let tight: Vec<f64> = vec![1.0; 1000];
+        // Shape B: 20% of mass at 3x.
+        let mut risky: Vec<f64> = vec![1.0; 800];
+        risky.extend(vec![3.0; 200]);
+        let mk = |s: &[f64]| {
+            (
+                Histogram::from_samples(spec, s.iter().copied()).to_pmf(),
+                ShapeStats::from_samples(s, &spec, 1).expect("non-empty"),
+            )
+        };
+        let (p1, s1) = mk(&tight);
+        let (p2, s2) = mk(&risky);
+        ShapeCatalog::new(Normalization::Ratio, spec, vec![p1, p2], vec![s1, s2])
+    }
+
+    #[test]
+    fn breach_probability_reads_the_tail() {
+        let c = catalog();
+        assert!(breach_probability(&c, 0, 2.0) < 1e-9);
+        let b = breach_probability(&c, 1, 2.0);
+        assert!((b - 0.2).abs() < 1e-9, "breach {b}");
+        // Threshold below all mass → everything breaches.
+        assert!((breach_probability(&c, 0, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_straddling_the_threshold_count() {
+        let c = catalog();
+        // Mass sits in the bin [1.0, 1.05); a threshold of 1.02 cuts
+        // through the bin, which must still be counted (conservative).
+        assert!(breach_probability(&c, 0, 1.02) > 0.99);
+        // Just past the bin's upper edge it stops counting.
+        assert!(breach_probability(&c, 0, 1.051) < 1e-9);
+    }
+
+    #[test]
+    fn levels_band_correctly() {
+        assert_eq!(RiskLevel::from_probability(0.0), RiskLevel::Low);
+        assert_eq!(RiskLevel::from_probability(0.019), RiskLevel::Low);
+        assert_eq!(RiskLevel::from_probability(0.02), RiskLevel::Medium);
+        assert_eq!(RiskLevel::from_probability(0.0999), RiskLevel::Medium);
+        assert_eq!(RiskLevel::from_probability(0.1), RiskLevel::High);
+        assert_eq!(RiskLevel::from_probability(1.0), RiskLevel::High);
+        assert!(RiskLevel::Low < RiskLevel::High);
+    }
+}

@@ -1,0 +1,182 @@
+//! §4.1: why scalar metrics fail — the Fig 4 analyses.
+//!
+//! * [`median_scatter`] pairs every test-window run with its group's
+//!   historic median (Fig 4a). Points split into the *diagonal* (runs near
+//!   their median) and the *stalagmite* (rare runs far above it).
+//! * [`cov_pairs`] pairs each group's historic COV with the COV of its
+//!   later observations (Fig 4b): historic COV is a poor predictor of
+//!   future COV.
+
+use rv_stats::coefficient_of_variation;
+use rv_telemetry::{GroupHistory, TelemetryStore};
+
+/// One Fig 4a point: `(historic_median_s, instance_runtime_s)`.
+pub fn median_scatter(test: &TelemetryStore, history: &GroupHistory) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(test.len());
+    for row in test.rows() {
+        if let Some(h) = history.get(&row.group) {
+            out.push((h.median_runtime_s, row.runtime_s));
+        }
+    }
+    out
+}
+
+/// Summary of the diagonal-vs-stalagmite split of a Fig 4a scatter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalagmiteStats {
+    /// Total points considered.
+    pub n_points: usize,
+    /// Points on the stalagmite: runtime at least `threshold ×` the median.
+    pub n_stalagmite: usize,
+    /// The ratio threshold used.
+    pub threshold: f64,
+}
+
+impl StalagmiteStats {
+    /// Fraction of runs on the stalagmite (the paper reports <5%).
+    pub fn fraction(&self) -> f64 {
+        if self.n_points == 0 {
+            0.0
+        } else {
+            self.n_stalagmite as f64 / self.n_points as f64
+        }
+    }
+}
+
+/// Classifies Fig 4a points into diagonal vs stalagmite at `threshold ×`
+/// the historic median.
+pub fn stalagmite_stats(scatter: &[(f64, f64)], threshold: f64) -> StalagmiteStats {
+    assert!(threshold > 1.0, "threshold must exceed 1");
+    let n_stalagmite = scatter
+        .iter()
+        .filter(|&&(median, runtime)| median > 0.0 && runtime >= threshold * median)
+        .count();
+    StalagmiteStats {
+        n_points: scatter.len(),
+        n_stalagmite,
+        threshold,
+    }
+}
+
+/// One Fig 4b point per group: `(historic_cov, observed_cov)` — the COV of
+/// the group's history vs the COV over its rows in `test`. Groups lacking
+/// history, with fewer than `min_runs` test rows, or with undefined COV are
+/// skipped.
+pub fn cov_pairs(test: &TelemetryStore, history: &GroupHistory, min_runs: usize) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for key in test.group_keys() {
+        let runtimes = test.group_runtimes(key);
+        if runtimes.len() < min_runs {
+            continue;
+        }
+        let Some(h) = history.get(key) else { continue };
+        if h.mean_runtime_s <= 0.0 {
+            continue;
+        }
+        let hist_cov = h.runtime_std_s / h.mean_runtime_s;
+        let Some(obs_cov) = coefficient_of_variation(&runtimes) else {
+            continue;
+        };
+        out.push((hist_cov, obs_cov));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_scope::{JobGroupKey, PlanSignature};
+    use rv_telemetry::JobTelemetry;
+
+    fn row(name: &str, seq: u32, runtime: f64) -> JobTelemetry {
+        JobTelemetry {
+            group: JobGroupKey::new(name, PlanSignature(3)),
+            template_id: 0,
+            seq,
+            submit_time_s: seq as f64,
+            runtime_s: runtime,
+            disrupted: false,
+            operator_counts: vec![0; 18],
+            n_stages: 1,
+            critical_path: 1,
+            total_base_vertices: 1,
+            estimated_rows: 1.0,
+            estimated_cost: 1.0,
+            estimated_input_gb: 1.0,
+            data_read_gb: 1.0,
+            temp_data_gb: 0.1,
+            total_vertices: 1,
+            allocated_tokens: 1,
+            token_min: 1,
+            token_max: 1,
+            token_avg: 1.0,
+            spare_avg: 0.0,
+            spare_preempted: false,
+            cpu_seconds: 10.0,
+            peak_memory_gb: 0.5,
+            sku_fractions: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            sku_vertex_counts: [1, 0, 0, 0, 0, 0],
+            sku_util_mean: [0.5; 6],
+            sku_util_std: [0.1; 6],
+            cluster_load: 0.5,
+            spare_fraction: 0.2,
+        }
+    }
+
+    fn history_store() -> TelemetryStore {
+        (0..10).map(|s| row("g", s, 100.0 + s as f64)).collect()
+    }
+
+    #[test]
+    fn scatter_pairs_median_with_runs() {
+        let history = GroupHistory::compute(&history_store());
+        let test: TelemetryStore = vec![row("g", 20, 105.0), row("g", 21, 600.0)]
+            .into_iter()
+            .collect();
+        let scatter = median_scatter(&test, &history);
+        assert_eq!(scatter.len(), 2);
+        assert!((scatter[0].0 - 104.5).abs() < 1e-9);
+        assert_eq!(scatter[1].1, 600.0);
+    }
+
+    #[test]
+    fn stalagmite_detection() {
+        let scatter = vec![(100.0, 101.0), (100.0, 98.0), (100.0, 550.0), (100.0, 99.0)];
+        let s = stalagmite_stats(&scatter, 5.0);
+        assert_eq!(s.n_points, 4);
+        assert_eq!(s.n_stalagmite, 1);
+        assert!((s.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_groups_skipped() {
+        let history = GroupHistory::compute(&history_store());
+        let test: TelemetryStore = vec![row("other", 0, 50.0)].into_iter().collect();
+        assert!(median_scatter(&test, &history).is_empty());
+        assert!(cov_pairs(&test, &history, 1).is_empty());
+    }
+
+    #[test]
+    fn cov_pairs_computed_per_group() {
+        let history = GroupHistory::compute(&history_store());
+        let test: TelemetryStore = (0..5).map(|s| row("g", 20 + s, 100.0 + s as f64 * 10.0)).collect();
+        let pairs = cov_pairs(&test, &history, 3);
+        assert_eq!(pairs.len(), 1);
+        let (hist_cov, obs_cov) = pairs[0];
+        assert!(hist_cov > 0.0 && hist_cov < 0.1);
+        assert!(obs_cov > hist_cov, "test window was more variable");
+    }
+
+    #[test]
+    fn min_runs_filter() {
+        let history = GroupHistory::compute(&history_store());
+        let test: TelemetryStore = vec![row("g", 20, 100.0)].into_iter().collect();
+        assert!(cov_pairs(&test, &history, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must exceed 1")]
+    fn bad_threshold_panics() {
+        stalagmite_stats(&[], 0.5);
+    }
+}

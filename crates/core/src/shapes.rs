@@ -1,0 +1,270 @@
+//! The shape catalog: typical runtime distributions and their statistics.
+//!
+//! A [`ShapeCatalog`] is the output of the clustering analysis (Fig 5): `K`
+//! reference PMFs over the shared normalized-runtime bin grid, one per
+//! cluster, plus the Table 2 statistics (outlier probability, 25–75th
+//! percentile gap, 95th percentile, standard deviation) computed from the
+//! pooled normalized samples of each cluster's member groups. Clusters are
+//! ranked by their interquartile gap, matching the paper's presentation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use rv_stats::{BinSpec, Normalization, Pmf, Summary};
+
+/// Table 2 statistics for one shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeStats {
+    /// Probability mass in the upper outlier bin (≥10× the median for
+    /// Ratio, ≥900 s over the median for Delta).
+    pub outlier_prob: f64,
+    /// 25th percentile of the normalized runtime.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// Number of job groups assigned to this shape during characterization.
+    pub n_groups: usize,
+    /// Number of job instances pooled into the statistics.
+    pub n_instances: usize,
+}
+
+impl ShapeStats {
+    /// The 25–75th percentile gap the paper ranks clusters by.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// Computes stats from pooled normalized samples.
+    pub fn from_samples(samples: &[f64], spec: &BinSpec, n_groups: usize) -> Option<Self> {
+        let summary = Summary::compute(samples)?;
+        let outliers = samples
+            .iter()
+            .filter(|&&v| v.is_nan() || v >= spec.hi)
+            .count();
+        Some(Self {
+            outlier_prob: outliers as f64 / samples.len() as f64,
+            p25: summary.p25,
+            p75: summary.p75,
+            p95: summary.p95,
+            std: summary.std_dev,
+            n_groups,
+            n_instances: samples.len(),
+        })
+    }
+}
+
+/// A catalog of typical normalized-runtime distribution shapes.
+#[derive(Debug, Clone)]
+pub struct ShapeCatalog {
+    /// Which normalization the catalog describes.
+    pub normalization: Normalization,
+    /// The shared histogram grid.
+    pub spec: BinSpec,
+    /// Reference PMFs, one per shape, ranked by IQR ascending.
+    pmfs: Vec<Pmf>,
+    /// Table 2 statistics per shape (same order as `pmfs`).
+    stats: Vec<ShapeStats>,
+}
+
+impl ShapeCatalog {
+    /// Builds a catalog from per-shape PMFs and statistics; shapes are
+    /// re-ranked by IQR ascending (the paper's cluster ordering).
+    ///
+    /// # Panics
+    /// Panics if lengths disagree, the catalog is empty, or any PMF uses a
+    /// different bin spec.
+    pub fn new(
+        normalization: Normalization,
+        spec: BinSpec,
+        pmfs: Vec<Pmf>,
+        stats: Vec<ShapeStats>,
+    ) -> Self {
+        assert_eq!(pmfs.len(), stats.len(), "pmf/stat count mismatch");
+        assert!(!pmfs.is_empty(), "catalog must have at least one shape");
+        assert!(
+            pmfs.iter().all(|p| p.spec() == spec),
+            "all shape PMFs must share the catalog bin spec"
+        );
+        let mut order: Vec<usize> = (0..pmfs.len()).collect();
+        order.sort_by(|&a, &b| {
+            stats[a]
+                .iqr()
+                .partial_cmp(&stats[b].iqr())
+                .expect("finite IQRs")
+                .then(a.cmp(&b))
+        });
+        let pmfs = order.iter().map(|&i| pmfs[i].clone()).collect();
+        let stats = order.iter().map(|&i| stats[i]).collect();
+        Self {
+            normalization,
+            spec,
+            pmfs,
+            stats,
+        }
+    }
+
+    /// Number of shapes (the paper's `K = 8`).
+    pub fn n_shapes(&self) -> usize {
+        self.pmfs.len()
+    }
+
+    /// Reference PMF of shape `i`.
+    pub fn pmf(&self, i: usize) -> &Pmf {
+        &self.pmfs[i]
+    }
+
+    /// All reference PMFs, IQR-ranked.
+    pub fn pmfs(&self) -> &[Pmf] {
+        &self.pmfs
+    }
+
+    /// Statistics of shape `i`.
+    pub fn stats(&self, i: usize) -> &ShapeStats {
+        &self.stats[i]
+    }
+
+    /// All statistics, IQR-ranked.
+    pub fn all_stats(&self) -> &[ShapeStats] {
+        &self.stats
+    }
+
+    /// Samples a normalized runtime from shape `i` (bin sampled by PMF
+    /// weight, position uniform within the bin). Used to materialize
+    /// predicted runtime distributions for the Fig 8 comparison.
+    pub fn sample_normalized(&self, i: usize, rng: &mut SmallRng) -> f64 {
+        let pmf = &self.pmfs[i];
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut cum = 0.0;
+        let mut bin = pmf.probs().len() - 1;
+        for (b, &p) in pmf.probs().iter().enumerate() {
+            cum += p;
+            if u < cum {
+                bin = b;
+                break;
+            }
+        }
+        let lo = self.spec.bin_lo(bin);
+        rng.gen_range(lo..lo + self.spec.bin_width())
+    }
+
+    /// Converts a normalized sample back to a raw runtime given the group's
+    /// historic median (the inverse of Definition 4.1), floored at zero.
+    pub fn denormalize(&self, normalized: f64, historic_median: f64) -> f64 {
+        match self.normalization {
+            Normalization::Ratio => (normalized * historic_median).max(0.0),
+            Normalization::Delta => (normalized + historic_median).max(0.0),
+        }
+    }
+
+    /// Renders the Table 2 block for this catalog.
+    pub fn to_table(&self) -> String {
+        let unit = match self.normalization {
+            Normalization::Ratio => "",
+            Normalization::Delta => " (s)",
+        };
+        let mut out = format!(
+            "{} normalization: cid | outlier(%) | 25-75th{unit} | 95th{unit} | std{unit} | groups\n",
+            self.normalization
+        );
+        for (i, s) in self.stats.iter().enumerate() {
+            out.push_str(&format!(
+                "{i:>3} | {:>9.2} | {:>8.2} | {:>7.2} | {:>7.2} | {:>6}\n",
+                s.outlier_prob * 100.0,
+                s.iqr(),
+                s.p95,
+                s.std,
+                s.n_groups
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rv_stats::Histogram;
+
+    fn catalog() -> ShapeCatalog {
+        let spec = BinSpec::ratio();
+        // Shape A: tight around 1.0; Shape B: wide.
+        let tight: Vec<f64> = (0..1000).map(|i| 0.95 + (i % 100) as f64 * 0.001).collect();
+        let wide: Vec<f64> = (0..1000).map(|i| 0.5 + (i % 100) as f64 * 0.02).collect();
+        let pmf_a = Histogram::from_samples(spec, tight.iter().copied()).to_pmf();
+        let pmf_b = Histogram::from_samples(spec, wide.iter().copied()).to_pmf();
+        let stats_a = ShapeStats::from_samples(&tight, &spec, 10).expect("non-empty");
+        let stats_b = ShapeStats::from_samples(&wide, &spec, 5).expect("non-empty");
+        // Deliberately pass the wide shape first: ranking must reorder.
+        ShapeCatalog::new(
+            Normalization::Ratio,
+            spec,
+            vec![pmf_b, pmf_a],
+            vec![stats_b, stats_a],
+        )
+    }
+
+    #[test]
+    fn shapes_ranked_by_iqr() {
+        let c = catalog();
+        assert_eq!(c.n_shapes(), 2);
+        assert!(c.stats(0).iqr() <= c.stats(1).iqr());
+        // The tight shape must now be first.
+        assert!(c.stats(0).iqr() < 0.1);
+    }
+
+    #[test]
+    fn stats_from_samples_outliers() {
+        let spec = BinSpec::ratio();
+        let mut samples = vec![1.0; 98];
+        samples.push(15.0);
+        samples.push(20.0);
+        let s = ShapeStats::from_samples(&samples, &spec, 1).expect("non-empty");
+        assert!((s.outlier_prob - 0.02).abs() < 1e-9);
+        assert_eq!(s.n_instances, 100);
+    }
+
+    #[test]
+    fn sampling_matches_shape() {
+        let c = catalog();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..2000).map(|_| c.sample_normalized(0, &mut rng)).collect();
+        let s = Summary::compute(&samples).expect("non-empty");
+        // The tight shape concentrates near 1.0.
+        assert!((s.median - 1.0).abs() < 0.1, "median {}", s.median);
+        assert!(s.std_dev < 0.1);
+    }
+
+    #[test]
+    fn denormalize_inverts_definitions() {
+        let c = catalog();
+        assert_eq!(c.denormalize(2.0, 50.0), 100.0);
+        let spec = BinSpec::delta();
+        let pmf = Histogram::from_samples(spec, vec![0.0; 10]).to_pmf();
+        let stats = ShapeStats::from_samples(&[0.0; 10], &spec, 1).expect("non-empty");
+        let cd = ShapeCatalog::new(Normalization::Delta, spec, vec![pmf], vec![stats]);
+        assert_eq!(cd.denormalize(30.0, 50.0), 80.0);
+        assert_eq!(cd.denormalize(-100.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_shapes() {
+        let t = catalog().to_table();
+        assert!(t.contains("Ratio normalization"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the catalog bin spec")]
+    fn mixed_specs_rejected() {
+        let ratio = BinSpec::ratio();
+        let delta = BinSpec::delta();
+        let pmf = Histogram::from_samples(delta, vec![0.0; 5]).to_pmf();
+        let stats = ShapeStats::from_samples(&[0.0; 5], &delta, 1).expect("non-empty");
+        ShapeCatalog::new(Normalization::Ratio, ratio, vec![pmf], vec![stats]);
+    }
+}

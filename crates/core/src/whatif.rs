@@ -1,0 +1,299 @@
+//! What-if scenarios (§7): predicted impact of control decisions.
+//!
+//! A scenario is a transformation of the *feature vector* — the levers a
+//! platform operator can pull — after which the trained predictor re-scores
+//! every test job. The outcome is a shape transition matrix: which jobs the
+//! model expects to move to a different runtime-distribution shape, and what
+//! that implies for their variation statistics (Table 2).
+//!
+//! * Scenario 1 — [`Scenario::DisableSpareTokens`]: zero the spare-token
+//!   features (historic spare usage and submit-time spare availability).
+//! * Scenario 2 — [`Scenario::ShiftSku`]: move the historic vertex fractions
+//!   and counts from one SKU generation to another (the paper shifts
+//!   Gen3.5 → Gen5.2).
+//! * Scenario 3 — [`Scenario::PerfectLoadBalance`]: equal load on all
+//!   machines and at all times — per-SKU utilization spread goes to zero
+//!   and every utilization level is flattened to the fleet average.
+
+use rv_sim::SkuGeneration;
+use rv_telemetry::{FeatureSchema, TelemetryStore};
+
+use crate::predictor::ShapePredictor;
+use crate::shapes::ShapeCatalog;
+
+/// A what-if feature transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// §7.1 — run without preemptive spare tokens.
+    DisableSpareTokens,
+    /// §7.2 — execute `from`'s vertices on `to` machines instead.
+    ShiftSku {
+        /// Generation whose vertices are vacated.
+        from: SkuGeneration,
+        /// Generation that absorbs them.
+        to: SkuGeneration,
+    },
+    /// §7.3 — equalize machine load "on all machines and at all times":
+    /// utilization spread → 0 and every utilization level → `level` (the
+    /// fleet's time-averaged utilization).
+    PerfectLoadBalance {
+        /// The uniform utilization level every machine runs at.
+        level: f64,
+    },
+}
+
+impl Scenario {
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::DisableSpareTokens => "disable-spare-tokens".to_string(),
+            Scenario::ShiftSku { from, to } => format!("shift-sku-{from}-to-{to}"),
+            Scenario::PerfectLoadBalance { level } => {
+                format!("perfect-load-balance@{level:.2}")
+            }
+        }
+    }
+
+    /// Applies the transformation to a full-width feature vector in place.
+    pub fn apply(&self, features: &mut [f64]) {
+        match *self {
+            Scenario::DisableSpareTokens => {
+                for i in FeatureSchema::spare_indices() {
+                    features[i] = 0.0;
+                }
+            }
+            Scenario::ShiftSku { from, to } => {
+                let ff = FeatureSchema::sku_fraction_index(from);
+                let ft = FeatureSchema::sku_fraction_index(to);
+                features[ft] += features[ff];
+                features[ff] = 0.0;
+                // Vertex counts are stored as ln(1 + count): combine in
+                // count space, then re-encode.
+                let cf = FeatureSchema::sku_vertex_count_index(from);
+                let ct = FeatureSchema::sku_vertex_count_index(to);
+                let moved = features[cf].exp_m1().max(0.0);
+                let existing = features[ct].exp_m1().max(0.0);
+                features[ct] = (existing + moved).ln_1p();
+                features[cf] = 0.0;
+            }
+            Scenario::PerfectLoadBalance { level } => {
+                for i in FeatureSchema::util_std_indices() {
+                    features[i] = 0.0;
+                }
+                for g in SkuGeneration::ALL {
+                    features[FeatureSchema::util_mean_index(g)] = level;
+                }
+                features[FeatureSchema::CLUSTER_LOAD] = level;
+            }
+        }
+    }
+}
+
+/// Counts of predicted shape changes: `counts[before][after]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl TransitionMatrix {
+    fn new(k: usize) -> Self {
+        Self {
+            counts: vec![vec![0; k]; k],
+        }
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Total jobs scored.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Jobs whose predicted shape changed.
+    pub fn n_changed(&self) -> u64 {
+        self.total()
+            - (0..self.counts.len())
+                .map(|i| self.counts[i][i])
+                .sum::<u64>()
+    }
+
+    /// Off-diagonal transitions as `(from, to, count, pct_of_from)`, sorted
+    /// by count descending. `pct_of_from` matches the paper's phrasing
+    /// ("15% of jobs that were predicted in Cluster 2 are now in Cluster 1").
+    pub fn top_transitions(&self) -> Vec<(usize, usize, u64, f64)> {
+        let mut out = Vec::new();
+        for (from, row) in self.counts.iter().enumerate() {
+            let from_total: u64 = row.iter().sum();
+            for (to, &c) in row.iter().enumerate() {
+                if from != to && c > 0 {
+                    out.push((from, to, c, c as f64 / from_total as f64 * 100.0));
+                }
+            }
+        }
+        out.sort_by_key(|t| std::cmp::Reverse(t.2));
+        out
+    }
+}
+
+/// The outcome of evaluating one scenario over a test set.
+#[derive(Debug, Clone)]
+pub struct WhatIfOutcome {
+    /// The scenario evaluated.
+    pub scenario: Scenario,
+    /// Shape transition matrix (baseline prediction → scenario prediction).
+    pub transitions: TransitionMatrix,
+}
+
+impl WhatIfOutcome {
+    /// Fraction of jobs whose predicted shape changed.
+    pub fn changed_fraction(&self) -> f64 {
+        let total = self.transitions.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.transitions.n_changed() as f64 / total as f64
+        }
+    }
+
+    /// Renders the top transitions with their Table 2 stat deltas.
+    pub fn describe(&self, catalog: &ShapeCatalog, top_n: usize) -> String {
+        let mut out = format!(
+            "scenario {}: {:.2}% of jobs change shape\n",
+            self.scenario.name(),
+            self.changed_fraction() * 100.0
+        );
+        for (from, to, count, pct) in self.transitions.top_transitions().into_iter().take(top_n) {
+            let sf = catalog.stats(from);
+            let st = catalog.stats(to);
+            out.push_str(&format!(
+                "  {pct:.2}% of cluster {from} -> cluster {to} ({count} jobs): \
+                 IQR {:.3} -> {:.3}, outlier {:.2}% -> {:.2}%, std {:.3} -> {:.3}\n",
+                sf.iqr(),
+                st.iqr(),
+                sf.outlier_prob * 100.0,
+                st.outlier_prob * 100.0,
+                sf.std,
+                st.std
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates scenarios against a trained predictor.
+pub struct WhatIfEngine<'a> {
+    predictor: &'a ShapePredictor,
+}
+
+impl<'a> WhatIfEngine<'a> {
+    /// Creates an engine over a trained predictor.
+    pub fn new(predictor: &'a ShapePredictor) -> Self {
+        Self { predictor }
+    }
+
+    /// Scores every row of `test` under the baseline and the scenario and
+    /// tabulates shape transitions.
+    pub fn evaluate(&self, test: &TelemetryStore, scenario: Scenario) -> WhatIfOutcome {
+        let k = self.predictor.n_shapes();
+        let mut transitions = TransitionMatrix::new(k);
+        for row in test.rows() {
+            let features = self.predictor.features_of(row);
+            let before = self.predictor.predict_features(&features);
+            let mut transformed = features;
+            scenario.apply(&mut transformed);
+            let after = self.predictor.predict_features(&transformed);
+            transitions.counts[before][after] += 1;
+        }
+        WhatIfOutcome {
+            scenario,
+            transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disable_spare_zeroes_spare_usage_only() {
+        let mut f = vec![1.0; FeatureSchema::WIDTH];
+        Scenario::DisableSpareTokens.apply(&mut f);
+        for i in FeatureSchema::spare_indices() {
+            assert_eq!(f[i], 0.0);
+        }
+        // Ambient spare capacity and other features untouched.
+        assert_eq!(f[FeatureSchema::SPARE_FRACTION], 1.0);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[FeatureSchema::ALLOCATED_TOKENS], 1.0);
+    }
+
+    #[test]
+    fn shift_sku_moves_fractions_and_counts() {
+        let mut f = vec![0.0; FeatureSchema::WIDTH];
+        let from = SkuGeneration::Gen3_5;
+        let to = SkuGeneration::Gen5_2;
+        f[FeatureSchema::sku_fraction_index(from)] = 0.4;
+        f[FeatureSchema::sku_fraction_index(to)] = 0.1;
+        f[FeatureSchema::sku_vertex_count_index(from)] = (100.0f64).ln_1p();
+        f[FeatureSchema::sku_vertex_count_index(to)] = (20.0f64).ln_1p();
+        Scenario::ShiftSku { from, to }.apply(&mut f);
+        assert_eq!(f[FeatureSchema::sku_fraction_index(from)], 0.0);
+        assert!((f[FeatureSchema::sku_fraction_index(to)] - 0.5).abs() < 1e-12);
+        assert_eq!(f[FeatureSchema::sku_vertex_count_index(from)], 0.0);
+        assert!((f[FeatureSchema::sku_vertex_count_index(to)] - (120.0f64).ln_1p()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_balance_flattens_utilization() {
+        let mut f = vec![0.3; FeatureSchema::WIDTH];
+        Scenario::PerfectLoadBalance { level: 0.55 }.apply(&mut f);
+        for i in FeatureSchema::util_std_indices() {
+            assert_eq!(f[i], 0.0);
+        }
+        for g in SkuGeneration::ALL {
+            assert_eq!(f[FeatureSchema::util_mean_index(g)], 0.55);
+        }
+        assert_eq!(f[FeatureSchema::CLUSTER_LOAD], 0.55);
+        // Unrelated features untouched.
+        assert_eq!(f[FeatureSchema::ALLOCATED_TOKENS], 0.3);
+    }
+
+    #[test]
+    fn transition_matrix_accounting() {
+        let mut m = TransitionMatrix::new(3);
+        m.counts[0][0] = 10;
+        m.counts[2][1] = 5;
+        m.counts[2][2] = 15;
+        assert_eq!(m.total(), 30);
+        assert_eq!(m.n_changed(), 5);
+        let top = m.top_transitions();
+        assert_eq!(top.len(), 1);
+        let (from, to, count, pct) = top[0];
+        assert_eq!((from, to, count), (2, 1, 5));
+        assert!((pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_names() {
+        assert_eq!(
+            Scenario::DisableSpareTokens.name(),
+            "disable-spare-tokens"
+        );
+        assert_eq!(
+            Scenario::ShiftSku {
+                from: SkuGeneration::Gen3_5,
+                to: SkuGeneration::Gen5_2
+            }
+            .name(),
+            "shift-sku-Gen3.5-to-Gen5.2"
+        );
+        assert_eq!(
+            Scenario::PerfectLoadBalance { level: 0.5 }.name(),
+            "perfect-load-balance@0.50"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! The catalog parser must reject — never panic on — arbitrary input.
+
+use proptest::prelude::*;
+
+use rv_core::persist::read_catalog;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_catalog_never_panics(input in "\\PC{0,400}") {
+        let _ = read_catalog(std::io::BufReader::new(input.as_bytes()));
+    }
+
+    #[test]
+    fn read_catalog_never_panics_on_recordish_noise(
+        records in prop::collection::vec(
+            ("(catalog|stats|pmf|junk)", prop::collection::vec("[-0-9a-zA-Z.]{0,8}", 0..10)),
+            0..12,
+        )
+    ) {
+        let text: String = records
+            .iter()
+            .map(|(kind, fields)| {
+                let mut parts = vec![kind.clone()];
+                parts.extend(fields.iter().cloned());
+                parts.join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = read_catalog(std::io::BufReader::new(text.as_bytes()));
+    }
+}

@@ -1,0 +1,286 @@
+//! Tabular data containers, splits, and quantile binning.
+//!
+//! Tree training uses the histogram trick: each feature is quantized once into
+//! at most 64 quantile bins, after which split search touches only compact
+//! `u8` codes. Predictions still use raw `f64` thresholds, so models apply
+//! to unbinned rows.
+
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// A labelled tabular dataset (classification labels are dense `0..k`).
+#[derive(Debug, Clone, Default)]
+pub struct TabularData {
+    /// Row-major feature matrix.
+    pub x: Vec<Vec<f64>>,
+    /// Class label per row.
+    pub y: Vec<usize>,
+}
+
+impl TabularData {
+    /// Creates a dataset, validating shape.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or rows are ragged.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        Self { x, y }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of feature columns (0 when empty).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Number of classes (`max(y) + 1`; 0 when empty).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+}
+
+/// Deterministically splits `(x, y)` into train and test partitions with
+/// `test_fraction` of rows in the test set.
+pub fn train_test_split(
+    data: &TabularData,
+    test_fraction: f64,
+    seed: u64,
+) -> (TabularData, TabularData) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let n_test = (data.len() as f64 * test_fraction).round() as usize;
+    let (test_idx, train_idx) = idx.split_at(n_test.min(data.len()));
+    let take = |ids: &[usize]| TabularData {
+        x: ids.iter().map(|&i| data.x[i].clone()).collect(),
+        y: ids.iter().map(|&i| data.y[i]).collect(),
+    };
+    (take(train_idx), take(test_idx))
+}
+
+/// Quantile-binned view of a feature matrix for fast tree training.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// Per-feature ascending bin upper edges (`edges[f][b]` is the largest
+    /// raw value coded as bin `b`; values above the last edge get the last
+    /// bin).
+    edges: Vec<Vec<f64>>,
+    /// Column-major codes: `codes[f][row]`.
+    codes: Vec<Vec<u8>>,
+    n_rows: usize,
+}
+
+impl BinnedMatrix {
+    /// Maximum bins per feature.
+    pub const MAX_BINS: usize = 64;
+
+    /// Builds the binned view of `rows` with at most `max_bins` quantile
+    /// bins per feature.
+    pub fn from_rows(rows: &[Vec<f64>], max_bins: usize) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        assert!(
+            (2..=Self::MAX_BINS).contains(&max_bins),
+            "max_bins must be in 2..=64"
+        );
+        let n_rows = rows.len();
+        let n_features = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == n_features), "ragged rows");
+
+        let mut edges = Vec::with_capacity(n_features);
+        let mut codes = Vec::with_capacity(n_features);
+        let mut col = vec![0.0f64; n_rows];
+        for f in 0..n_features {
+            for (i, r) in rows.iter().enumerate() {
+                col[i] = r[f];
+            }
+            let fe = quantile_edges(&col, max_bins);
+            let fc: Vec<u8> = col.iter().map(|&v| code_of(&fe, v)).collect();
+            edges.push(fe);
+            codes.push(fc);
+        }
+        Self {
+            edges,
+            codes,
+            n_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Number of bins actually used by feature `f`.
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len()
+    }
+
+    /// The code of row `row` in feature `f`.
+    #[inline]
+    pub fn code(&self, f: usize, row: usize) -> u8 {
+        self.codes[f][row]
+    }
+
+    /// Raw threshold corresponding to splitting feature `f` at code `<= b`:
+    /// prediction-time comparisons use `value <= threshold`.
+    pub fn threshold(&self, f: usize, b: u8) -> f64 {
+        self.edges[f][b as usize]
+    }
+
+    /// Codes a raw value of feature `f` (for out-of-sample rows).
+    pub fn code_value(&self, f: usize, v: f64) -> u8 {
+        code_of(&self.edges[f], v)
+    }
+}
+
+/// Ascending unique quantile edges (bin upper bounds) for one column.
+fn quantile_edges(col: &[f64], max_bins: usize) -> Vec<f64> {
+    let mut sorted: Vec<f64> = col.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return vec![0.0];
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let mut edges: Vec<f64> = Vec::with_capacity(max_bins);
+    for b in 0..max_bins {
+        let q = (b + 1) as f64 / max_bins as f64;
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let e = sorted[idx];
+        if edges.last().map_or(true, |&last| e > last) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+#[inline]
+fn code_of(edges: &[f64], v: f64) -> u8 {
+    if v.is_nan() {
+        return (edges.len() - 1) as u8;
+    }
+    // Binary search for the first edge >= v.
+    match edges.binary_search_by(|e| e.partial_cmp(&v).expect("finite edges")) {
+        Ok(i) => i as u8,
+        Err(i) => i.min(edges.len() - 1) as u8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabular_shape_checks() {
+        let d = TabularData::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature rows")]
+    fn ragged_rows_panic() {
+        TabularData::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 0]);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = TabularData::new(
+            (0..100).map(|i| vec![i as f64]).collect(),
+            (0..100).map(|i| i % 3).collect(),
+        );
+        let (train, test) = train_test_split(&d, 0.25, 7);
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        // Disjoint and exhaustive.
+        let mut all: Vec<f64> = train
+            .x
+            .iter()
+            .chain(test.x.iter())
+            .map(|r| r[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let d = TabularData::new((0..50).map(|i| vec![i as f64]).collect(), vec![0; 50]);
+        let (a, _) = train_test_split(&d, 0.2, 3);
+        let (b, _) = train_test_split(&d, 0.2, 3);
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn binning_round_trip() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let m = BinnedMatrix::from_rows(&rows, 16);
+        assert_eq!(m.n_rows(), 100);
+        assert_eq!(m.n_features(), 2);
+        // Codes must be monotone in the raw values.
+        for f in 0..2 {
+            for i in 1..100 {
+                assert!(m.code(f, i) >= m.code(f, i - 1));
+            }
+            assert!(m.n_bins(f) <= 16);
+        }
+    }
+
+    #[test]
+    fn out_of_sample_coding_consistent() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let m = BinnedMatrix::from_rows(&rows, 8);
+        for i in 0..64 {
+            assert_eq!(m.code_value(0, i as f64), m.code(0, i));
+        }
+        // Values beyond the training range clamp to the edge bins.
+        assert_eq!(m.code_value(0, -100.0), 0);
+        assert_eq!(m.code_value(0, 1e9) as usize, m.n_bins(0) - 1);
+    }
+
+    #[test]
+    fn constant_column_single_bin() {
+        let rows = vec![vec![5.0]; 20];
+        let m = BinnedMatrix::from_rows(&rows, 8);
+        assert_eq!(m.n_bins(0), 1);
+        assert_eq!(m.code_value(0, 5.0), 0);
+    }
+
+    #[test]
+    fn threshold_separates_codes() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let m = BinnedMatrix::from_rows(&rows, 4);
+        for b in 0..m.n_bins(0) as u8 {
+            let th = m.threshold(0, b);
+            for i in 0..100 {
+                let v = i as f64;
+                if m.code(0, i) <= b {
+                    assert!(v <= th, "row {i} code {} edge {th}", m.code(0, i));
+                } else {
+                    assert!(v > th);
+                }
+            }
+        }
+    }
+}

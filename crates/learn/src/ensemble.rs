@@ -1,0 +1,136 @@
+//! Soft-voting ensembles over heterogeneous classifiers (§5.2's
+//! `EnsembledClassifier`).
+
+use crate::Classifier;
+
+/// Averages member class-probability vectors with optional weights.
+pub struct SoftVotingEnsemble {
+    members: Vec<Box<dyn Classifier>>,
+    weights: Vec<f64>,
+    n_classes: usize,
+}
+
+impl SoftVotingEnsemble {
+    /// Builds an equally-weighted ensemble.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or class counts disagree.
+    pub fn new(members: Vec<Box<dyn Classifier>>) -> Self {
+        let n = members.len();
+        Self::weighted(members, vec![1.0; n])
+    }
+
+    /// Builds a weighted ensemble; weights are normalized internally.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, weights are non-positive, or `members` is
+    /// empty.
+    pub fn weighted(members: Vec<Box<dyn Classifier>>, weights: Vec<f64>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert_eq!(members.len(), weights.len(), "member/weight mismatch");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        let n_classes = members[0].n_classes();
+        assert!(
+            members.iter().all(|m| m.n_classes() == n_classes),
+            "members must agree on the class count"
+        );
+        let total: f64 = weights.iter().sum();
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        Self {
+            members,
+            weights,
+            n_classes,
+        }
+    }
+
+    /// Number of member models.
+    pub fn n_members(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl Classifier for SoftVotingEnsemble {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for (m, &w) in self.members.iter().zip(&self.weights) {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+                *a += w * p;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed-probability stub classifier.
+    struct Stub(Vec<f64>);
+    impl Classifier for Stub {
+        fn n_classes(&self) -> usize {
+            self.0.len()
+        }
+        fn predict_proba(&self, _x: &[f64]) -> Vec<f64> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let e = SoftVotingEnsemble::new(vec![
+            Box::new(Stub(vec![1.0, 0.0])),
+            Box::new(Stub(vec![0.0, 1.0])),
+        ]);
+        let p = e.predict_proba(&[0.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_tilt_vote() {
+        let e = SoftVotingEnsemble::weighted(
+            vec![
+                Box::new(Stub(vec![1.0, 0.0])),
+                Box::new(Stub(vec![0.0, 1.0])),
+            ],
+            vec![3.0, 1.0],
+        );
+        assert_eq!(e.predict(&[0.0]), 0);
+        let p = e.predict_proba(&[0.0]);
+        assert!((p[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_is_distribution() {
+        let e = SoftVotingEnsemble::new(vec![
+            Box::new(Stub(vec![0.2, 0.3, 0.5])),
+            Box::new(Stub(vec![0.6, 0.1, 0.3])),
+        ]);
+        let p = e.predict_proba(&[0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(e.n_members(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "agree on the class count")]
+    fn class_count_mismatch_panics() {
+        SoftVotingEnsemble::new(vec![
+            Box::new(Stub(vec![1.0, 0.0])),
+            Box::new(Stub(vec![0.5, 0.25, 0.25])),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_panics() {
+        SoftVotingEnsemble::new(Vec::new());
+    }
+}

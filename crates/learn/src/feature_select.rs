@@ -1,0 +1,176 @@
+//! Correlation-pruning feature selection.
+//!
+//! §5.2 step (1): "passive-aggressive feature selection based on feature
+//! importance to avoid the use of correlated features". We implement the
+//! same effect deterministically: rank features by an importance vector,
+//! then greedily keep features in rank order, dropping any candidate whose
+//! absolute Pearson correlation with an already-kept feature exceeds a
+//! threshold.
+
+/// The outcome of feature selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSelection {
+    /// Indices of kept features, in original column order.
+    pub kept: Vec<usize>,
+    /// Indices of dropped features with the kept feature that shadowed them.
+    pub dropped: Vec<(usize, usize)>,
+}
+
+impl FeatureSelection {
+    /// Projects a row onto the kept columns.
+    pub fn project(&self, row: &[f64]) -> Vec<f64> {
+        self.kept.iter().map(|&i| row[i]).collect()
+    }
+
+    /// Projects a whole matrix.
+    pub fn project_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.project(r)).collect()
+    }
+}
+
+/// Pearson correlation of two equal-length columns; 0 when either is
+/// constant.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Selects features from row-major `x` given per-feature `importance`
+/// (higher = better) and a correlation threshold in `(0, 1]`.
+///
+/// Features are visited in decreasing importance; a feature is dropped when
+/// `|corr|` with any kept feature exceeds `max_abs_corr`. Zero-importance
+/// features are dropped outright (they never split a tree).
+pub fn select_features(
+    x: &[Vec<f64>],
+    importance: &[f64],
+    max_abs_corr: f64,
+) -> FeatureSelection {
+    assert!(!x.is_empty(), "need data");
+    let d = x[0].len();
+    assert_eq!(importance.len(), d, "importance width mismatch");
+    assert!(
+        (0.0..=1.0).contains(&max_abs_corr) && max_abs_corr > 0.0,
+        "max_abs_corr must be in (0, 1]"
+    );
+
+    // Column views.
+    let cols: Vec<Vec<f64>> = (0..d)
+        .map(|f| x.iter().map(|r| r[f]).collect())
+        .collect();
+
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&a, &b| {
+        importance[b]
+            .partial_cmp(&importance[a])
+            .expect("finite importances")
+            .then(a.cmp(&b))
+    });
+
+    let mut kept: Vec<usize> = Vec::new();
+    let mut dropped: Vec<(usize, usize)> = Vec::new();
+    for f in order {
+        if importance[f] <= 0.0 {
+            continue;
+        }
+        match kept
+            .iter()
+            .find(|&&k| pearson(&cols[f], &cols[k]).abs() > max_abs_corr)
+        {
+            Some(&shadow) => dropped.push((f, shadow)),
+            None => kept.push(f),
+        }
+    }
+    kept.sort_unstable();
+    dropped.sort_unstable();
+    FeatureSelection { kept, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        let d = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&a, &d), 0.0);
+    }
+
+    #[test]
+    fn drops_duplicated_feature() {
+        // f1 duplicates f0; f2 independent.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let v = i as f64;
+                vec![v, 2.0 * v + 1.0, (i % 7) as f64]
+            })
+            .collect();
+        let sel = select_features(&x, &[0.5, 0.3, 0.2], 0.95);
+        assert_eq!(sel.kept, vec![0, 2]);
+        assert_eq!(sel.dropped, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn importance_order_decides_survivor() {
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let v = i as f64;
+                vec![v, 2.0 * v]
+            })
+            .collect();
+        // The second column is more important, so it survives.
+        let sel = select_features(&x, &[0.1, 0.9], 0.95);
+        assert_eq!(sel.kept, vec![1]);
+        assert_eq!(sel.dropped, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn zero_importance_features_removed() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let sel = select_features(&x, &[0.7, 0.0], 0.9);
+        assert_eq!(sel.kept, vec![0]);
+        assert!(sel.dropped.is_empty());
+    }
+
+    #[test]
+    fn projection_picks_kept_columns() {
+        let sel = FeatureSelection {
+            kept: vec![0, 2],
+            dropped: vec![(1, 0)],
+        };
+        assert_eq!(sel.project(&[10.0, 20.0, 30.0]), vec![10.0, 30.0]);
+        let all = sel.project_all(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(all, vec![vec![1.0, 3.0], vec![4.0, 6.0]]);
+    }
+
+    #[test]
+    fn independent_features_all_kept() {
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 2) as f64, (i % 3) as f64, (i % 5) as f64])
+            .collect();
+        let sel = select_features(&x, &[0.4, 0.3, 0.3], 0.9);
+        assert_eq!(sel.kept, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Multiclass gradient-boosted decision trees (softmax objective).
+//!
+//! The stand-in for `LGBMClassifier` — the model the paper reports as most
+//! accurate (§5.2). Standard K-class boosting: per round, one second-order
+//! gradient tree per class on the softmax gradients
+//! `g_ic = p_ic - 1{y_i = c}`, `h_ic = p_ic (1 - p_ic)`, with shrinkage and
+//! optional row subsampling. Split finding is histogram-based (see
+//! [`crate::data::BinnedMatrix`]), which is precisely LightGBM's trick.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::BinnedMatrix;
+use crate::tree::{GradientTree, TreeConfig};
+use crate::Classifier;
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtConfig {
+    /// Boosting rounds (trees per class).
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Per-tree hyper-parameters.
+    pub tree: TreeConfig,
+    /// Fraction of rows sampled (without replacement) per round.
+    pub subsample: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 60,
+            learning_rate: 0.15,
+            tree: TreeConfig {
+                max_depth: 5,
+                min_samples_leaf: 20,
+                lambda: 1.0,
+                ..Default::default()
+            },
+            subsample: 0.9,
+            seed: 0x9bd7,
+        }
+    }
+}
+
+/// A fitted multiclass GBDT classifier.
+#[derive(Debug, Clone)]
+pub struct GbdtClassifier {
+    /// `trees[round][class]`.
+    trees: Vec<Vec<GradientTree>>,
+    /// Per-class prior log-odds (initial scores).
+    base_scores: Vec<f64>,
+    learning_rate: f64,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl GbdtClassifier {
+    /// Fits the model on row-major features `x` and labels `y` (dense
+    /// `0..n_classes`).
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, config: &GbdtConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        assert!(!x.is_empty(), "need training data");
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(
+            y.iter().all(|&c| c < n_classes),
+            "label out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.subsample) && config.subsample > 0.0,
+            "subsample must be in (0, 1]"
+        );
+        let n = x.len();
+        let binned = BinnedMatrix::from_rows(x, 48);
+
+        // Prior log-odds as base scores (log class frequency).
+        let mut counts = vec![0usize; n_classes];
+        for &c in y {
+            counts[c] += 1;
+        }
+        let base_scores: Vec<f64> = counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / n as f64).ln())
+            .collect();
+
+        // scores[i][c]
+        let mut scores: Vec<Vec<f64>> = vec![base_scores.clone(); n];
+        let mut trees: Vec<Vec<GradientTree>> = Vec::with_capacity(config.n_rounds);
+        let mut grad = vec![0.0f64; n];
+        let mut hess = vec![0.0f64; n];
+        let mut probs = vec![0.0f64; n_classes];
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        for _round in 0..config.n_rounds {
+            // Row subsample for this round.
+            let rows: Vec<usize> = if config.subsample >= 1.0 {
+                (0..n).collect()
+            } else {
+                (0..n)
+                    .filter(|_| rng.gen_bool(config.subsample))
+                    .collect()
+            };
+            let rows = if rows.is_empty() { (0..n).collect() } else { rows };
+
+            let mut round_trees = Vec::with_capacity(n_classes);
+            // Precompute softmax probabilities once per round.
+            let mut prob_matrix: Vec<Vec<f64>> = Vec::with_capacity(n);
+            for s in &scores {
+                softmax_into(s, &mut probs);
+                prob_matrix.push(probs.clone());
+            }
+            for c in 0..n_classes {
+                for i in 0..n {
+                    let p = prob_matrix[i][c];
+                    grad[i] = p - if y[i] == c { 1.0 } else { 0.0 };
+                    hess[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = GradientTree::fit(&binned, &grad, &hess, &rows, &config.tree, &mut rng);
+                for (i, s) in scores.iter_mut().enumerate() {
+                    s[c] += config.learning_rate * tree.predict(&x[i]);
+                }
+                round_trees.push(tree);
+            }
+            trees.push(round_trees);
+        }
+
+        Self {
+            trees,
+            base_scores,
+            learning_rate: config.learning_rate,
+            n_classes,
+            n_features: x[0].len(),
+        }
+    }
+
+    /// Raw (pre-softmax) scores for one row.
+    pub fn decision_scores(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut s = self.base_scores.clone();
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                s[c] += self.learning_rate * tree.predict(x);
+            }
+        }
+        s
+    }
+
+    /// Total rounds fitted.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Gain-based feature importance, normalized to sum 1.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for round in &self.trees {
+            for tree in round {
+                tree.tree().accumulate_importance(&mut imp);
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+}
+
+impl Classifier for GbdtClassifier {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let s = self.decision_scores(x);
+        let mut p = vec![0.0; s.len()];
+        softmax_into(&s, &mut p);
+        p
+    }
+}
+
+fn softmax_into(scores: &[f64], out: &mut [f64]) {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores) {
+        *o = (s - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // 3 classes determined by x0 with an irrelevant second feature.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let v = (i % 40) as f64 / 4.0;
+            x.push(vec![v, ((i * 31) % 17) as f64]);
+            y.push(if v < 3.0 {
+                0
+            } else if v < 7.0 {
+                1
+            } else {
+                2
+            });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_clean_multiclass_task() {
+        let (x, y) = task();
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            3,
+            &GbdtConfig {
+                n_rounds: 30,
+                ..Default::default()
+            },
+        );
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = task();
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            3,
+            &GbdtConfig {
+                n_rounds: 10,
+                ..Default::default()
+            },
+        );
+        for xi in x.iter().take(20) {
+            let p = m.predict_proba(xi);
+            assert_eq!(p.len(), 3);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn zero_rounds_predicts_prior() {
+        let (x, y) = task();
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            3,
+            &GbdtConfig {
+                n_rounds: 0,
+                ..Default::default()
+            },
+        );
+        let p = m.predict_proba(&x[0]);
+        // Class frequencies: 12/40, 16/40, 12/40.
+        assert!((p[0] - 0.3).abs() < 0.02, "prior {p:?}");
+        assert!((p[1] - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = task();
+        let cfg = GbdtConfig {
+            n_rounds: 8,
+            seed: 4,
+            ..Default::default()
+        };
+        let a = GbdtClassifier::fit(&x, &y, 3, &cfg);
+        let b = GbdtClassifier::fit(&x, &y, 3, &cfg);
+        for xi in x.iter().take(20) {
+            assert_eq!(a.predict_proba(xi), b.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_train_accuracy() {
+        let (x, y) = task();
+        let acc = |rounds: usize| {
+            let m = GbdtClassifier::fit(
+                &x,
+                &y,
+                3,
+                &GbdtConfig {
+                    n_rounds: rounds,
+                    ..Default::default()
+                },
+            );
+            x.iter()
+                .zip(&y)
+                .filter(|(xi, &yi)| m.predict(xi) == yi)
+                .count() as f64
+                / x.len() as f64
+        };
+        assert!(acc(30) >= acc(2) - 1e-9);
+    }
+
+    #[test]
+    fn importances_identify_signal() {
+        let (x, y) = task();
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            3,
+            &GbdtConfig {
+                n_rounds: 15,
+                ..Default::default()
+            },
+        );
+        let imp = m.feature_importances();
+        assert!(imp[0] > 0.9, "importances {imp:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        GbdtClassifier::fit(&[vec![1.0]], &[5], 2, &GbdtConfig::default());
+    }
+
+    #[test]
+    fn handles_imbalanced_classes() {
+        // 95% class 0, 5% class 1 with a clean separator.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let outlier = i % 20 == 0;
+            x.push(vec![if outlier { 10.0 } else { (i % 5) as f64 }]);
+            y.push(usize::from(outlier));
+        }
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            2,
+            &GbdtConfig {
+                n_rounds: 20,
+                ..Default::default()
+            },
+        );
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.99, "imbalanced accuracy {acc}");
+    }
+}

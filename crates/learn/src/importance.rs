@@ -1,0 +1,94 @@
+//! Gini / gain feature importance helpers (§5.2's "Gini importance").
+
+use crate::forest::RandomForestClassifier;
+use crate::gbdt::GbdtClassifier;
+
+/// Normalized gain-based importance of a random forest, paired with feature
+/// names and sorted descending.
+pub fn gini_importance<'a>(
+    forest: &RandomForestClassifier,
+    names: &'a [&'a str],
+) -> Vec<(&'a str, f64)> {
+    rank(forest.feature_importances(), names)
+}
+
+/// Normalized gain-based importance of a GBDT model, paired with names and
+/// sorted descending.
+pub fn gbdt_importance<'a>(model: &GbdtClassifier, names: &'a [&'a str]) -> Vec<(&'a str, f64)> {
+    rank(model.feature_importances(), names)
+}
+
+fn rank<'a>(importances: Vec<f64>, names: &'a [&'a str]) -> Vec<(&'a str, f64)> {
+    assert_eq!(
+        importances.len(),
+        names.len(),
+        "importance/name width mismatch"
+    );
+    let mut pairs: Vec<(&str, f64)> = names.iter().copied().zip(importances).collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestConfig;
+    use crate::gbdt::GbdtConfig;
+
+    fn task() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 10) as f64, ((i * 13) % 7) as f64])
+            .collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 4.0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_importance_ranked() {
+        let (x, y) = task();
+        let rf = RandomForestClassifier::fit(
+            &x,
+            &y,
+            2,
+            &RandomForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            },
+        );
+        let ranked = gini_importance(&rf, &["signal", "noise"]);
+        assert_eq!(ranked[0].0, "signal");
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+
+    #[test]
+    fn gbdt_importance_ranked() {
+        let (x, y) = task();
+        let m = GbdtClassifier::fit(
+            &x,
+            &y,
+            2,
+            &GbdtConfig {
+                n_rounds: 10,
+                ..Default::default()
+            },
+        );
+        let ranked = gbdt_importance(&m, &["signal", "noise"]);
+        assert_eq!(ranked[0].0, "signal");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn name_mismatch_panics() {
+        let (x, y) = task();
+        let rf = RandomForestClassifier::fit(
+            &x,
+            &y,
+            2,
+            &RandomForestConfig {
+                n_trees: 2,
+                ..Default::default()
+            },
+        );
+        gini_importance(&rf, &["only-one"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # rv-learn — from-scratch machine learning for tabular data
+//!
+//! The paper's predictive step (§5.2) fits tree-ensemble classifiers
+//! (LightGBM, RandomForest, GradientBoosting, GaussianNB, and a soft-voting
+//! ensemble of them) to predict a job's runtime-distribution shape, and the
+//! Griffon-style baseline \[65\] is a random-forest *regressor* on raw
+//! runtimes. None of those libraries exist in Rust, so this crate implements
+//! the family natively:
+//!
+//! * [`data`] — row-major datasets, deterministic train/test splits, and the
+//!   quantile-binned feature codes that make tree training fast
+//!   (the LightGBM histogram trick);
+//! * [`tree`] — CART decision trees: Gini classification trees and
+//!   second-order (Newton) gradient trees;
+//! * [`forest`] — bagged random forests (classifier and regressor);
+//! * [`gbdt`] — multiclass softmax gradient-boosted trees, the stand-in for
+//!   `LGBMClassifier`;
+//! * [`naive_bayes`] — Gaussian naive Bayes;
+//! * [`ensemble`] — soft-voting over heterogeneous classifiers;
+//! * [`feature_select`] — correlation-pruning feature selection (§5.2's
+//!   "passive-aggressive feature selection ... to avoid the use of
+//!   correlated features");
+//! * [`metrics`] — accuracy, confusion matrices, per-class rates;
+//! * [`validation`] — precision/recall/F1 reports, Brier calibration
+//!   scores, and k-fold cross-validation;
+//! * [`importance`] — impurity-decrease (Gini) feature importance;
+//! * [`sweep`] — hyper-parameter grid sweeps on a validation split.
+
+pub mod data;
+pub mod ensemble;
+pub mod feature_select;
+pub mod forest;
+pub mod gbdt;
+pub mod importance;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod sweep;
+pub mod tree;
+pub mod validation;
+
+pub use data::{train_test_split, BinnedMatrix, TabularData};
+pub use ensemble::SoftVotingEnsemble;
+pub use feature_select::{select_features, FeatureSelection};
+pub use forest::{RandomForestClassifier, RandomForestConfig, RandomForestRegressor};
+pub use gbdt::{GbdtClassifier, GbdtConfig};
+pub use importance::gini_importance;
+pub use metrics::{accuracy, confusion_matrix, ConfusionMatrix};
+pub use naive_bayes::GaussianNb;
+pub use sweep::{sweep_gbdt, SweepResult};
+pub use validation::{
+    brier_score, classification_report, cross_validate, kfold_indices, macro_f1, ClassReport,
+};
+
+/// A probabilistic multiclass classifier over dense `f64` feature rows.
+pub trait Classifier: Send + Sync {
+    /// Number of classes the model was trained on.
+    fn n_classes(&self) -> usize;
+    /// Class-probability vector for one row (sums to 1).
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64>;
+    /// Most probable class for one row.
+    fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+    /// Predictions for a batch of rows.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// A regressor over dense `f64` feature rows.
+pub trait Regressor: Send + Sync {
+    /// Point prediction for one row.
+    fn predict(&self, x: &[f64]) -> f64;
+    /// Predictions for a batch of rows.
+    fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}

@@ -1,0 +1,150 @@
+//! Classification metrics: accuracy and confusion matrices (Fig 7a).
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    assert!(!truth.is_empty(), "need at least one prediction");
+    truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / truth.len() as f64
+}
+
+/// A row-normalizable confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Raw counts, `counts[actual][predicted]`.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Row-normalized rates (each actual-class row sums to 1, as in the
+    /// paper's Fig 7a). Rows with no samples stay all-zero.
+    pub fn row_rates(&self) -> Vec<Vec<f64>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                if total == 0 {
+                    vec![0.0; row.len()]
+                } else {
+                    row.iter().map(|&c| c as f64 / total as f64).collect()
+                }
+            })
+            .collect()
+    }
+
+    /// Overall accuracy (trace over total).
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal of the row rates).
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        self.row_rates()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row[i])
+            .collect()
+    }
+
+    /// Renders as an aligned text table (for experiment reports).
+    pub fn to_table(&self) -> String {
+        let rates = self.row_rates();
+        let mut out = String::from("actual\\pred");
+        for c in 0..self.n_classes() {
+            out.push_str(&format!("{c:>8}"));
+        }
+        out.push('\n');
+        for (i, row) in rates.iter().enumerate() {
+            out.push_str(&format!("{i:>11}"));
+            for v in row {
+                out.push_str(&format!("{v:>8.3}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds a confusion matrix over `n_classes`.
+///
+/// # Panics
+/// Panics on length mismatch or out-of-range labels.
+pub fn confusion_matrix(truth: &[usize], predicted: &[usize], n_classes: usize) -> ConfusionMatrix {
+    assert_eq!(truth.len(), predicted.len(), "length mismatch");
+    let mut counts = vec![vec![0u64; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        assert!(t < n_classes && p < n_classes, "label out of range");
+        counts[t][p] += 1;
+    }
+    ConfusionMatrix { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        assert_eq!(m.counts()[0], vec![1, 1]);
+        assert_eq!(m.counts()[1], vec![1, 2]);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_rates_sum_to_one() {
+        let m = confusion_matrix(&[0, 0, 1, 2, 2, 2], &[0, 1, 1, 2, 2, 0], 3);
+        for row in m.row_rates() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(m.per_class_recall(), vec![0.5, 1.0, 2.0 / 3.0]);
+    }
+
+    #[test]
+    fn empty_class_row_is_zero() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.row_rates()[2], vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn table_renders() {
+        let m = confusion_matrix(&[0, 1], &[0, 1], 2);
+        let t = m.to_table();
+        assert!(t.contains("actual"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        confusion_matrix(&[5], &[0], 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Gaussian naive Bayes — one of the §5.2 ensemble members.
+
+use crate::Classifier;
+
+/// Gaussian naive Bayes classifier: per-class, per-feature normal likelihoods
+/// with a variance floor for numeric stability.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// `log_prior[c]`.
+    log_prior: Vec<f64>,
+    /// `mean[c][f]`.
+    mean: Vec<Vec<f64>>,
+    /// `var[c][f]` (floored).
+    var: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl GaussianNb {
+    /// Fits on row-major features `x` and labels `y` (dense `0..n_classes`).
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize) -> Self {
+        assert_eq!(x.len(), y.len(), "row/label count mismatch");
+        assert!(!x.is_empty(), "need training data");
+        assert!(n_classes >= 2, "need at least two classes");
+        let d = x[0].len();
+        let mut count = vec![0usize; n_classes];
+        let mut mean = vec![vec![0.0f64; d]; n_classes];
+        for (xi, &c) in x.iter().zip(y) {
+            count[c] += 1;
+            for (m, &v) in mean[c].iter_mut().zip(xi) {
+                *m += v;
+            }
+        }
+        for c in 0..n_classes {
+            let n = count[c].max(1) as f64;
+            for m in &mut mean[c] {
+                *m /= n;
+            }
+        }
+        let mut var = vec![vec![0.0f64; d]; n_classes];
+        for (xi, &c) in x.iter().zip(y) {
+            for f in 0..d {
+                let dv = xi[f] - mean[c][f];
+                var[c][f] += dv * dv;
+            }
+        }
+        // Global variance scale for the floor, as scikit-learn does.
+        let global_var: f64 = {
+            let gm: Vec<f64> = (0..d)
+                .map(|f| x.iter().map(|r| r[f]).sum::<f64>() / x.len() as f64)
+                .collect();
+            (0..d)
+                .map(|f| {
+                    x.iter().map(|r| (r[f] - gm[f]).powi(2)).sum::<f64>() / x.len() as f64
+                })
+                .sum::<f64>()
+                / d as f64
+        };
+        let floor = (1e-9 * global_var).max(1e-12);
+        for c in 0..n_classes {
+            let n = count[c].max(1) as f64;
+            for v in &mut var[c] {
+                *v = (*v / n).max(floor);
+            }
+        }
+        let total = x.len() as f64;
+        let log_prior: Vec<f64> = count
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / total).ln())
+            .collect();
+        Self {
+            log_prior,
+            mean,
+            var,
+            n_classes,
+        }
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut log_p: Vec<f64> = (0..self.n_classes)
+            .map(|c| {
+                let mut lp = self.log_prior[c];
+                for (f, &v) in x.iter().enumerate() {
+                    let var = self.var[c][f];
+                    let dv = v - self.mean[c][f];
+                    lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + dv * dv / var);
+                }
+                lp
+            })
+            .collect();
+        let max = log_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for lp in &mut log_p {
+            *lp = (*lp - max).exp();
+            sum += *lp;
+        }
+        for lp in &mut log_p {
+            *lp /= sum;
+        }
+        log_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_task() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two well-separated Gaussians on feature 0.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let jitter = (i % 10) as f64 * 0.1;
+            x.push(vec![0.0 + jitter, 5.0]);
+            y.push(0);
+            x.push(vec![10.0 + jitter, 5.0]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_gaussians() {
+        let (x, y) = gaussian_task();
+        let m = GaussianNb::fit(&x, &y, 2);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| m.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_valid_even_far_from_data() {
+        let (x, y) = gaussian_task();
+        let m = GaussianNb::fit(&x, &y, 2);
+        for probe in [vec![-100.0, 5.0], vec![100.0, 5.0], vec![5.0, 5.0]] {
+            let p = m.predict_proba(&probe);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v.is_finite() && v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        // Feature 1 is constant: variance floor must keep densities finite.
+        let (x, y) = gaussian_task();
+        let m = GaussianNb::fit(&x, &y, 2);
+        let p = m.predict_proba(&[0.5, 5.0]);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn respects_prior_with_uninformative_features() {
+        // 80/20 class balance, single constant feature → prior prediction.
+        let x = vec![vec![1.0]; 100];
+        let mut y = vec![0usize; 80];
+        y.extend(vec![1usize; 20]);
+        let m = GaussianNb::fit(&x, &y, 2);
+        let p = m.predict_proba(&[1.0]);
+        assert!((p[0] - 0.8).abs() < 0.05, "prior {p:?}");
+    }
+}

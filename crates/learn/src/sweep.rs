@@ -1,0 +1,118 @@
+//! Hyper-parameter sweeps (§5.2 step (2): "parameter sweeping to select the
+//! best hyper-parameters").
+
+use crate::data::{train_test_split, TabularData};
+use crate::gbdt::{GbdtClassifier, GbdtConfig};
+use crate::metrics::accuracy;
+use crate::Classifier;
+
+/// Result of a grid sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Winning configuration.
+    pub best: GbdtConfig,
+    /// Validation accuracy of the winner.
+    pub best_accuracy: f64,
+    /// `(n_rounds, max_depth, learning_rate, accuracy)` for every candidate.
+    pub trials: Vec<(usize, usize, f64, f64)>,
+}
+
+/// Grid-sweeps GBDT hyper-parameters on a held-out validation split of
+/// `data` and returns the winner (ties go to the earlier candidate).
+pub fn sweep_gbdt(
+    data: &TabularData,
+    rounds: &[usize],
+    depths: &[usize],
+    learning_rates: &[f64],
+    seed: u64,
+) -> SweepResult {
+    assert!(
+        !rounds.is_empty() && !depths.is_empty() && !learning_rates.is_empty(),
+        "grid must be non-empty"
+    );
+    let n_classes = data.n_classes();
+    let (train, valid) = train_test_split(data, 0.25, seed);
+    assert!(!valid.is_empty(), "validation split is empty");
+
+    let mut best: Option<(GbdtConfig, f64)> = None;
+    let mut trials = Vec::new();
+    for &r in rounds {
+        for &d in depths {
+            for &lr in learning_rates {
+                let config = GbdtConfig {
+                    n_rounds: r,
+                    learning_rate: lr,
+                    tree: crate::tree::TreeConfig {
+                        max_depth: d,
+                        ..GbdtConfig::default().tree
+                    },
+                    seed,
+                    ..Default::default()
+                };
+                let model = GbdtClassifier::fit(&train.x, &train.y, n_classes, &config);
+                let preds = model.predict_batch(&valid.x);
+                let acc = accuracy(&valid.y, &preds);
+                trials.push((r, d, lr, acc));
+                if best.as_ref().map_or(true, |(_, b)| acc > *b) {
+                    best = Some((config, acc));
+                }
+            }
+        }
+    }
+    let (best, best_accuracy) = best.expect("non-empty grid");
+    SweepResult {
+        best,
+        best_accuracy,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> TabularData {
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 15) as f64, ((i * 7) % 11) as f64])
+            .collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 7.0)).collect();
+        TabularData::new(x, y)
+    }
+
+    #[test]
+    fn sweep_explores_full_grid() {
+        let r = sweep_gbdt(&task(), &[5, 10], &[2, 4], &[0.1, 0.3], 1);
+        assert_eq!(r.trials.len(), 8);
+        assert!(r.best_accuracy > 0.9, "best {}", r.best_accuracy);
+        assert!(r
+            .trials
+            .iter()
+            .any(|&(rr, d, lr, _)| rr == r.best.n_rounds
+                && d == r.best.tree.max_depth
+                && lr == r.best.learning_rate));
+    }
+
+    #[test]
+    fn best_is_max_of_trials() {
+        let r = sweep_gbdt(&task(), &[3, 8], &[3], &[0.2], 2);
+        let max = r
+            .trials
+            .iter()
+            .map(|t| t.3)
+            .fold(f64::MIN, f64::max);
+        assert!((r.best_accuracy - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = sweep_gbdt(&task(), &[5], &[3], &[0.2], 9);
+        let b = sweep_gbdt(&task(), &[5], &[3], &[0.2], 9);
+        assert_eq!(a.best_accuracy, b.best_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be non-empty")]
+    fn empty_grid_panics() {
+        sweep_gbdt(&task(), &[], &[3], &[0.1], 1);
+    }
+}

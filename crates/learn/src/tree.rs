@@ -1,0 +1,580 @@
+//! CART decision trees over quantile-binned features.
+//!
+//! Two flavours share the node machinery:
+//!
+//! * [`ClassificationTree`] — Gini-impurity splits, class-histogram leaves;
+//!   the building block of the random forest;
+//! * [`GradientTree`] — second-order (Newton) splits on per-row gradient /
+//!   hessian pairs with L2 leaf regularization; the building block of the
+//!   gradient-boosted classifier (the XGBoost/LightGBM formulation).
+//!
+//! Split search is histogram-based: per node, accumulate per-bin statistics
+//! in `O(rows × features)` and scan bins in `O(bins × features)`.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::data::BinnedMatrix;
+
+/// Hyper-parameters shared by both tree flavours.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum impurity/gain improvement to split.
+    pub min_gain: f64,
+    /// Number of candidate features per split (`None` = all).
+    pub features_per_split: Option<usize>,
+    /// L2 regularization on gradient-tree leaf weights (ignored by
+    /// classification trees).
+    pub lambda: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 5,
+            min_gain: 1e-7,
+            features_per_split: None,
+            lambda: 1.0,
+        }
+    }
+}
+
+/// A binary tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Split {
+        feature: usize,
+        /// Raw-value threshold: rows with `x[feature] <= threshold` go left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+        /// Total Gini/gain improvement contributed by this split, weighted
+        /// by the fraction of training rows that reached it (for feature
+        /// importance).
+        gain: f64,
+    },
+    /// Leaf payload: class probabilities (classification) or a single
+    /// weight (gradient tree, stored as a 1-element vector).
+    Leaf(Vec<f64>),
+}
+
+/// Storage shared by both tree flavours.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl Tree {
+    /// Routes a raw feature row to its leaf payload.
+    pub fn leaf_of(&self, x: &[f64]) -> &[f64] {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds each split's gain to `importances[feature]` (Gini importance
+    /// accumulation).
+    pub fn accumulate_importance(&self, importances: &mut [f64]) {
+        for n in &self.nodes {
+            if let Node::Split { feature, gain, .. } = n {
+                importances[*feature] += *gain;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification tree
+// ---------------------------------------------------------------------------
+
+/// A Gini classification tree; leaves hold class-probability vectors.
+#[derive(Debug, Clone)]
+pub struct ClassificationTree {
+    tree: Tree,
+    n_classes: usize,
+}
+
+impl ClassificationTree {
+    /// Fits a tree on the rows listed in `rows` (indices into `binned`).
+    ///
+    /// `raw` is needed only for its width sanity; training uses the codes.
+    pub fn fit(
+        binned: &BinnedMatrix,
+        y: &[usize],
+        n_classes: usize,
+        rows: &[usize],
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(!rows.is_empty(), "need at least one training row");
+        let mut nodes = Vec::new();
+        let total = rows.len() as f64;
+        build_classification(
+            binned, y, n_classes, rows, config, rng, 0, &mut nodes, total,
+        );
+        Self {
+            tree: Tree {
+                nodes,
+                n_features: binned.n_features(),
+            },
+            n_classes,
+        }
+    }
+
+    /// Class-probability vector for a raw feature row.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.tree.leaf_of(x).to_vec()
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(self.tree.leaf_of(x))
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The underlying node storage (for importances).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+}
+
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_classification(
+    binned: &BinnedMatrix,
+    y: &[usize],
+    n_classes: usize,
+    rows: &[usize],
+    config: &TreeConfig,
+    rng: &mut SmallRng,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    total_rows: f64,
+) -> usize {
+    let mut counts = vec![0.0f64; n_classes];
+    for &r in rows {
+        counts[y[r]] += 1.0;
+    }
+    let n = rows.len() as f64;
+    let node_gini = gini(&counts, n);
+
+    let make_leaf = |counts: &[f64], nodes: &mut Vec<Node>| -> usize {
+        let probs: Vec<f64> = counts.iter().map(|&c| c / n).collect();
+        nodes.push(Node::Leaf(probs));
+        nodes.len() - 1
+    };
+
+    if depth >= config.max_depth
+        || rows.len() < 2 * config.min_samples_leaf
+        || node_gini <= 1e-12
+    {
+        return make_leaf(&counts, nodes);
+    }
+
+    // Candidate features.
+    let candidates = candidate_features(binned.n_features(), config.features_per_split, rng);
+
+    // Best split search over per-bin class histograms.
+    let mut best: Option<(usize, u8, f64)> = None; // (feature, bin, gain)
+    let mut hist = vec![0.0f64; BinnedMatrix::MAX_BINS * n_classes];
+    for &f in &candidates {
+        let n_bins = binned.n_bins(f);
+        if n_bins < 2 {
+            continue;
+        }
+        hist[..n_bins * n_classes].iter_mut().for_each(|v| *v = 0.0);
+        for &r in rows {
+            let b = binned.code(f, r) as usize;
+            hist[b * n_classes + y[r]] += 1.0;
+        }
+        // Prefix scan over bins.
+        let mut left = vec![0.0f64; n_classes];
+        let mut left_n = 0.0;
+        for b in 0..n_bins - 1 {
+            for c in 0..n_classes {
+                left[c] += hist[b * n_classes + c];
+            }
+            left_n = left.iter().sum();
+            let right_n = n - left_n;
+            if left_n < config.min_samples_leaf as f64 || right_n < config.min_samples_leaf as f64
+            {
+                continue;
+            }
+            let right: Vec<f64> = (0..n_classes).map(|c| counts[c] - left[c]).collect();
+            let child_gini =
+                (left_n / n) * gini(&left, left_n) + (right_n / n) * gini(&right, right_n);
+            let gain = node_gini - child_gini;
+            if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((f, b as u8, gain));
+            }
+        }
+        let _ = left_n;
+    }
+
+    let Some((feature, bin, gain)) = best else {
+        return make_leaf(&counts, nodes);
+    };
+
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| binned.code(feature, r) <= bin);
+
+    let idx = nodes.len();
+    nodes.push(Node::Leaf(Vec::new())); // placeholder
+    let left = build_classification(
+        binned, y, n_classes, &left_rows, config, rng, depth + 1, nodes, total_rows,
+    );
+    let right = build_classification(
+        binned, y, n_classes, &right_rows, config, rng, depth + 1, nodes, total_rows,
+    );
+    nodes[idx] = Node::Split {
+        feature,
+        threshold: binned.threshold(feature, bin),
+        left,
+        right,
+        gain: gain * n / total_rows,
+    };
+    idx
+}
+
+// ---------------------------------------------------------------------------
+// Gradient tree (for boosting)
+// ---------------------------------------------------------------------------
+
+/// A second-order gradient tree: fits `-G/(H + λ)` leaf weights on
+/// per-row (gradient, hessian) pairs.
+#[derive(Debug, Clone)]
+pub struct GradientTree {
+    tree: Tree,
+}
+
+impl GradientTree {
+    /// Fits a gradient tree on the rows listed in `rows`.
+    pub fn fit(
+        binned: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        config: &TreeConfig,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert_eq!(grad.len(), hess.len(), "grad/hess length mismatch");
+        assert!(!rows.is_empty(), "need at least one training row");
+        let mut nodes = Vec::new();
+        let total = rows.len() as f64;
+        build_gradient(binned, grad, hess, rows, config, rng, 0, &mut nodes, total);
+        Self {
+            tree: Tree {
+                nodes,
+                n_features: binned.n_features(),
+            },
+        }
+    }
+
+    /// Leaf weight for a raw feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.tree.leaf_of(x)[0]
+    }
+
+    /// The underlying node storage (for importances).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+}
+
+#[inline]
+fn leaf_objective(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_gradient(
+    binned: &BinnedMatrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+    config: &TreeConfig,
+    rng: &mut SmallRng,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    total_rows: f64,
+) -> usize {
+    let (mut g_sum, mut h_sum) = (0.0f64, 0.0f64);
+    for &r in rows {
+        g_sum += grad[r];
+        h_sum += hess[r];
+    }
+
+    let make_leaf = |nodes: &mut Vec<Node>| -> usize {
+        let w = -g_sum / (h_sum + config.lambda);
+        nodes.push(Node::Leaf(vec![w]));
+        nodes.len() - 1
+    };
+
+    if depth >= config.max_depth || rows.len() < 2 * config.min_samples_leaf {
+        return make_leaf(nodes);
+    }
+
+    let parent_obj = leaf_objective(g_sum, h_sum, config.lambda);
+    let candidates = candidate_features(binned.n_features(), config.features_per_split, rng);
+
+    let mut best: Option<(usize, u8, f64)> = None;
+    let mut hist_g = vec![0.0f64; BinnedMatrix::MAX_BINS];
+    let mut hist_h = vec![0.0f64; BinnedMatrix::MAX_BINS];
+    let mut hist_n = vec![0u32; BinnedMatrix::MAX_BINS];
+    for &f in &candidates {
+        let n_bins = binned.n_bins(f);
+        if n_bins < 2 {
+            continue;
+        }
+        hist_g[..n_bins].iter_mut().for_each(|v| *v = 0.0);
+        hist_h[..n_bins].iter_mut().for_each(|v| *v = 0.0);
+        hist_n[..n_bins].iter_mut().for_each(|v| *v = 0);
+        for &r in rows {
+            let b = binned.code(f, r) as usize;
+            hist_g[b] += grad[r];
+            hist_h[b] += hess[r];
+            hist_n[b] += 1;
+        }
+        let (mut gl, mut hl, mut nl) = (0.0f64, 0.0f64, 0u32);
+        for b in 0..n_bins - 1 {
+            gl += hist_g[b];
+            hl += hist_h[b];
+            nl += hist_n[b];
+            let nr = rows.len() as u32 - nl;
+            if (nl as usize) < config.min_samples_leaf || (nr as usize) < config.min_samples_leaf
+            {
+                continue;
+            }
+            let gain = 0.5
+                * (leaf_objective(gl, hl, config.lambda)
+                    + leaf_objective(g_sum - gl, h_sum - hl, config.lambda)
+                    - parent_obj);
+            if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((f, b as u8, gain));
+            }
+        }
+    }
+
+    let Some((feature, bin, gain)) = best else {
+        return make_leaf(nodes);
+    };
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| binned.code(feature, r) <= bin);
+
+    let idx = nodes.len();
+    nodes.push(Node::Leaf(Vec::new()));
+    let left = build_gradient(
+        binned, grad, hess, &left_rows, config, rng, depth + 1, nodes, total_rows,
+    );
+    let right = build_gradient(
+        binned, grad, hess, &right_rows, config, rng, depth + 1, nodes, total_rows,
+    );
+    nodes[idx] = Node::Split {
+        feature,
+        threshold: binned.threshold(feature, bin),
+        left,
+        right,
+        gain: gain * rows.len() as f64 / total_rows,
+    };
+    idx
+}
+
+fn candidate_features(
+    n_features: usize,
+    features_per_split: Option<usize>,
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    match features_per_split {
+        None => (0..n_features).collect(),
+        Some(m) => {
+            let mut all: Vec<usize> = (0..n_features).collect();
+            all.shuffle(rng);
+            all.truncate(m.clamp(1, n_features));
+            all
+        }
+    }
+}
+
+pub(crate) fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    /// y = x0 > 5 (clean threshold task).
+    fn threshold_task() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 11) as f64, (i % 7) as f64]).collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 5.0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn classification_tree_learns_threshold() {
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let t = ClassificationTree::fit(&binned, &y, 2, &rows, &TreeConfig::default(), &mut rng());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| t.predict(xi) == yi)
+            .count();
+        assert_eq!(correct, x.len(), "tree should separate a clean threshold");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let t = ClassificationTree::fit(&binned, &y, 2, &rows, &TreeConfig::default(), &mut rng());
+        for xi in x.iter().take(20) {
+            let p = t.predict_proba(xi);
+            assert_eq!(p.len(), 2);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_prior() {
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let t = ClassificationTree::fit(&binned, &y, 2, &rows, &cfg, &mut rng());
+        assert_eq!(t.tree().n_nodes(), 1);
+        let p = t.predict_proba(&x[0]);
+        let pos = y.iter().filter(|&&v| v == 1).count() as f64 / y.len() as f64;
+        assert!((p[1] - pos).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 90,
+            ..Default::default()
+        };
+        let t = ClassificationTree::fit(&binned, &y, 2, &rows, &cfg, &mut rng());
+        // With huge leaves only the single root split (109 vs 91) is legal.
+        assert!(t.tree().n_nodes() <= 3);
+    }
+
+    #[test]
+    fn gradient_tree_fits_residuals() {
+        // Target: y = 3 if x0 <= 4 else -2. With squared loss, grad = -y
+        // (starting from 0 prediction), hess = 1 → leaves recover means.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64]).collect();
+        let target: Vec<f64> = x.iter().map(|r| if r[0] <= 4.0 { 3.0 } else { -2.0 }).collect();
+        let grad: Vec<f64> = target.iter().map(|t| -t).collect();
+        let hess = vec![1.0; x.len()];
+        let binned = BinnedMatrix::from_rows(&x, 16);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            lambda: 0.0,
+            ..Default::default()
+        };
+        let t = GradientTree::fit(&binned, &grad, &hess, &rows, &cfg, &mut rng());
+        for (xi, ti) in x.iter().zip(&target) {
+            assert!((t.predict(xi) - ti).abs() < 1e-6, "x={:?}", xi);
+        }
+    }
+
+    #[test]
+    fn lambda_shrinks_leaves() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let grad = vec![-1.0; 10];
+        let hess = vec![1.0; 10];
+        let binned = BinnedMatrix::from_rows(&x, 8);
+        let rows: Vec<usize> = (0..10).collect();
+        let fit = |lambda: f64| {
+            let cfg = TreeConfig {
+                max_depth: 0,
+                lambda,
+                ..Default::default()
+            };
+            GradientTree::fit(&binned, &grad, &hess, &rows, &cfg, &mut rng()).predict(&x[0])
+        };
+        assert!((fit(0.0) - 1.0).abs() < 1e-9);
+        assert!(fit(10.0) < fit(0.0));
+    }
+
+    #[test]
+    fn importance_accumulates_on_informative_feature() {
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let t = ClassificationTree::fit(&binned, &y, 2, &rows, &TreeConfig::default(), &mut rng());
+        let mut imp = vec![0.0; 2];
+        t.tree().accumulate_importance(&mut imp);
+        assert!(imp[0] > 0.0, "informative feature should gain importance");
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn feature_subsampling_limits_candidates() {
+        // With only the uninformative feature available the tree can still
+        // split, but determinism of the rng keeps this reproducible.
+        let (x, y) = threshold_task();
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let cfg = TreeConfig {
+            features_per_split: Some(1),
+            ..Default::default()
+        };
+        let a = ClassificationTree::fit(&binned, &y, 2, &rows, &cfg, &mut rng());
+        let b = ClassificationTree::fit(&binned, &y, 2, &rows, &cfg, &mut rng());
+        assert_eq!(a.tree().n_nodes(), b.tree().n_nodes());
+    }
+}

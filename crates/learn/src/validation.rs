@@ -1,0 +1,187 @@
+//! Model validation: per-class rates, probability calibration, and k-fold
+//! cross-validation.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::metrics::ConfusionMatrix;
+
+/// Per-class precision/recall/F1 derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassReport {
+    /// `TP / (TP + FP)` — of the rows predicted as this class, how many were.
+    pub precision: f64,
+    /// `TP / (TP + FN)` — of the rows of this class, how many were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Rows whose true class this is.
+    pub support: u64,
+}
+
+/// Computes per-class precision/recall/F1 from a confusion matrix. Classes
+/// with no predictions get precision 0; classes with no support get recall
+/// and F1 of 0.
+pub fn classification_report(matrix: &ConfusionMatrix) -> Vec<ClassReport> {
+    let counts = matrix.counts();
+    let k = matrix.n_classes();
+    (0..k)
+        .map(|c| {
+            let tp = counts[c][c] as f64;
+            let support: u64 = counts[c].iter().sum();
+            let predicted: u64 = (0..k).map(|r| counts[r][c]).sum();
+            let precision = if predicted == 0 { 0.0 } else { tp / predicted as f64 };
+            let recall = if support == 0 { 0.0 } else { tp / support as f64 };
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            ClassReport {
+                precision,
+                recall,
+                f1,
+                support,
+            }
+        })
+        .collect()
+}
+
+/// Macro-averaged F1 (unweighted mean over classes with support).
+pub fn macro_f1(matrix: &ConfusionMatrix) -> f64 {
+    let reports = classification_report(matrix);
+    let with_support: Vec<&ClassReport> =
+        reports.iter().filter(|r| r.support > 0).collect();
+    if with_support.is_empty() {
+        return 0.0;
+    }
+    with_support.iter().map(|r| r.f1).sum::<f64>() / with_support.len() as f64
+}
+
+/// Multiclass Brier score: mean squared error between the predicted
+/// probability vector and the one-hot truth. 0 is perfect; lower is better.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or out-of-range labels.
+pub fn brier_score(truth: &[usize], probabilities: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), probabilities.len(), "length mismatch");
+    assert!(!truth.is_empty(), "need at least one prediction");
+    let k = probabilities[0].len();
+    let mut total = 0.0;
+    for (&t, p) in truth.iter().zip(probabilities) {
+        assert!(t < k, "label out of range");
+        assert_eq!(p.len(), k, "ragged probability rows");
+        for (c, &pc) in p.iter().enumerate() {
+            let y = if c == t { 1.0 } else { 0.0 };
+            total += (pc - y) * (pc - y);
+        }
+    }
+    total / truth.len() as f64
+}
+
+/// Deterministic k-fold index split: returns `k` disjoint validation folds
+/// covering `0..n`.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > n`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= n, "more folds than rows");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &row) in idx.iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: `fit_score(train_rows, valid_rows)` is
+/// called per fold and must return that fold's score; the mean is returned.
+pub fn cross_validate<F>(n: usize, k: usize, seed: u64, mut fit_score: F) -> f64
+where
+    F: FnMut(&[usize], &[usize]) -> f64,
+{
+    let folds = kfold_indices(n, k, seed);
+    let mut total = 0.0;
+    for valid in &folds {
+        let valid_set: std::collections::BTreeSet<usize> = valid.iter().copied().collect();
+        let train: Vec<usize> = (0..n).filter(|i| !valid_set.contains(i)).collect();
+        total += fit_score(&train, valid);
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::confusion_matrix;
+
+    #[test]
+    fn report_known_values() {
+        // truth:     0 0 1 1 1
+        // predicted: 0 1 1 1 0
+        let m = confusion_matrix(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0], 2);
+        let r = classification_report(&m);
+        assert!((r[0].precision - 0.5).abs() < 1e-12);
+        assert!((r[0].recall - 0.5).abs() < 1e-12);
+        assert!((r[1].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r[1].recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r[0].support, 2);
+        assert_eq!(r[1].support, 3);
+        let f1 = macro_f1(&m);
+        assert!((f1 - (0.5 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_class_handled() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 3);
+        let r = classification_report(&m);
+        assert_eq!(r[2].support, 0);
+        assert_eq!(r[2].f1, 0.0);
+        // Macro-F1 skips unsupported classes.
+        assert!((macro_f1(&m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_extremes() {
+        // Perfect predictions.
+        let perfect = brier_score(&[0, 1], &[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(perfect < 1e-12);
+        // Maximally wrong.
+        let wrong = brier_score(&[0], &[vec![0.0, 1.0]]);
+        assert!((wrong - 2.0).abs() < 1e-12);
+        // Uniform guess over 2 classes.
+        let uniform = brier_score(&[0], &[vec![0.5, 0.5]]);
+        assert!((uniform - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let folds = kfold_indices(23, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() >= 4 && f.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn cross_validate_averages() {
+        // Score = validation fold size; mean must be n / k.
+        let mean = cross_validate(20, 4, 1, |train, valid| {
+            assert_eq!(train.len() + valid.len(), 20);
+            valid.len() as f64
+        });
+        assert!((mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than rows")]
+    fn too_many_folds_panics() {
+        kfold_indices(3, 5, 0);
+    }
+}

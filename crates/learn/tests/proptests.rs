@@ -1,0 +1,75 @@
+//! Property-based tests for the learning substrate.
+
+use proptest::prelude::*;
+
+use rv_learn::{
+    train_test_split, BinnedMatrix, Classifier, GaussianNb, GbdtClassifier, GbdtConfig,
+    RandomForestClassifier, RandomForestConfig, TabularData,
+};
+
+fn dataset(max_n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    prop::collection::vec(
+        (prop::collection::vec(-50.0..50.0f64, 3..=3), 0usize..3),
+        12..max_n,
+    )
+    .prop_map(|rows| {
+        let mut seen = [false; 3];
+        let mut x = Vec::with_capacity(rows.len());
+        let mut y = Vec::with_capacity(rows.len());
+        for (i, (features, label)) in rows.into_iter().enumerate() {
+            // Guarantee all three classes appear.
+            let label = if i < 3 { i } else { label };
+            seen[label] = true;
+            x.push(features);
+            y.push(label);
+        }
+        let _ = seen;
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binning_respects_order((x, _y) in dataset(60)) {
+        let m = BinnedMatrix::from_rows(&x, 16);
+        for f in 0..3 {
+            let mut order: Vec<usize> = (0..x.len()).collect();
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+            for w in order.windows(2) {
+                prop_assert!(m.code(f, w[0]) <= m.code(f, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn classifiers_output_distributions((x, y) in dataset(60)) {
+        let gbdt = GbdtClassifier::fit(&x, &y, 3, &GbdtConfig { n_rounds: 4, ..Default::default() });
+        let rf = RandomForestClassifier::fit(
+            &x, &y, 3,
+            &RandomForestConfig { n_trees: 4, ..Default::default() },
+        );
+        let nb = GaussianNb::fit(&x, &y, 3);
+        let models: [&dyn Classifier; 3] = [&gbdt, &rf, &nb];
+        for m in models {
+            for row in x.iter().take(10) {
+                let p = m.predict_proba(row);
+                prop_assert_eq!(p.len(), 3);
+                let total: f64 = p.iter().sum();
+                prop_assert!((total - 1.0).abs() < 1e-6);
+                prop_assert!(p.iter().all(|&v| v >= -1e-12));
+                prop_assert!(m.predict(row) < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly((x, y) in dataset(80), frac in 0.1..0.5f64, seed in 0u64..100) {
+        let data = TabularData::new(x, y);
+        let (train, test) = train_test_split(&data, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        let expected_test = (data.len() as f64 * frac).round() as usize;
+        prop_assert_eq!(test.len(), expected_test.min(data.len()));
+    }
+}

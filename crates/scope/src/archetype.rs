@@ -1,0 +1,274 @@
+//! Workload archetypes: the variance regimes behind the shape catalog.
+//!
+//! The paper finds that the runtime distributions of thousands of different
+//! job groups collapse onto a *small* catalog of typical shapes (Fig 5):
+//! tight unimodal, wider unimodal, bimodal, heavy-tailed, …. Each shape
+//! arises from an identifiable causal regime (§3.2, §6): input-size
+//! variability, spare-token dependence, machine-load sensitivity, jittery
+//! operators, rare service disruptions.
+//!
+//! Since production telemetry is unavailable, the generator fabricates job
+//! templates drawn from the archetypes below; each archetype pins a
+//! [`VarianceProfile`] that the simulator's physics then turns into the
+//! corresponding distribution shape — the same causal chain the paper
+//! observes, run forwards.
+
+/// Knobs describing how a job template's runtime responds to each source of
+/// variation from §3.2. All multipliers are relative to a neutral 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceProfile {
+    /// Log-normal sigma of the per-run input-size multiplier ("intrinsic"
+    /// variation; the paper observed inputs varying up to 50× in a group).
+    pub input_log_sigma: f64,
+    /// Optional second input regime: with probability `.1`, the input is
+    /// multiplied by `.0` (produces bimodal runtime distributions).
+    pub input_second_mode: Option<(f64, f64)>,
+    /// How aggressively the job consumes preemptive spare tokens when the
+    /// cluster has them (0 = never, 1 = up to the spare cap). Spare usage
+    /// speeds runs up but couples the runtime to unpredictable cluster
+    /// conditions, widening the distribution.
+    pub spare_affinity: f64,
+    /// Multiplier on the probability of rare service disruptions hitting the
+    /// job's vertices (heavy tails / outliers).
+    pub disruption_sensitivity: f64,
+    /// Multiplier on the contention penalty from machine load (noisy
+    /// neighbours).
+    pub load_sensitivity: f64,
+    /// Extra per-vertex service-time jitter from UDFs (Process/Reduce-heavy
+    /// plans), on top of the operator-kind jitter.
+    pub udf_jitter: f64,
+}
+
+impl VarianceProfile {
+    /// A neutral profile: modest intrinsic variation, no special couplings.
+    pub fn neutral() -> Self {
+        Self {
+            input_log_sigma: 0.05,
+            input_second_mode: None,
+            spare_affinity: 0.3,
+            disruption_sensitivity: 1.0,
+            load_sensitivity: 1.0,
+            udf_jitter: 0.0,
+        }
+    }
+
+    /// Validates that all knobs are in sane ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.input_log_sigma >= 0.0 && self.input_log_sigma.is_finite()) {
+            return Err("input_log_sigma must be non-negative and finite".into());
+        }
+        if let Some((factor, prob)) = self.input_second_mode {
+            if factor <= 0.0 || !factor.is_finite() {
+                return Err("second-mode factor must be positive".into());
+            }
+            if !(0.0..=1.0).contains(&prob) {
+                return Err("second-mode probability must be in [0, 1]".into());
+            }
+        }
+        if !(0.0..=1.0).contains(&self.spare_affinity) {
+            return Err("spare_affinity must be in [0, 1]".into());
+        }
+        for (name, v) in [
+            ("disruption_sensitivity", self.disruption_sensitivity),
+            ("load_sensitivity", self.load_sensitivity),
+            ("udf_jitter", self.udf_jitter),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be non-negative and finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The archetype palette the generator samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// Short, deterministic ETL: tight unimodal ratio distribution.
+    StableShort,
+    /// Long batch aggregation: tight in ratio terms, moderate delta spread.
+    StableLong,
+    /// Parameter-driven input regimes: bimodal runtime distribution.
+    BimodalInput,
+    /// UDF-heavy pipeline prone to occasional disruptions: heavy tail.
+    HeavyTailUdf,
+    /// Chases spare tokens aggressively: fast when the cluster is idle, slow
+    /// when it is busy — wide distribution coupled to spare availability.
+    SpareTokenRider,
+    /// Submitted at peak hours onto hot machines: load-sensitive skew.
+    LoadSensitive,
+    /// Index-Lookup / Window / Range heavy plans: persistent jitter (§6).
+    JitteryOperators,
+    /// Input grows steadily over the collection window: drifting mode.
+    DriftingInput,
+}
+
+impl Archetype {
+    /// Every archetype.
+    pub const ALL: [Archetype; 8] = [
+        Archetype::StableShort,
+        Archetype::StableLong,
+        Archetype::BimodalInput,
+        Archetype::HeavyTailUdf,
+        Archetype::SpareTokenRider,
+        Archetype::LoadSensitive,
+        Archetype::JitteryOperators,
+        Archetype::DriftingInput,
+    ];
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::StableShort => "StableShort",
+            Archetype::StableLong => "StableLong",
+            Archetype::BimodalInput => "BimodalInput",
+            Archetype::HeavyTailUdf => "HeavyTailUdf",
+            Archetype::SpareTokenRider => "SpareTokenRider",
+            Archetype::LoadSensitive => "LoadSensitive",
+            Archetype::JitteryOperators => "JitteryOperators",
+            Archetype::DriftingInput => "DriftingInput",
+        }
+    }
+
+    /// The variance profile this archetype pins.
+    pub fn profile(self) -> VarianceProfile {
+        let base = VarianceProfile::neutral();
+        match self {
+            Archetype::StableShort => VarianceProfile {
+                input_log_sigma: 0.02,
+                spare_affinity: 0.05,
+                disruption_sensitivity: 0.3,
+                load_sensitivity: 0.1,
+                ..base
+            },
+            Archetype::StableLong => VarianceProfile {
+                input_log_sigma: 0.03,
+                spare_affinity: 0.1,
+                disruption_sensitivity: 0.5,
+                load_sensitivity: 0.15,
+                ..base
+            },
+            Archetype::BimodalInput => VarianceProfile {
+                input_log_sigma: 0.04,
+                input_second_mode: Some((4.0, 0.3)),
+                spare_affinity: 0.2,
+                load_sensitivity: 0.3,
+                ..base
+            },
+            Archetype::HeavyTailUdf => VarianceProfile {
+                input_log_sigma: 0.10,
+                disruption_sensitivity: 6.0,
+                udf_jitter: 0.25,
+                ..base
+            },
+            Archetype::SpareTokenRider => VarianceProfile {
+                input_log_sigma: 0.06,
+                spare_affinity: 0.95,
+                disruption_sensitivity: 1.5,
+                ..base
+            },
+            Archetype::LoadSensitive => VarianceProfile {
+                input_log_sigma: 0.05,
+                load_sensitivity: 3.5,
+                spare_affinity: 0.4,
+                disruption_sensitivity: 1.5,
+                ..base
+            },
+            Archetype::JitteryOperators => VarianceProfile {
+                input_log_sigma: 0.05,
+                udf_jitter: 0.12,
+                disruption_sensitivity: 1.8,
+                load_sensitivity: 1.5,
+                ..base
+            },
+            Archetype::DriftingInput => VarianceProfile {
+                input_log_sigma: 0.08,
+                spare_affinity: 0.3,
+                ..base
+            },
+        }
+    }
+
+    /// Per-run drift rate of the input size (fraction per day); only
+    /// [`Archetype::DriftingInput`] drifts.
+    pub fn input_drift_per_day(self) -> f64 {
+        match self {
+            Archetype::DriftingInput => 0.004,
+            _ => 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Archetype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_valid() {
+        for a in Archetype::ALL {
+            a.profile().validate().unwrap_or_else(|e| {
+                panic!("archetype {a} has invalid profile: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn bimodal_has_second_mode() {
+        assert!(Archetype::BimodalInput.profile().input_second_mode.is_some());
+        assert!(Archetype::StableShort.profile().input_second_mode.is_none());
+    }
+
+    #[test]
+    fn heavy_tail_most_disruption_sensitive() {
+        let heavy = Archetype::HeavyTailUdf.profile().disruption_sensitivity;
+        for a in Archetype::ALL {
+            if a != Archetype::HeavyTailUdf {
+                assert!(a.profile().disruption_sensitivity < heavy);
+            }
+        }
+    }
+
+    #[test]
+    fn spare_rider_highest_affinity() {
+        let rider = Archetype::SpareTokenRider.profile().spare_affinity;
+        for a in Archetype::ALL {
+            if a != Archetype::SpareTokenRider {
+                assert!(a.profile().spare_affinity < rider);
+            }
+        }
+    }
+
+    #[test]
+    fn only_drifting_drifts() {
+        for a in Archetype::ALL {
+            let d = a.input_drift_per_day();
+            if a == Archetype::DriftingInput {
+                assert!(d > 0.0);
+            } else {
+                assert_eq!(d, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_profiles() {
+        let mut p = VarianceProfile::neutral();
+        p.spare_affinity = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = VarianceProfile::neutral();
+        p.input_log_sigma = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = VarianceProfile::neutral();
+        p.input_second_mode = Some((0.0, 0.5));
+        assert!(p.validate().is_err());
+        let mut p = VarianceProfile::neutral();
+        p.input_second_mode = Some((2.0, 1.5));
+        assert!(p.validate().is_err());
+    }
+}

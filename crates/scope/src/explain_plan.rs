@@ -1,0 +1,120 @@
+//! EXPLAIN-style plan rendering.
+//!
+//! SCOPE (like every SQL engine) can dump its compiled plan; a readable
+//! rendering is indispensable when debugging why two jobs share (or fail to
+//! share) a signature. Renders the stage DAG bottom-up with indentation
+//! following the *first* consumer path and explicit references for shared
+//! subtrees.
+
+use crate::plan::Plan;
+
+/// Renders the plan as an indented tree, sinks first.
+///
+/// Stages consumed by more than one downstream stage are printed once and
+/// referenced as `[stage N]` afterwards, so diamonds stay readable.
+pub fn explain(plan: &Plan) -> String {
+    let stages = plan.stages();
+    // Find sinks (stages nobody consumes).
+    let mut consumed_by = vec![0usize; stages.len()];
+    for s in stages {
+        for &i in &s.inputs {
+            consumed_by[i] += 1;
+        }
+    }
+    let mut out = String::new();
+    let mut printed = vec![false; stages.len()];
+    for (i, &c) in consumed_by.iter().enumerate().rev() {
+        if c == 0 {
+            render(plan, i, 0, &mut printed, &mut out);
+        }
+    }
+    out
+}
+
+fn render(plan: &Plan, idx: usize, depth: usize, printed: &mut [bool], out: &mut String) {
+    let stage = &plan.stages()[idx];
+    let indent = "  ".repeat(depth);
+    let ops: Vec<&str> = stage.operators.iter().map(|o| o.kind.name()).collect();
+    if printed[idx] {
+        out.push_str(&format!("{indent}[stage {idx}] (shared, see above)\n"));
+        return;
+    }
+    printed[idx] = true;
+    let jitter = if stage.is_jittery() { "  [jittery]" } else { "" };
+    out.push_str(&format!(
+        "{indent}stage {idx}: {} (x{} vertices){jitter}\n",
+        ops.join(" -> "),
+        stage.base_vertices
+    ));
+    for &input in &stage.inputs {
+        render(plan, input, depth + 1, printed, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind;
+    use crate::plan::PlanBuilder;
+
+    #[test]
+    fn renders_linear_chain() {
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 8, vec![]);
+        let f = b.simple_stage(OperatorKind::Filter, 4, vec![e]);
+        b.simple_stage(OperatorKind::Output, 1, vec![f]);
+        let text = explain(&b.build());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("stage 2: Output"));
+        assert!(lines[1].trim_start().starts_with("stage 1: Filter"));
+        assert!(lines[2].trim_start().starts_with("stage 0: Extract"));
+        // Indentation deepens along the chain.
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[2].starts_with("    "));
+    }
+
+    #[test]
+    fn diamond_prints_shared_stage_once() {
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 8, vec![]);
+        let f = b.simple_stage(OperatorKind::Filter, 4, vec![e]);
+        let w = b.simple_stage(OperatorKind::Window, 4, vec![e]);
+        b.simple_stage(OperatorKind::HashJoin, 4, vec![f, w]);
+        let text = explain(&b.build());
+        assert_eq!(
+            text.matches("stage 0: Extract").count(),
+            1,
+            "shared stage printed once:\n{text}"
+        );
+        assert!(text.contains("[stage 0] (shared, see above)"));
+        assert!(text.contains("[jittery]"), "window stage flagged:\n{text}");
+    }
+
+    #[test]
+    fn fused_operators_render_as_pipeline() {
+        let mut b = PlanBuilder::new();
+        b.stage(
+            vec![
+                crate::operator::Operator::new(OperatorKind::Extract, 1.0, 1.0),
+                crate::operator::Operator::new(OperatorKind::Filter, 1.0, 1.0),
+                crate::operator::Operator::new(OperatorKind::Project, 1.0, 1.0),
+            ],
+            16,
+            vec![],
+        );
+        let text = explain(&b.build());
+        assert!(text.contains("Extract -> Filter -> Project (x16 vertices)"));
+    }
+
+    #[test]
+    fn multiple_sinks_all_rendered() {
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 4, vec![]);
+        b.simple_stage(OperatorKind::Output, 1, vec![e]);
+        b.simple_stage(OperatorKind::TopN, 1, vec![e]);
+        let text = explain(&b.build());
+        assert!(text.contains("stage 1: Output"));
+        assert!(text.contains("stage 2: TopN"));
+    }
+}

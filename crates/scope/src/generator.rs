@@ -1,0 +1,555 @@
+//! Workload generator: fabricates a recurring-job population.
+//!
+//! Produces [`JobTemplate`]s spread over the [`Archetype`] palette with
+//! plausible plans, names, cadences, and token requests, then realizes
+//! [`JobInstance`]s over an observation window. This is the synthetic
+//! counterpart of the Cosmos production workload (substitution documented in
+//! DESIGN.md): job groups recur with different frequencies (hourly … daily,
+//! Fig 1), input sizes vary within groups (§3.2), and users over-allocate
+//! tokens (§5.1, \[63\]).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::archetype::Archetype;
+use crate::job::{sample_standard_normal, stream_rng, JobInstance, JobTemplate, SubmissionSchedule};
+use crate::operator::{Operator, OperatorKind};
+use crate::plan::{Plan, PlanBuilder};
+use crate::signature::PlanSignature;
+
+/// Configuration of the synthetic workload.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of recurring job templates (job groups) to fabricate.
+    pub n_templates: usize,
+    /// Master seed; all randomness in the generator derives from it.
+    pub seed: u64,
+    /// Relative weights over [`Archetype::ALL`]; need not sum to 1.
+    pub archetype_weights: [f64; 8],
+    /// Median of the log-normal base-input-size distribution, GB.
+    pub median_input_gb: f64,
+    /// Log-sigma of the base-input-size distribution across templates.
+    pub input_log_sigma: f64,
+    /// Mean multiplicative over-allocation of tokens vs. what the job can
+    /// actually use (users over-allocate, \[63\]); 1.0 = exact.
+    pub overallocation: f64,
+    /// Fraction of templates that are *new* jobs: they start submitting
+    /// late in the campaign and therefore have little or no long-interval
+    /// history (the low-occurrence groups of Fig 7b).
+    pub late_start_fraction: f64,
+    /// Whether lever-sensitive templates get a *twin* group: an identical
+    /// plan and size submitted under the opposite condition (off-peak vs
+    /// peak, new-SKU pool vs legacy pool). Production populations contain
+    /// such near-duplicates at scale; they are what lets a model separate
+    /// the causal levers (spare usage, utilization, SKU mix) from
+    /// group-identity proxies — and hence what gives the §7 what-if
+    /// scenarios their bite.
+    pub twins: bool,
+    /// Campaign length hint used to place late starters (days).
+    pub window_days_hint: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            n_templates: 200,
+            seed: 0x5ca1_ab1e,
+            archetype_weights: [2.0, 1.5, 1.0, 1.0, 1.0, 1.0, 1.0, 0.8],
+            median_input_gb: 50.0,
+            input_log_sigma: 1.2,
+            overallocation: 1.5,
+            late_start_fraction: 0.05,
+            window_days_hint: 28.0,
+            twins: true,
+        }
+    }
+}
+
+/// Generates job templates and realizes their instances.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    config: GeneratorConfig,
+    templates: Vec<JobTemplate>,
+}
+
+impl WorkloadGenerator {
+    /// Builds the template population deterministically from the config.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(config.n_templates > 0, "need at least one template");
+        assert!(
+            config.archetype_weights.iter().all(|&w| w >= 0.0)
+                && config.archetype_weights.iter().sum::<f64>() > 0.0,
+            "archetype weights must be non-negative and not all zero"
+        );
+        let mut templates = Vec::with_capacity(config.n_templates * 2);
+        for id in 0..config.n_templates {
+            let mut rng = stream_rng(config.seed, 0x7e00_0000 + id as u64);
+            let archetype = pick_archetype(&config.archetype_weights, &mut rng);
+            templates.push(make_template(id as u32, archetype, &config, &mut rng));
+        }
+        if config.twins {
+            let mut next_id = templates.len() as u32;
+            let mut twin_templates = Vec::new();
+            for t in &templates {
+                if let Some(twin) = make_twin(t, next_id) {
+                    twin_templates.push(twin);
+                    next_id += 1;
+                }
+            }
+            templates.extend(twin_templates);
+        }
+        Self { config, templates }
+    }
+
+    /// The generated templates.
+    pub fn templates(&self) -> &[JobTemplate] {
+        &self.templates
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Realizes every template's instances within `[0, window_s)` seconds,
+    /// sampling submission jitter and input sizes. Instances are returned
+    /// sorted by submission time (the order a cluster would see them).
+    pub fn instances_within(&self, window_s: f64) -> Vec<JobInstance> {
+        let mut out = Vec::new();
+        for t in &self.templates {
+            let mut rng = stream_rng(self.config.seed, 0x1a50_0000 + t.id as u64);
+            let times = t.schedule.submissions_within(window_s, &mut rng);
+            for (seq, &submit_time_s) in times.iter().enumerate() {
+                let input_gb = t.sample_input_gb(submit_time_s, &mut rng);
+                out.push(JobInstance {
+                    template_id: t.id,
+                    seq: seq as u32,
+                    submit_time_s,
+                    input_gb,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            a.submit_time_s
+                .partial_cmp(&b.submit_time_s)
+                .expect("times are finite")
+        });
+        out
+    }
+}
+
+fn pick_archetype(weights: &[f64; 8], rng: &mut SmallRng) -> Archetype {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return Archetype::ALL[i];
+        }
+        x -= w;
+    }
+    Archetype::ALL[7]
+}
+
+fn make_template(
+    id: u32,
+    archetype: Archetype,
+    config: &GeneratorConfig,
+    rng: &mut SmallRng,
+) -> JobTemplate {
+    let plan = make_plan(archetype, rng);
+    let signature = PlanSignature::of(&plan);
+    // Base input: log-normal across templates; long-running archetypes skew
+    // larger so the population spans seconds-to-hours like the paper's.
+    let scale = match archetype {
+        Archetype::StableShort => 0.15,
+        Archetype::StableLong => 6.0,
+        Archetype::HeavyTailUdf => 2.0,
+        _ => 1.0,
+    };
+    let z = sample_standard_normal(rng);
+    let base_input_gb =
+        (config.median_input_gb * scale * (config.input_log_sigma * z).exp()).max(0.05);
+
+    // Token request: roughly proportional to the work, then over-allocated.
+    let usable = (base_input_gb.sqrt() * 6.0).clamp(4.0, 600.0);
+    let over = config.overallocation * rng.gen_range(0.8..1.4);
+    let allocated_tokens = (usable * over).round().max(1.0) as u32;
+
+    let mut schedule = match archetype {
+        // Load-sensitive pipelines are business-hours jobs: they submit at
+        // the diurnal peak (~noon), so their instances systematically see
+        // hot machines — the causal chain behind §7.3.
+        Archetype::LoadSensitive => SubmissionSchedule {
+            period_s: 86_400.0,
+            jitter_s: 1_800.0,
+            phase_s: 43_200.0 + rng.gen_range(-3_600.0..3_600.0),
+        },
+        // Spare-token riders are overnight batch jobs: they submit at the
+        // trough, when idle capacity (spare tokens) is plentiful (§7.1).
+        Archetype::SpareTokenRider => SubmissionSchedule {
+            period_s: 86_400.0,
+            jitter_s: 1_800.0,
+            phase_s: rng.gen_range(0.0..7_200.0),
+        },
+        _ => match rng.gen_range(0..4u8) {
+            0 => SubmissionSchedule::hourly(),
+            1 => SubmissionSchedule {
+                period_s: 6.0 * 3600.0,
+                jitter_s: 300.0,
+                phase_s: rng.gen_range(0.0..3600.0),
+            },
+            2 => SubmissionSchedule {
+                period_s: 12.0 * 3600.0,
+                jitter_s: 300.0,
+                phase_s: rng.gen_range(0.0..3600.0),
+            },
+            _ => SubmissionSchedule::daily(),
+        },
+    };
+    // New jobs: first submission lands late in the campaign, so the group
+    // accumulates only a handful of occurrences and no long history.
+    if rng.gen_bool(config.late_start_fraction.clamp(0.0, 1.0)) {
+        schedule.phase_s += rng.gen_range(0.55..0.97) * config.window_days_hint * 86_400.0;
+    }
+
+    // Data-locality pinning: a fraction of jobs (more often the jittery /
+    // heavy legacy pipelines) are pinned near their data on a specific
+    // generation pool — the §7.2 lever.
+    let sku_affinity = if rng.gen_bool(0.4) {
+        // Indices into the fleet's generation list (0 = oldest). Legacy
+        // pools dominate.
+        let weights = [0.20, 0.30, 0.20, 0.10, 0.10, 0.10];
+        let mut x: f64 = rng.gen_range(0.0..1.0);
+        let mut idx = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                idx = i;
+                break;
+            }
+            x -= w;
+            idx = i;
+        }
+        Some(idx)
+    } else {
+        None
+    };
+
+    JobTemplate {
+        id,
+        raw_name: format!("{}-{:04}@20230101", archetype.name(), id),
+        plan,
+        signature,
+        archetype,
+        base_input_gb,
+        allocated_tokens,
+        schedule,
+        sku_affinity,
+    }
+}
+
+/// Builds the counterfactual twin of a lever-sensitive template: the same
+/// plan, size, and allocation submitted under the opposite condition. Twins
+/// share everything *except* the lever, so the trained model can only
+/// separate them through the causal feature the §7 scenarios manipulate.
+fn make_twin(t: &JobTemplate, id: u32) -> Option<JobTemplate> {
+    let mut twin = t.clone();
+    twin.id = id;
+    // Insert the twin marker before the submission-date decoration so the
+    // normalized name stays tidy ("stableshort-0006-twin").
+    twin.raw_name = match t.raw_name.find('@') {
+        Some(pos) => format!("{}-twin{}", &t.raw_name[..pos], &t.raw_name[pos..]),
+        None => format!("{}-twin", t.raw_name),
+    };
+    match t.archetype {
+        // Peak-hour job re-scheduled overnight: low, steady load exposure.
+        Archetype::LoadSensitive => {
+            twin.schedule.phase_s = (t.schedule.phase_s - 43_200.0).rem_euclid(86_400.0);
+        }
+        // Overnight spare rider re-scheduled to the peak: no spare tokens
+        // to grab there.
+        Archetype::SpareTokenRider => {
+            twin.schedule.phase_s = (t.schedule.phase_s + 43_200.0).rem_euclid(86_400.0);
+        }
+        _ => {
+            // Legacy-pool-pinned jobs get a twin migrated to the newest
+            // refresh pool (generation index 4 = Gen5.2 in the default
+            // fleet).
+            match t.sku_affinity {
+                Some(idx) if idx <= 1 => twin.sku_affinity = Some(4),
+                _ => return None,
+            }
+        }
+    }
+    Some(twin)
+}
+
+/// Builds a random plan whose operator mix reflects the archetype.
+fn make_plan(archetype: Archetype, rng: &mut SmallRng) -> Plan {
+    let mut b = PlanBuilder::new();
+    let n_extracts = rng.gen_range(1..=3usize);
+    // Vertex counts are large relative to token allocations, so execution
+    // is typically token-limited: parallelism (and spare tokens) then have
+    // real causal effect on runtimes, as on Cosmos.
+    let mut frontier: Vec<usize> = (0..n_extracts)
+        .map(|_| {
+            b.stage(
+                vec![Operator::new(OperatorKind::Extract, 1e6, 10.0)],
+                rng.gen_range(30..120),
+                vec![],
+            )
+        })
+        .collect();
+
+    // Middle stages: archetype-flavoured operator palette.
+    let palette: &[OperatorKind] = match archetype {
+        Archetype::HeavyTailUdf => &[
+            OperatorKind::Process,
+            OperatorKind::Reduce,
+            OperatorKind::Filter,
+            OperatorKind::Exchange,
+            OperatorKind::HashAggregate,
+        ],
+        Archetype::JitteryOperators => &[
+            OperatorKind::IndexLookup,
+            OperatorKind::Window,
+            OperatorKind::Range,
+            OperatorKind::Filter,
+            OperatorKind::Exchange,
+        ],
+        Archetype::StableShort => &[
+            OperatorKind::Filter,
+            OperatorKind::Project,
+            OperatorKind::TopN,
+        ],
+        Archetype::StableLong => &[
+            OperatorKind::HashAggregate,
+            OperatorKind::Sort,
+            OperatorKind::Exchange,
+            OperatorKind::Project,
+        ],
+        _ => &[
+            OperatorKind::Filter,
+            OperatorKind::Project,
+            OperatorKind::HashJoin,
+            OperatorKind::HashAggregate,
+            OperatorKind::Exchange,
+            OperatorKind::Sort,
+            OperatorKind::StreamAggregate,
+            OperatorKind::Union,
+        ],
+    };
+
+    let n_middle = rng.gen_range(2..=6usize);
+    for m in 0..n_middle {
+        let n_ops = rng.gen_range(1..=3usize);
+        let mut ops: Vec<Operator> = (0..n_ops)
+            .map(|_| {
+                let kind = palette[rng.gen_range(0..palette.len())];
+                Operator::new(kind, 1e5, 5.0)
+            })
+            .collect();
+        // The jittery archetype is *defined* by its §6 operators; guarantee
+        // at least one lands in the plan regardless of palette sampling.
+        if m == 0 && archetype == Archetype::JitteryOperators {
+            ops[0] = Operator::new(OperatorKind::IndexLookup, 1e5, 5.0);
+        }
+        // Consume 1..=2 frontier stages (joins consume two).
+        let n_in = if frontier.len() >= 2 && rng.gen_bool(0.3) {
+            2
+        } else {
+            1
+        };
+        let mut inputs = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            let i = rng.gen_range(0..frontier.len());
+            inputs.push(frontier.swap_remove(i));
+        }
+        let idx = b.stage(ops, rng.gen_range(16..80), inputs);
+        frontier.push(idx);
+    }
+
+    // Single output stage consuming whatever remains.
+    let inputs = std::mem::take(&mut frontier);
+    b.stage(
+        vec![Operator::new(OperatorKind::Output, 1e4, 2.0)],
+        rng.gen_range(1..4),
+        inputs,
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn generator(n: usize, seed: u64) -> WorkloadGenerator {
+        WorkloadGenerator::new(GeneratorConfig {
+            n_templates: n,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_template_count_plus_twins() {
+        let g = generator(50, 1);
+        // 50 primaries plus one twin per lever-sensitive template.
+        assert!(g.templates().len() >= 50);
+        let twins = g
+            .templates()
+            .iter()
+            .filter(|t| t.raw_name.contains("-twin"))
+            .count();
+        assert_eq!(g.templates().len(), 50 + twins);
+        assert!(twins > 5, "expected a meaningful twin population, got {twins}");
+        // Ids stay dense and unique.
+        for (i, t) in g.templates().iter().enumerate() {
+            assert_eq!(t.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn twins_share_plan_but_not_group() {
+        let g = generator(80, 2);
+        for twin in g.templates().iter().filter(|t| t.raw_name.contains("-twin")) {
+            let base_name = twin.raw_name.replace("-twin", "");
+            let primary = g
+                .templates()
+                .iter()
+                .find(|t| t.raw_name == base_name)
+                .expect("twin has a primary");
+            assert_eq!(primary.signature, twin.signature, "same plan");
+            assert_eq!(primary.base_input_gb, twin.base_input_gb);
+            assert_eq!(primary.allocated_tokens, twin.allocated_tokens);
+            assert_ne!(primary.group_key(), twin.group_key(), "distinct groups");
+            // The twin differs in exactly one lever.
+            let lever_differs = primary.schedule.phase_s != twin.schedule.phase_s
+                || primary.sku_affinity != twin.sku_affinity;
+            assert!(lever_differs);
+        }
+    }
+
+    #[test]
+    fn twins_can_be_disabled() {
+        let cfg = GeneratorConfig {
+            n_templates: 40,
+            twins: false,
+            ..Default::default()
+        };
+        let g = WorkloadGenerator::new(cfg);
+        assert_eq!(g.templates().len(), 40);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generator(30, 99);
+        let b = generator(30, 99);
+        for (ta, tb) in a.templates().iter().zip(b.templates()) {
+            assert_eq!(ta.signature, tb.signature);
+            assert_eq!(ta.base_input_gb, tb.base_input_gb);
+            assert_eq!(ta.allocated_tokens, tb.allocated_tokens);
+        }
+        let ia = a.instances_within(86_400.0);
+        let ib = b.instances_within(86_400.0);
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generator(30, 1);
+        let b = generator(30, 2);
+        let same = a
+            .templates()
+            .iter()
+            .zip(b.templates())
+            .filter(|(x, y)| x.base_input_gb == y.base_input_gb)
+            .count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn covers_multiple_archetypes() {
+        let g = generator(200, 3);
+        let kinds: HashSet<Archetype> = g.templates().iter().map(|t| t.archetype).collect();
+        assert!(kinds.len() >= 6, "only {} archetypes present", kinds.len());
+    }
+
+    #[test]
+    fn zero_weight_excludes_archetype() {
+        let mut cfg = GeneratorConfig {
+            n_templates: 100,
+            ..Default::default()
+        };
+        cfg.archetype_weights = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let g = WorkloadGenerator::new(cfg);
+        assert!(g
+            .templates()
+            .iter()
+            .all(|t| t.archetype == Archetype::StableShort));
+    }
+
+    #[test]
+    fn instances_sorted_and_grouped() {
+        let g = generator(20, 7);
+        let instances = g.instances_within(2.0 * 86_400.0);
+        assert!(!instances.is_empty());
+        for w in instances.windows(2) {
+            assert!(w[0].submit_time_s <= w[1].submit_time_s);
+        }
+        // Hourly templates should recur ~48 times over two days.
+        let mut per_template: HashMap<u32, usize> = HashMap::new();
+        for i in &instances {
+            *per_template.entry(i.template_id).or_default() += 1;
+        }
+        let max = per_template.values().copied().max().unwrap();
+        assert!(max >= 40, "max recurrences {max}");
+    }
+
+    #[test]
+    fn tokens_overallocated_relative_to_usable() {
+        let g = generator(100, 5);
+        // On average the allocation should exceed sqrt(input)*6 (the usable
+        // level) by roughly the configured overallocation factor.
+        let mut ratio_sum = 0.0;
+        for t in g.templates() {
+            let usable = (t.base_input_gb.sqrt() * 6.0).clamp(4.0, 600.0);
+            ratio_sum += t.allocated_tokens as f64 / usable;
+        }
+        let mean_ratio = ratio_sum / g.templates().len() as f64;
+        assert!(mean_ratio > 1.2, "mean over-allocation {mean_ratio}");
+    }
+
+    #[test]
+    fn jittery_archetype_has_jittery_plans() {
+        let mut cfg = GeneratorConfig {
+            n_templates: 20,
+            ..Default::default()
+        };
+        cfg.archetype_weights = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+        let g = WorkloadGenerator::new(cfg);
+        for t in g.templates() {
+            assert_eq!(t.archetype, Archetype::JitteryOperators);
+            assert!(
+                t.plan.operator_counts().jittery_total() > 0,
+                "jittery template without jittery operators"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_have_valid_structure() {
+        let g = generator(50, 11);
+        for t in g.templates() {
+            assert!(t.plan.n_stages() >= 3);
+            assert!(t.plan.critical_path_len() >= 2);
+            assert!(t.plan.total_base_vertices() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one template")]
+    fn rejects_empty_population() {
+        generator(0, 1);
+    }
+}

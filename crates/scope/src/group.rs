@@ -1,0 +1,129 @@
+//! Job groups: the unit of recurrence analysis (§3.1).
+//!
+//! Variation is only meaningful across repeated runs, so the paper assembles
+//! job instances into *job groups* keyed by the pair:
+//!
+//! 1. the **normalized job name** — the submitted name with volatile parts
+//!    (submission time, input dataset) stripped; and
+//! 2. the **plan signature** — the recursive DAG hash of
+//!    [`crate::signature::PlanSignature`], which excludes input parameters.
+
+use crate::signature::PlanSignature;
+
+/// The composite key identifying a recurring job group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobGroupKey {
+    /// Normalized job name (volatile substrings removed).
+    pub normalized_name: String,
+    /// Recursive hash of the compiled plan DAG.
+    pub signature: PlanSignature,
+}
+
+impl JobGroupKey {
+    /// Creates a key from an already-normalized name and a signature.
+    pub fn new(normalized_name: impl Into<String>, signature: PlanSignature) -> Self {
+        Self {
+            normalized_name: normalized_name.into(),
+            signature,
+        }
+    }
+
+    /// Normalizes a raw submitted job name by stripping volatile decorations,
+    /// mirroring the normalization of \[32, 82\] referenced in §3.1:
+    ///
+    /// * a trailing `@<digits>` submission-timestamp suffix;
+    /// * a trailing `#<anything>` input-dataset suffix;
+    /// * surrounding whitespace; case is folded to lowercase.
+    pub fn normalize_name(raw: &str) -> String {
+        let mut s = raw.trim();
+        // Strip decorations to a fixpoint so normalization is idempotent
+        // (names can carry several layers, e.g. `job@20230101#ds`).
+        loop {
+            let before = s;
+            if let Some(pos) = s.find('#') {
+                s = s[..pos].trim_end();
+            }
+            if let Some(pos) = s.rfind('@') {
+                if pos + 1 < s.len() && s[pos + 1..].chars().all(|c| c.is_ascii_digit()) {
+                    s = s[..pos].trim_end();
+                }
+            }
+            if s == before {
+                break;
+            }
+        }
+        s.to_ascii_lowercase()
+    }
+
+    /// Builds a key from a raw job name (normalizing it) and a signature.
+    pub fn from_raw(raw_name: &str, signature: PlanSignature) -> Self {
+        Self::new(Self::normalize_name(raw_name), signature)
+    }
+}
+
+impl std::fmt::Display for JobGroupKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.normalized_name, self.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_timestamp_suffix() {
+        assert_eq!(
+            JobGroupKey::normalize_name("DailyRevenue@20230401"),
+            "dailyrevenue"
+        );
+    }
+
+    #[test]
+    fn strips_dataset_suffix() {
+        assert_eq!(
+            JobGroupKey::normalize_name("DailyRevenue#/shares/input/2023-04-01.ss"),
+            "dailyrevenue"
+        );
+    }
+
+    #[test]
+    fn strips_both_and_whitespace() {
+        assert_eq!(
+            JobGroupKey::normalize_name("  Daily Revenue@123#ds  "),
+            "daily revenue"
+        );
+    }
+
+    #[test]
+    fn keeps_non_numeric_at_suffix() {
+        // An '@' followed by non-digits is part of the real name.
+        assert_eq!(
+            JobGroupKey::normalize_name("team@contoso-pipeline"),
+            "team@contoso-pipeline"
+        );
+    }
+
+    #[test]
+    fn same_inputs_same_key() {
+        let sig = PlanSignature(42);
+        let a = JobGroupKey::from_raw("Job@111", sig);
+        let b = JobGroupKey::from_raw("JOB@222", sig);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_signature_different_key() {
+        let a = JobGroupKey::from_raw("Job", PlanSignature(1));
+        let b = JobGroupKey::from_raw("Job", PlanSignature(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_contains_both_parts() {
+        let k = JobGroupKey::from_raw("MyJob@1", PlanSignature(0xabc));
+        let s = k.to_string();
+        assert!(s.starts_with("myjob:"));
+        assert!(s.ends_with("0000000000000abc"));
+    }
+}

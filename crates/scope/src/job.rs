@@ -1,0 +1,275 @@
+//! Job templates and job instances.
+//!
+//! A [`JobTemplate`] is the definition of a *recurring* job: its plan, its
+//! submission cadence, its resource request, and its variance profile. Each
+//! realized run is a [`JobInstance`] — the unit whose runtime the paper
+//! studies. Instances of one template share a [`JobGroupKey`] (name +
+//! signature) but differ in parameters and input sizes (§3.2, "Intrinsic
+//! characteristics").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::archetype::Archetype;
+use crate::group::JobGroupKey;
+use crate::plan::Plan;
+use crate::signature::PlanSignature;
+
+/// How often a recurring job is submitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmissionSchedule {
+    /// Seconds between consecutive submissions.
+    pub period_s: f64,
+    /// Uniform jitter applied to each submission time, in seconds.
+    pub jitter_s: f64,
+    /// Offset of the first submission from the start of the window, seconds.
+    pub phase_s: f64,
+}
+
+impl SubmissionSchedule {
+    /// Hourly schedule with moderate jitter.
+    pub fn hourly() -> Self {
+        Self {
+            period_s: 3_600.0,
+            jitter_s: 120.0,
+            phase_s: 0.0,
+        }
+    }
+
+    /// Daily schedule with moderate jitter.
+    pub fn daily() -> Self {
+        Self {
+            period_s: 86_400.0,
+            jitter_s: 600.0,
+            phase_s: 0.0,
+        }
+    }
+
+    /// All submission times within `[0, window_s)`, jittered deterministically
+    /// by `rng`.
+    pub fn submissions_within(&self, window_s: f64, rng: &mut SmallRng) -> Vec<f64> {
+        assert!(self.period_s > 0.0, "period must be positive");
+        let mut times = Vec::new();
+        let mut t = self.phase_s;
+        while t < window_s {
+            let jitter = if self.jitter_s > 0.0 {
+                rng.gen_range(-self.jitter_s..self.jitter_s)
+            } else {
+                0.0
+            };
+            let st = (t + jitter).max(0.0);
+            if st < window_s {
+                times.push(st);
+            }
+            t += self.period_s;
+        }
+        times
+    }
+}
+
+/// The definition of one recurring job.
+#[derive(Debug, Clone)]
+pub struct JobTemplate {
+    /// Unique template id (dense, assigned by the generator).
+    pub id: u32,
+    /// Raw submitted name (before normalization).
+    pub raw_name: String,
+    /// The compiled plan.
+    pub plan: Plan,
+    /// The plan's signature (cached).
+    pub signature: PlanSignature,
+    /// Archetype that pinned this template's variance profile.
+    pub archetype: Archetype,
+    /// Reference input size in GB at the start of the window.
+    pub base_input_gb: f64,
+    /// Guaranteed token allocation requested at submission (§3.2). Users
+    /// frequently over-allocate; the generator encodes that bias.
+    pub allocated_tokens: u32,
+    /// Submission cadence.
+    pub schedule: SubmissionSchedule,
+    /// Optional SKU-generation affinity (index into the fleet's generation
+    /// list, oldest = 0): legacy jobs are often pinned near their data on
+    /// older machine pools, which couples their vertex placement — and hence
+    /// their runtime stability (§3.2, §7.2) — to that generation.
+    pub sku_affinity: Option<usize>,
+}
+
+impl JobTemplate {
+    /// The group key shared by all instances of this template.
+    pub fn group_key(&self) -> JobGroupKey {
+        JobGroupKey::from_raw(&self.raw_name, self.signature)
+    }
+
+    /// Samples the input size (GB) for a run submitted at `submit_time_s`,
+    /// applying log-normal intrinsic variation, the optional second mode, and
+    /// archetype drift. Deterministic given `rng` state.
+    pub fn sample_input_gb(&self, submit_time_s: f64, rng: &mut SmallRng) -> f64 {
+        let profile = self.archetype.profile();
+        // Log-normal multiplicative noise around the base size.
+        let z: f64 = sample_standard_normal(rng);
+        let mut size = self.base_input_gb * (profile.input_log_sigma * z).exp();
+        if let Some((factor, prob)) = profile.input_second_mode {
+            if rng.gen_bool(prob) {
+                size *= factor;
+            }
+        }
+        let drift = self.archetype.input_drift_per_day() * submit_time_s / 86_400.0;
+        size * (1.0 + drift)
+    }
+}
+
+/// One realized run of a template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobInstance {
+    /// Template this instance was spawned from.
+    pub template_id: u32,
+    /// Recurrence index within the template (0-based).
+    pub seq: u32,
+    /// Submission time, seconds from the start of the observation window.
+    pub submit_time_s: f64,
+    /// Realized input size in GB.
+    pub input_gb: f64,
+}
+
+impl JobInstance {
+    /// Scaling factor of this run relative to the template's reference size.
+    pub fn input_scale(&self, template: &JobTemplate) -> f64 {
+        self.input_gb / template.base_input_gb
+    }
+}
+
+/// Samples a standard normal deviate via Box–Muller (avoids the
+/// `rand_distr` dependency).
+pub fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Seeds a [`SmallRng`] from a master seed and a stream id, so independent
+/// entities get decorrelated deterministic streams.
+pub fn stream_rng(master_seed: u64, stream: u64) -> SmallRng {
+    // SplitMix64 over (seed, stream) — standard seed-derivation trick.
+    let mut z = master_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind;
+    use crate::plan::PlanBuilder;
+
+    fn template(archetype: Archetype) -> JobTemplate {
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 10, vec![]);
+        b.simple_stage(OperatorKind::Output, 1, vec![e]);
+        let plan = b.build();
+        let signature = PlanSignature::of(&plan);
+        JobTemplate {
+            id: 0,
+            raw_name: "T@1".into(),
+            plan,
+            signature,
+            archetype,
+            base_input_gb: 100.0,
+            allocated_tokens: 50,
+            schedule: SubmissionSchedule::hourly(),
+            sku_affinity: None,
+        }
+    }
+
+    #[test]
+    fn schedule_covers_window() {
+        let mut rng = stream_rng(1, 1);
+        let times = SubmissionSchedule::hourly().submissions_within(86_400.0, &mut rng);
+        assert_eq!(times.len(), 24);
+        assert!(times.iter().all(|&t| (0.0..86_400.0).contains(&t)));
+    }
+
+    #[test]
+    fn schedule_zero_jitter_is_exact() {
+        let mut rng = stream_rng(1, 2);
+        let s = SubmissionSchedule {
+            period_s: 100.0,
+            jitter_s: 0.0,
+            phase_s: 10.0,
+        };
+        let times = s.submissions_within(500.0, &mut rng);
+        assert_eq!(times, vec![10.0, 110.0, 210.0, 310.0, 410.0]);
+    }
+
+    #[test]
+    fn input_sampling_is_deterministic() {
+        let t = template(Archetype::StableShort);
+        let a = t.sample_input_gb(0.0, &mut stream_rng(7, 3));
+        let b = t.sample_input_gb(0.0, &mut stream_rng(7, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_inputs_are_tight() {
+        let t = template(Archetype::StableShort);
+        let mut rng = stream_rng(11, 0);
+        let sizes: Vec<f64> = (0..200).map(|_| t.sample_input_gb(0.0, &mut rng)).collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max / min < 1.3, "stable archetype inputs too spread");
+    }
+
+    #[test]
+    fn bimodal_inputs_have_two_regimes() {
+        let t = template(Archetype::BimodalInput);
+        let mut rng = stream_rng(11, 1);
+        let sizes: Vec<f64> = (0..500).map(|_| t.sample_input_gb(0.0, &mut rng)).collect();
+        let big = sizes.iter().filter(|&&s| s > 180.0).count();
+        // Second mode multiplies by 2.4 with prob 0.35.
+        assert!(big > 100 && big < 250, "got {big} large runs");
+    }
+
+    #[test]
+    fn drifting_inputs_grow() {
+        let t = template(Archetype::DriftingInput);
+        let mut rng = stream_rng(11, 2);
+        let early: f64 = (0..100)
+            .map(|_| t.sample_input_gb(0.0, &mut rng))
+            .sum::<f64>()
+            / 100.0;
+        let late: f64 = (0..100)
+            .map(|_| t.sample_input_gb(90.0 * 86_400.0, &mut rng))
+            .sum::<f64>()
+            / 100.0;
+        assert!(late > early * 1.2, "early {early}, late {late}");
+    }
+
+    #[test]
+    fn group_key_ignores_raw_decorations() {
+        let mut t1 = template(Archetype::StableShort);
+        let mut t2 = template(Archetype::StableShort);
+        t1.raw_name = "Pipeline@20230101".into();
+        t2.raw_name = "pipeline@20230301".into();
+        assert_eq!(t1.group_key(), t2.group_key());
+    }
+
+    #[test]
+    fn stream_rngs_decorrelated() {
+        let a: u64 = stream_rng(5, 1).gen();
+        let b: u64 = stream_rng(5, 2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = stream_rng(42, 0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

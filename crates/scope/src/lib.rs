@@ -1,0 +1,42 @@
+//! # rv-scope — SCOPE-like workload model
+//!
+//! A faithful stand-in for the SCOPE job model described in §3 of *Runtime
+//! Variation in Big Data Analytics*:
+//!
+//! * jobs are authored as operator DAGs ([`operator`], [`plan`]) compiled into
+//!   stages of *vertices* — individual processes that each run in one
+//!   container/token on one machine;
+//! * recurrences are identified by a *job group key* ([`group`]): the
+//!   normalized job name plus a *signature* ([`signature`]) hashed recursively
+//!   over the operator DAG, deliberately excluding input parameters and
+//!   dataset sizes (§3.1);
+//! * a query [`optimizer`] produces cardinality/cost estimates that can be
+//!   "quite off" (§5.1), with configurable mis-estimation;
+//! * a [`generator`] fabricates a population of recurring job templates whose
+//!   archetypes ([`archetype`]) span the variance regimes that give rise to
+//!   the paper's catalog of runtime-distribution shapes: stable, bimodal,
+//!   heavy-tailed, load-sensitive, spare-token-dependent, drifting.
+//!
+//! The generator is the workload side of the substitution documented in
+//! DESIGN.md: real Cosmos telemetry is proprietary, so we synthesize job
+//! populations whose *causal structure* matches the paper's findings.
+
+pub mod archetype;
+pub mod explain_plan;
+pub mod generator;
+pub mod group;
+pub mod job;
+pub mod operator;
+pub mod optimizer;
+pub mod plan;
+pub mod signature;
+
+pub use archetype::{Archetype, VarianceProfile};
+pub use explain_plan::explain;
+pub use generator::{GeneratorConfig, WorkloadGenerator};
+pub use group::JobGroupKey;
+pub use job::{JobInstance, JobTemplate, SubmissionSchedule};
+pub use operator::{Operator, OperatorKind};
+pub use optimizer::{CardinalityEstimator, PlanEstimate};
+pub use plan::{Plan, PlanBuilder, Stage};
+pub use signature::PlanSignature;

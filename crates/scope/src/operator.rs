@@ -1,0 +1,277 @@
+//! SCOPE relational operators.
+//!
+//! SCOPE compiles a SQL-like script (plus C# UDFs) into an optimized DAG of
+//! operators (§3). The paper's feature set includes *per-kind operator
+//! counts*, and §6 singles out Index-Lookup, Window, and Range operators as
+//! variance-increasing. We model the operator vocabulary as a closed enum so
+//! per-kind counts form a fixed-width feature block.
+
+/// The operator vocabulary of our SCOPE-like plans.
+///
+/// The set covers the kinds the paper names explicitly (Extract, Filter,
+/// Index-Lookup, Window, Range) plus the usual relational/dataflow suspects
+/// present in SCOPE plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum OperatorKind {
+    /// Reads and parses input streams (SCOPE `EXTRACT`).
+    Extract = 0,
+    /// Row filter on a predicate.
+    Filter,
+    /// Column projection / computed columns.
+    Project,
+    /// Hash-based aggregation.
+    HashAggregate,
+    /// Stream (sort-based) aggregation.
+    StreamAggregate,
+    /// Hash join.
+    HashJoin,
+    /// Merge join.
+    MergeJoin,
+    /// Broadcast join (small build side replicated).
+    BroadcastJoin,
+    /// Full sort.
+    Sort,
+    /// Top-N selection.
+    TopN,
+    /// Data exchange / repartition (shuffle).
+    Exchange,
+    /// Point lookups against an index — variance-increasing per §6.
+    IndexLookup,
+    /// Window functions over partitions — variance-increasing per §6.
+    Window,
+    /// Range partitioning / range scans — variance-increasing per §6.
+    Range,
+    /// User-defined C# processor (row-wise UDF).
+    Process,
+    /// User-defined reducer.
+    Reduce,
+    /// Union of inputs.
+    Union,
+    /// Writes final output (SCOPE `OUTPUT`).
+    Output,
+}
+
+impl OperatorKind {
+    /// Every operator kind, in discriminant order. The index of a kind in
+    /// this array is its feature-column offset.
+    pub const ALL: [OperatorKind; 18] = [
+        OperatorKind::Extract,
+        OperatorKind::Filter,
+        OperatorKind::Project,
+        OperatorKind::HashAggregate,
+        OperatorKind::StreamAggregate,
+        OperatorKind::HashJoin,
+        OperatorKind::MergeJoin,
+        OperatorKind::BroadcastJoin,
+        OperatorKind::Sort,
+        OperatorKind::TopN,
+        OperatorKind::Exchange,
+        OperatorKind::IndexLookup,
+        OperatorKind::Window,
+        OperatorKind::Range,
+        OperatorKind::Process,
+        OperatorKind::Reduce,
+        OperatorKind::Union,
+        OperatorKind::Output,
+    ];
+
+    /// Number of distinct operator kinds.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable feature-column index of this kind.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short name as it would appear in a plan dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorKind::Extract => "Extract",
+            OperatorKind::Filter => "Filter",
+            OperatorKind::Project => "Project",
+            OperatorKind::HashAggregate => "HashAggregate",
+            OperatorKind::StreamAggregate => "StreamAggregate",
+            OperatorKind::HashJoin => "HashJoin",
+            OperatorKind::MergeJoin => "MergeJoin",
+            OperatorKind::BroadcastJoin => "BroadcastJoin",
+            OperatorKind::Sort => "Sort",
+            OperatorKind::TopN => "TopN",
+            OperatorKind::Exchange => "Exchange",
+            OperatorKind::IndexLookup => "IndexLookup",
+            OperatorKind::Window => "Window",
+            OperatorKind::Range => "Range",
+            OperatorKind::Process => "Process",
+            OperatorKind::Reduce => "Reduce",
+            OperatorKind::Union => "Union",
+            OperatorKind::Output => "Output",
+        }
+    }
+
+    /// Whether §6 of the paper identifies this kind as variance-increasing
+    /// (Index-Lookup, Window, Range). The simulator gives vertices dominated
+    /// by these operators extra service-time jitter.
+    #[inline]
+    pub fn is_jittery(self) -> bool {
+        matches!(
+            self,
+            OperatorKind::IndexLookup | OperatorKind::Window | OperatorKind::Range
+        )
+    }
+
+    /// Relative CPU cost per row processed, used by the simulator to convert
+    /// data volume into work. Unitless; Extract = 1.0 is the reference.
+    pub fn cost_per_row(self) -> f64 {
+        match self {
+            OperatorKind::Extract => 1.0,
+            OperatorKind::Filter => 0.2,
+            OperatorKind::Project => 0.15,
+            OperatorKind::HashAggregate => 0.9,
+            OperatorKind::StreamAggregate => 0.6,
+            OperatorKind::HashJoin => 1.4,
+            OperatorKind::MergeJoin => 1.1,
+            OperatorKind::BroadcastJoin => 0.8,
+            OperatorKind::Sort => 1.6,
+            OperatorKind::TopN => 0.5,
+            OperatorKind::Exchange => 0.7,
+            OperatorKind::IndexLookup => 2.0,
+            OperatorKind::Window => 1.8,
+            OperatorKind::Range => 1.2,
+            OperatorKind::Process => 2.5,
+            OperatorKind::Reduce => 1.7,
+            OperatorKind::Union => 0.1,
+            OperatorKind::Output => 0.6,
+        }
+    }
+}
+
+impl std::fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One operator instance inside a plan, carrying the optimizer's estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operator {
+    /// What kind of operator this is.
+    pub kind: OperatorKind,
+    /// Optimizer-estimated output cardinality (rows).
+    pub estimated_rows: f64,
+    /// Optimizer-estimated cost (arbitrary cost units).
+    pub estimated_cost: f64,
+}
+
+impl Operator {
+    /// Creates an operator with estimates.
+    pub fn new(kind: OperatorKind, estimated_rows: f64, estimated_cost: f64) -> Self {
+        Self {
+            kind,
+            estimated_rows,
+            estimated_cost,
+        }
+    }
+}
+
+/// Fixed-width per-kind operator count vector (a feature block in §5.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OperatorCounts {
+    counts: [u32; OperatorKind::COUNT],
+}
+
+impl OperatorCounts {
+    /// Empty (all-zero) counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the count for `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: OperatorKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Count for one kind.
+    #[inline]
+    pub fn get(&self, kind: OperatorKind) -> u32 {
+        self.counts[kind.index()]
+    }
+
+    /// Total operators across kinds.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// The raw fixed-width vector, indexable by [`OperatorKind::index`].
+    pub fn as_slice(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of jitter-prone operators (Index-Lookup + Window + Range).
+    pub fn jittery_total(&self) -> u32 {
+        OperatorKind::ALL
+            .iter()
+            .filter(|k| k.is_jittery())
+            .map(|k| self.get(*k))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_indices() {
+        let mut seen = [false; OperatorKind::COUNT];
+        for k in OperatorKind::ALL {
+            assert!(!seen[k.index()], "duplicate index for {k}");
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn jittery_kinds_match_paper() {
+        let jittery: Vec<OperatorKind> = OperatorKind::ALL
+            .into_iter()
+            .filter(|k| k.is_jittery())
+            .collect();
+        assert_eq!(
+            jittery,
+            vec![
+                OperatorKind::IndexLookup,
+                OperatorKind::Window,
+                OperatorKind::Range
+            ]
+        );
+    }
+
+    #[test]
+    fn costs_positive() {
+        for k in OperatorKind::ALL {
+            assert!(k.cost_per_row() > 0.0, "{k} must have positive cost");
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = OperatorCounts::new();
+        c.add(OperatorKind::Extract);
+        c.add(OperatorKind::Extract);
+        c.add(OperatorKind::Window);
+        assert_eq!(c.get(OperatorKind::Extract), 2);
+        assert_eq!(c.get(OperatorKind::Window), 1);
+        assert_eq!(c.get(OperatorKind::Sort), 0);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.jittery_total(), 1);
+    }
+
+    #[test]
+    fn display_names_nonempty() {
+        for k in OperatorKind::ALL {
+            assert!(!k.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The query optimizer's estimates (Peregrine-style compile-time info, §5.1).
+//!
+//! The paper's predictor consumes compile-time information from the SCOPE
+//! optimizer: per-operator cardinality estimates and costs. It also notes
+//! that "the estimated cardinality can be quite off" \[82\], which is why
+//! historic actuals are added as features. We model an estimator whose
+//! estimates deviate from the truth by a log-normal error factor with
+//! configurable spread, plus a systematic bias.
+
+use rand::rngs::SmallRng;
+
+use crate::job::sample_standard_normal;
+use crate::plan::Plan;
+
+/// Compile-time estimates for one plan at one (estimated) input size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEstimate {
+    /// Estimated total rows flowing through the plan.
+    pub estimated_rows: f64,
+    /// Estimated total cost (cost units).
+    pub estimated_cost: f64,
+    /// Estimated input bytes read, GB.
+    pub estimated_input_gb: f64,
+}
+
+/// A cardinality/cost estimator with controllable inaccuracy.
+#[derive(Debug, Clone, Copy)]
+pub struct CardinalityEstimator {
+    /// Rows assumed per GB of input (schema-dependent constant).
+    pub rows_per_gb: f64,
+    /// Log-normal sigma of the multiplicative estimation error.
+    pub error_log_sigma: f64,
+    /// Systematic multiplicative bias (optimizers commonly under- or
+    /// over-estimate; 1.0 = unbiased).
+    pub bias: f64,
+}
+
+impl Default for CardinalityEstimator {
+    fn default() -> Self {
+        Self {
+            rows_per_gb: 1.0e6,
+            error_log_sigma: 0.6,
+            bias: 0.85,
+        }
+    }
+}
+
+impl CardinalityEstimator {
+    /// Estimates plan-level cardinality and cost for a run whose *true*
+    /// input is `true_input_gb`. The optimizer does not see the truth; its
+    /// estimate deviates by bias × log-normal error, drawn from `rng`.
+    pub fn estimate(&self, plan: &Plan, true_input_gb: f64, rng: &mut SmallRng) -> PlanEstimate {
+        assert!(true_input_gb > 0.0, "input size must be positive");
+        let err = (self.error_log_sigma * sample_standard_normal(rng)).exp();
+        let estimated_input_gb = true_input_gb * self.bias * err;
+        let estimated_rows = estimated_input_gb * self.rows_per_gb;
+        // Cost model: rows × Σ cost_per_row over stages, damped by base
+        // parallelism (more vertices → less cost per vertex).
+        let estimated_cost: f64 = plan
+            .stages()
+            .iter()
+            .map(|s| estimated_rows * s.cost_per_row() / s.base_vertices.max(1) as f64)
+            .sum();
+        PlanEstimate {
+            estimated_rows,
+            estimated_cost,
+            estimated_input_gb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::stream_rng;
+    use crate::operator::OperatorKind;
+    use crate::plan::PlanBuilder;
+
+    fn plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 10, vec![]);
+        let f = b.simple_stage(OperatorKind::Filter, 10, vec![e]);
+        b.simple_stage(OperatorKind::Output, 1, vec![f]);
+        b.build()
+    }
+
+    #[test]
+    fn estimates_scale_with_input() {
+        let est = CardinalityEstimator {
+            error_log_sigma: 0.0,
+            ..Default::default()
+        };
+        let p = plan();
+        let small = est.estimate(&p, 1.0, &mut stream_rng(1, 0));
+        let large = est.estimate(&p, 100.0, &mut stream_rng(1, 0));
+        assert!((large.estimated_rows / small.estimated_rows - 100.0).abs() < 1e-6);
+        assert!(large.estimated_cost > small.estimated_cost);
+    }
+
+    #[test]
+    fn zero_sigma_is_pure_bias() {
+        let est = CardinalityEstimator {
+            rows_per_gb: 1e6,
+            error_log_sigma: 0.0,
+            bias: 0.85,
+        };
+        let e = est.estimate(&plan(), 10.0, &mut stream_rng(2, 0));
+        assert!((e.estimated_input_gb - 8.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_can_be_quite_off() {
+        // With the default sigma, a non-trivial fraction of estimates are
+        // >2x off — matching the paper's observation.
+        let est = CardinalityEstimator::default();
+        let p = plan();
+        let mut rng = stream_rng(3, 0);
+        let mut off = 0;
+        let n = 1000;
+        for _ in 0..n {
+            let e = est.estimate(&p, 10.0, &mut rng);
+            let ratio = e.estimated_input_gb / 10.0;
+            if !(0.5..=2.0).contains(&ratio) {
+                off += 1;
+            }
+        }
+        assert!(off > n / 10, "only {off} / {n} estimates were >2x off");
+        assert!(off < n, "all estimates off is implausible");
+    }
+
+    #[test]
+    fn deterministic_given_stream() {
+        let est = CardinalityEstimator::default();
+        let p = plan();
+        let a = est.estimate(&p, 5.0, &mut stream_rng(9, 4));
+        let b = est.estimate(&p, 5.0, &mut stream_rng(9, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size must be positive")]
+    fn rejects_non_positive_input() {
+        CardinalityEstimator::default().estimate(&plan(), 0.0, &mut stream_rng(1, 1));
+    }
+}

@@ -1,0 +1,243 @@
+//! Execution plans: operator DAGs compiled into stages of vertices.
+//!
+//! A SCOPE job compiles to a DAG of operators that is partitioned into
+//! *stages*; each stage is executed by many parallel *vertices*, each vertex
+//! being one process on one container (token) on one machine (§3). Our plan
+//! is a DAG of [`Stage`]s; each stage carries its operator pipeline, a base
+//! degree of parallelism, and the indices of the stages it consumes.
+
+use crate::operator::{Operator, OperatorCounts, OperatorKind};
+
+/// One pipeline stage of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Operators fused into this stage, in pipeline order.
+    pub operators: Vec<Operator>,
+    /// Degree of parallelism at the reference input size (1 GB): the number
+    /// of vertices this stage launches scales from this with input size.
+    pub base_vertices: u32,
+    /// Indices (into [`Plan::stages`]) of upstream stages whose output this
+    /// stage consumes. Empty for leaf (extract) stages.
+    pub inputs: Vec<usize>,
+}
+
+impl Stage {
+    /// Sum of `cost_per_row` over the stage's operators — the per-row work
+    /// multiplier used by the simulator.
+    pub fn cost_per_row(&self) -> f64 {
+        self.operators.iter().map(|o| o.kind.cost_per_row()).sum()
+    }
+
+    /// Whether any operator in the stage is variance-increasing (§6).
+    pub fn is_jittery(&self) -> bool {
+        self.operators.iter().any(|o| o.kind.is_jittery())
+    }
+}
+
+/// A compiled execution plan: a DAG of stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    stages: Vec<Stage>,
+}
+
+impl Plan {
+    /// The stages in topological order (guaranteed by [`PlanBuilder`]).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Per-kind operator counts across the whole plan (a §5.1 feature block).
+    pub fn operator_counts(&self) -> OperatorCounts {
+        let mut counts = OperatorCounts::new();
+        for s in &self.stages {
+            for op in &s.operators {
+                counts.add(op.kind);
+            }
+        }
+        counts
+    }
+
+    /// Total base vertices across stages (parallelism at 1 GB input).
+    pub fn total_base_vertices(&self) -> u32 {
+        self.stages.iter().map(|s| s.base_vertices).sum()
+    }
+
+    /// Sum of optimizer-estimated rows over all operators.
+    pub fn total_estimated_rows(&self) -> f64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.operators)
+            .map(|o| o.estimated_rows)
+            .sum()
+    }
+
+    /// Sum of optimizer-estimated cost over all operators.
+    pub fn total_estimated_cost(&self) -> f64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.operators)
+            .map(|o| o.estimated_cost)
+            .sum()
+    }
+
+    /// Length of the longest stage chain (the critical path in stages).
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.stages.len()];
+        for (i, s) in self.stages.iter().enumerate() {
+            depth[i] = 1 + s
+                .inputs
+                .iter()
+                .map(|&j| depth[j])
+                .max()
+                .unwrap_or(0);
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Builder enforcing the DAG invariant: a stage may only consume stages that
+/// were added before it, so [`Plan::stages`] is always topologically sorted.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    stages: Vec<Stage>,
+}
+
+impl PlanBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stage and returns its index for wiring downstream stages.
+    ///
+    /// # Panics
+    /// Panics if any input index refers to a stage not yet added (which would
+    /// break the topological-order invariant) or if `operators` is empty or
+    /// `base_vertices` is zero.
+    pub fn stage(
+        &mut self,
+        operators: Vec<Operator>,
+        base_vertices: u32,
+        inputs: Vec<usize>,
+    ) -> usize {
+        assert!(!operators.is_empty(), "stage needs at least one operator");
+        assert!(base_vertices > 0, "stage needs at least one vertex");
+        let idx = self.stages.len();
+        for &i in &inputs {
+            assert!(i < idx, "stage input {i} must precede stage {idx}");
+        }
+        self.stages.push(Stage {
+            operators,
+            base_vertices,
+            inputs,
+        });
+        idx
+    }
+
+    /// Convenience: adds a single-operator stage with unit estimates.
+    pub fn simple_stage(
+        &mut self,
+        kind: OperatorKind,
+        base_vertices: u32,
+        inputs: Vec<usize>,
+    ) -> usize {
+        self.stage(vec![Operator::new(kind, 1.0, 1.0)], base_vertices, inputs)
+    }
+
+    /// Finalizes the plan.
+    ///
+    /// # Panics
+    /// Panics if no stage was added.
+    pub fn build(self) -> Plan {
+        assert!(!self.stages.is_empty(), "plan needs at least one stage");
+        Plan {
+            stages: self.stages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_plan() -> Plan {
+        // extract -> {filter, window} -> join -> output
+        let mut b = PlanBuilder::new();
+        let e = b.simple_stage(OperatorKind::Extract, 10, vec![]);
+        let f = b.simple_stage(OperatorKind::Filter, 8, vec![e]);
+        let w = b.simple_stage(OperatorKind::Window, 4, vec![e]);
+        let j = b.simple_stage(OperatorKind::HashJoin, 6, vec![f, w]);
+        let _o = b.simple_stage(OperatorKind::Output, 1, vec![j]);
+        b.build()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let p = diamond_plan();
+        assert_eq!(p.n_stages(), 5);
+        assert_eq!(p.total_base_vertices(), 29);
+        assert_eq!(p.critical_path_len(), 4);
+    }
+
+    #[test]
+    fn operator_counts_across_stages() {
+        let p = diamond_plan();
+        let c = p.operator_counts();
+        assert_eq!(c.get(OperatorKind::Extract), 1);
+        assert_eq!(c.get(OperatorKind::Window), 1);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.jittery_total(), 1);
+    }
+
+    #[test]
+    fn stage_cost_and_jitter() {
+        let p = diamond_plan();
+        assert!(p.stages()[2].is_jittery()); // window stage
+        assert!(!p.stages()[1].is_jittery()); // filter stage
+        assert!(p.stages()[3].cost_per_row() > 1.0); // hash join
+    }
+
+    #[test]
+    fn estimates_aggregate() {
+        let mut b = PlanBuilder::new();
+        b.stage(
+            vec![
+                Operator::new(OperatorKind::Extract, 1000.0, 5.0),
+                Operator::new(OperatorKind::Filter, 100.0, 1.0),
+            ],
+            4,
+            vec![],
+        );
+        let p = b.build();
+        assert_eq!(p.total_estimated_rows(), 1100.0);
+        assert_eq!(p.total_estimated_cost(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_reference_panics() {
+        let mut b = PlanBuilder::new();
+        b.simple_stage(OperatorKind::Extract, 1, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_plan_panics() {
+        PlanBuilder::new().build();
+    }
+
+    #[test]
+    fn linear_chain_critical_path() {
+        let mut b = PlanBuilder::new();
+        let mut prev = b.simple_stage(OperatorKind::Extract, 2, vec![]);
+        for _ in 0..6 {
+            prev = b.simple_stage(OperatorKind::Project, 2, vec![prev]);
+        }
+        assert_eq!(b.build().critical_path_len(), 7);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plan signatures: recursive hashes over the operator DAG (§3.1).
+//!
+//! The paper identifies job recurrences with "a hash value computed
+//! recursively over the DAG of operators in the compiled plan"; crucially the
+//! signature *excludes* job input parameters (predicate constants, dataset
+//! sizes), so instances whose parameters change but whose plan shape stays
+//! identical land in the same job group.
+//!
+//! We implement the hash with FNV-1a (implemented inline — no dependency),
+//! combining each stage's operator kinds with the signatures of its inputs,
+//! bottom-up.
+
+use crate::plan::Plan;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+#[inline]
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A 64-bit recursive plan-DAG signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanSignature(pub u64);
+
+impl PlanSignature {
+    /// Computes the signature of `plan`.
+    ///
+    /// Only structural information enters the hash: per-stage operator
+    /// *kinds* (in pipeline order) and the DAG wiring via input-stage
+    /// signatures. Cardinality estimates, costs, vertex counts, and any
+    /// parameters are deliberately excluded so that recurrences with varying
+    /// parameters/sizes share a signature, exactly as in §3.1/§3.2.
+    pub fn of(plan: &Plan) -> Self {
+        let stages = plan.stages();
+        let mut sigs: Vec<u64> = Vec::with_capacity(stages.len());
+        for stage in stages {
+            let mut h = FNV_OFFSET;
+            for op in &stage.operators {
+                h = fnv1a(h, &[op.kind.index() as u8]);
+            }
+            // Fold in upstream signatures (recursive part). Order matters:
+            // join(a, b) differs from join(b, a).
+            for &input in &stage.inputs {
+                h = fnv1a(h, &sigs[input].to_le_bytes());
+            }
+            sigs.push(h);
+        }
+        // Combine sink signatures (stages nobody consumes) for the plan hash.
+        let mut consumed = vec![false; stages.len()];
+        for stage in stages {
+            for &i in &stage.inputs {
+                consumed[i] = true;
+            }
+        }
+        let mut h = FNV_OFFSET;
+        for (i, sig) in sigs.iter().enumerate() {
+            if !consumed[i] {
+                h = fnv1a(h, &sig.to_le_bytes());
+            }
+        }
+        PlanSignature(h)
+    }
+}
+
+impl std::fmt::Display for PlanSignature {
+    /// Formats the signature as a 16-hex-digit string, the way job
+    /// signatures appear in Cosmos telemetry.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{Operator, OperatorKind};
+    use crate::plan::PlanBuilder;
+
+    fn chain(kinds: &[OperatorKind]) -> Plan {
+        let mut b = PlanBuilder::new();
+        let mut prev: Option<usize> = None;
+        for &k in kinds {
+            let inputs = prev.map(|p| vec![p]).unwrap_or_default();
+            prev = Some(b.simple_stage(k, 4, inputs));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_plans_same_signature() {
+        let a = chain(&[OperatorKind::Extract, OperatorKind::Filter]);
+        let b = chain(&[OperatorKind::Extract, OperatorKind::Filter]);
+        assert_eq!(PlanSignature::of(&a), PlanSignature::of(&b));
+    }
+
+    #[test]
+    fn different_operators_differ() {
+        let a = chain(&[OperatorKind::Extract, OperatorKind::Filter]);
+        let b = chain(&[OperatorKind::Extract, OperatorKind::Window]);
+        assert_ne!(PlanSignature::of(&a), PlanSignature::of(&b));
+    }
+
+    #[test]
+    fn estimates_do_not_affect_signature() {
+        // Same structure, wildly different cardinality estimates (parameters
+        // and input sizes change across recurrences): same signature.
+        let mut b1 = PlanBuilder::new();
+        b1.stage(
+            vec![Operator::new(OperatorKind::Extract, 10.0, 1.0)],
+            4,
+            vec![],
+        );
+        let mut b2 = PlanBuilder::new();
+        b2.stage(
+            vec![Operator::new(OperatorKind::Extract, 1e9, 5e6)],
+            4,
+            vec![],
+        );
+        assert_eq!(
+            PlanSignature::of(&b1.build()),
+            PlanSignature::of(&b2.build())
+        );
+    }
+
+    #[test]
+    fn vertex_count_does_not_affect_signature() {
+        let mut b1 = PlanBuilder::new();
+        b1.simple_stage(OperatorKind::Extract, 4, vec![]);
+        let mut b2 = PlanBuilder::new();
+        b2.simple_stage(OperatorKind::Extract, 400, vec![]);
+        assert_eq!(
+            PlanSignature::of(&b1.build()),
+            PlanSignature::of(&b2.build())
+        );
+    }
+
+    #[test]
+    fn dag_wiring_affects_signature() {
+        // join(filter, window) vs join(window, filter)
+        let make = |swap: bool| {
+            let mut b = PlanBuilder::new();
+            let e = b.simple_stage(OperatorKind::Extract, 4, vec![]);
+            let f = b.simple_stage(OperatorKind::Filter, 4, vec![e]);
+            let w = b.simple_stage(OperatorKind::Window, 4, vec![e]);
+            let inputs = if swap { vec![w, f] } else { vec![f, w] };
+            b.simple_stage(OperatorKind::HashJoin, 4, inputs);
+            b.build()
+        };
+        assert_ne!(
+            PlanSignature::of(&make(false)),
+            PlanSignature::of(&make(true))
+        );
+    }
+
+    #[test]
+    fn chain_length_affects_signature() {
+        let a = chain(&[OperatorKind::Extract, OperatorKind::Project]);
+        let b = chain(&[
+            OperatorKind::Extract,
+            OperatorKind::Project,
+            OperatorKind::Project,
+        ]);
+        assert_ne!(PlanSignature::of(&a), PlanSignature::of(&b));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let p = chain(&[OperatorKind::Extract]);
+        let s = PlanSignature::of(&p).to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the SCOPE workload substrate.
+
+use proptest::prelude::*;
+
+use rv_scope::job::stream_rng;
+use rv_scope::{
+    GeneratorConfig, JobGroupKey, OperatorKind, PlanBuilder, PlanSignature, SubmissionSchedule,
+    WorkloadGenerator,
+};
+
+fn op_kind() -> impl Strategy<Value = OperatorKind> {
+    (0usize..OperatorKind::COUNT).prop_map(|i| OperatorKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn signature_depends_only_on_structure(
+        kinds in prop::collection::vec(op_kind(), 1..8),
+        vertices_a in 1u32..100,
+        vertices_b in 1u32..100,
+    ) {
+        let build = |vertices: u32| {
+            let mut b = PlanBuilder::new();
+            let mut prev = None;
+            for &k in &kinds {
+                let inputs = prev.map(|p| vec![p]).unwrap_or_default();
+                prev = Some(b.simple_stage(k, vertices, inputs));
+            }
+            b.build()
+        };
+        // Parallelism is a parameter, not structure: signatures agree.
+        prop_assert_eq!(
+            PlanSignature::of(&build(vertices_a)),
+            PlanSignature::of(&build(vertices_b))
+        );
+    }
+
+    #[test]
+    fn name_normalization_is_idempotent(name in "[A-Za-z0-9_ @#./-]{1,40}") {
+        let once = JobGroupKey::normalize_name(&name);
+        let twice = JobGroupKey::normalize_name(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn schedule_times_in_window(
+        period in 600.0..90_000.0f64,
+        jitter in 0.0..500.0f64,
+        phase in 0.0..80_000.0f64,
+        window_hours in 1.0..200.0f64,
+        seed in 0u64..50,
+    ) {
+        let schedule = SubmissionSchedule { period_s: period, jitter_s: jitter, phase_s: phase };
+        let window = window_hours * 3600.0;
+        let times = schedule.submissions_within(window, &mut stream_rng(seed, 0));
+        for &t in &times {
+            prop_assert!((0.0..window).contains(&t));
+        }
+        // Count bound: at most ceil((window + jitter) / period) + 1.
+        let bound = ((window + jitter) / period).ceil() as usize + 1;
+        prop_assert!(times.len() <= bound);
+    }
+
+    #[test]
+    fn generated_inputs_are_positive(n in 1usize..20, seed in 0u64..20) {
+        let g = WorkloadGenerator::new(GeneratorConfig {
+            n_templates: n,
+            seed,
+            ..Default::default()
+        });
+        let instances = g.instances_within(86_400.0);
+        for i in &instances {
+            prop_assert!(i.input_gb > 0.0 && i.input_gb.is_finite());
+            prop_assert!((i.template_id as usize) < g.templates().len());
+        }
+    }
+}

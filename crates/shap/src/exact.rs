@@ -1,0 +1,204 @@
+//! Exact Shapley values by subset enumeration.
+//!
+//! For small feature counts (`d ≤ 20`) the Shapley value can be computed
+//! exactly: enumerate every coalition `S ⊆ F \ {j}` and weight feature
+//! `j`'s marginal contribution by `|S|! (d - |S| - 1)! / d!`. The value
+//! function is the standard interventional one: features in the coalition
+//! take the explained instance's values, the rest are averaged over the
+//! background set.
+//!
+//! Exponential in `d` — this exists to *validate* the Monte-Carlo sampler
+//! ([`crate::shapley`]) against ground truth, and for genuinely small
+//! models.
+
+use rv_learn::Classifier;
+
+/// Exact Shapley values for `model`'s probability of `target_class` at `x`,
+/// against the `background` set.
+///
+/// Cost: `O(2^d × |background|)` model evaluations.
+///
+/// # Panics
+/// Panics if `x.len() > 20` (use the sampler instead), if `background` is
+/// empty or widths disagree, or if `target_class` is out of range.
+pub fn exact_shapley_values(
+    model: &dyn Classifier,
+    x: &[f64],
+    target_class: usize,
+    background: &[Vec<f64>],
+) -> Vec<f64> {
+    let d = x.len();
+    assert!(d <= 20, "exact Shapley is exponential; d = {d} is too large");
+    assert!(!background.is_empty(), "background must be non-empty");
+    assert!(
+        background.iter().all(|z| z.len() == d),
+        "background width mismatch"
+    );
+    assert!(
+        target_class < model.n_classes(),
+        "target class out of range"
+    );
+
+    // v(S) = E_z[ f(x_S, z_{\S}) ], cached for every subset bitmask.
+    let n_subsets = 1usize << d;
+    let mut v = vec![0.0f64; n_subsets];
+    let mut hybrid = vec![0.0f64; d];
+    for (mask, value) in v.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for z in background {
+            for j in 0..d {
+                hybrid[j] = if mask & (1 << j) != 0 { x[j] } else { z[j] };
+            }
+            acc += model.predict_proba(&hybrid)[target_class];
+        }
+        *value = acc / background.len() as f64;
+    }
+
+    // Precompute factorial weights w[s] = s! (d - s - 1)! / d!.
+    let mut fact = vec![1.0f64; d + 1];
+    for i in 1..=d {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
+
+    let mut phi = vec![0.0f64; d];
+    for (j, slot) in phi.iter_mut().enumerate() {
+        let bit = 1usize << j;
+        for mask in 0..n_subsets {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = (mask as u32).count_ones() as usize;
+            *slot += weight(s) * (v[mask | bit] - v[mask]);
+        }
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapley::{shapley_values, ShapConfig};
+
+    struct Linear {
+        w: Vec<f64>,
+    }
+
+    impl Classifier for Linear {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let s: f64 = self.w.iter().zip(x).map(|(&w, &v)| w * v).sum();
+            let p = 1.0 / (1.0 + (-s).exp());
+            vec![1.0 - p, p]
+        }
+    }
+
+    /// A model with an interaction term, where Shapley values are
+    /// non-trivial: p(1) = sigmoid(x0 * x1).
+    struct Interaction;
+    impl Classifier for Interaction {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let s = x[0] * x[1];
+            let p = 1.0 / (1.0 + (-s).exp());
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn background() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, 2.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn efficiency_axiom_holds_exactly() {
+        let model = Linear {
+            w: vec![1.2, -0.4, 0.3],
+        };
+        let x = vec![2.0, 1.0, 3.0];
+        let bg = background();
+        let phi = exact_shapley_values(&model, &x, 1, &bg);
+        let fx = model.predict_proba(&x)[1];
+        let mean_fz: f64 = bg.iter().map(|z| model.predict_proba(z)[1]).sum::<f64>()
+            / bg.len() as f64;
+        let total: f64 = phi.iter().sum();
+        assert!(
+            (total - (fx - mean_fz)).abs() < 1e-12,
+            "sum {total} vs {}",
+            fx - mean_fz
+        );
+    }
+
+    #[test]
+    fn symmetry_axiom_for_identical_features() {
+        // Two features with identical weights and identical background
+        // columns must receive identical Shapley values.
+        let model = Linear {
+            w: vec![0.7, 0.7, 0.0],
+        };
+        let bg = vec![vec![0.0, 0.0, 0.5], vec![1.0, 1.0, 0.5]];
+        let x = vec![2.0, 2.0, 9.0];
+        let phi = exact_shapley_values(&model, &x, 1, &bg);
+        assert!((phi[0] - phi[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dummy_feature_gets_exact_zero() {
+        let model = Linear {
+            w: vec![1.0, 0.0, 0.0],
+        };
+        let phi = exact_shapley_values(&model, &[1.5, 4.0, -2.0], 1, &background());
+        assert!(phi[1].abs() < 1e-12);
+        assert!(phi[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_credit_is_split() {
+        // x = (2, 2) vs background where both coordinates are 0: the
+        // interaction's credit must split evenly by symmetry.
+        let bg = vec![vec![0.0, 0.0]];
+        let phi = exact_shapley_values(&Interaction, &[2.0, 2.0], 1, &bg);
+        assert!((phi[0] - phi[1]).abs() < 1e-12);
+        let f_x = Interaction.predict_proba(&[2.0, 2.0])[1];
+        let f_z = Interaction.predict_proba(&[0.0, 0.0])[1];
+        assert!((phi[0] + phi[1] - (f_x - f_z)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_converges_to_exact() {
+        let model = Linear {
+            w: vec![0.9, -0.6, 0.2],
+        };
+        let x = vec![1.0, 2.0, -1.0];
+        let bg = background();
+        let exact = exact_shapley_values(&model, &x, 1, &bg);
+        let mc = shapley_values(
+            &model,
+            &x,
+            1,
+            &bg,
+            &ShapConfig {
+                n_permutations: 20_000,
+                seed: 3,
+            },
+        );
+        for (e, m) in exact.iter().zip(&mc) {
+            assert!((e - m).abs() < 0.01, "exact {e} vs MC {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_wide_inputs() {
+        let model = Linear { w: vec![0.0; 25] };
+        exact_shapley_values(&model, &[0.0; 25], 1, &[vec![0.0; 25]]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # rv-shap — Monte-Carlo Shapley values for model explanation
+//!
+//! §6 of the paper explains the shape predictor with Shapley values \[66\],
+//! "explaining the contribution of each feature by randomly permuting other
+//! feature values and evaluating the marginal changes of the predictions".
+//! That is precisely the Štrumbelj–Kononenko sampling estimator, which we
+//! implement over any [`rv_learn::Classifier`]:
+//!
+//! for each sampled permutation `π` and background row `z`, walk the
+//! features in `π`-order switching them from `z`'s values to the explained
+//! instance's values, and credit each feature with the induced change in the
+//! predicted probability of the target class. Within one permutation the
+//! credits telescope exactly to `f(x) − f(z)`, so the averaged values
+//! satisfy the Shapley efficiency axiom in expectation (and exactly against
+//! the sampled background mean — verified in tests).
+
+pub mod exact;
+pub mod shapley;
+pub mod summary;
+
+pub use exact::exact_shapley_values;
+pub use shapley::{shapley_values, ShapConfig};
+pub use summary::{shap_summary, FeatureShapStats};

@@ -1,0 +1,214 @@
+//! The sampling Shapley estimator.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rv_learn::Classifier;
+
+/// Configuration of the Monte-Carlo Shapley estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapConfig {
+    /// Sampled permutations (each costs `n_features + 1` model calls).
+    pub n_permutations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ShapConfig {
+    fn default() -> Self {
+        Self {
+            n_permutations: 64,
+            seed: 0x54a9,
+        }
+    }
+}
+
+/// Estimates per-feature Shapley values of `model`'s predicted probability
+/// for `target_class` at instance `x`, against a `background` dataset
+/// representing the feature distribution.
+///
+/// Returns one value per feature. The values sum (exactly, by telescoping)
+/// to `f(x) − mean_z f(z)` over the sampled background rows.
+///
+/// # Panics
+/// Panics if `background` is empty, widths disagree, or `target_class` is
+/// out of range.
+pub fn shapley_values(
+    model: &dyn Classifier,
+    x: &[f64],
+    target_class: usize,
+    background: &[Vec<f64>],
+    config: &ShapConfig,
+) -> Vec<f64> {
+    assert!(!background.is_empty(), "background must be non-empty");
+    assert!(
+        background.iter().all(|z| z.len() == x.len()),
+        "background width mismatch"
+    );
+    assert!(
+        target_class < model.n_classes(),
+        "target class out of range"
+    );
+    assert!(config.n_permutations >= 1, "need at least one permutation");
+
+    let d = x.len();
+    let f = |row: &[f64]| model.predict_proba(row)[target_class];
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut phi = vec![0.0f64; d];
+    let mut order: Vec<usize> = (0..d).collect();
+    let mut hybrid = vec![0.0f64; d];
+
+    for _ in 0..config.n_permutations {
+        let z = &background[rng.gen_range(0..background.len())];
+        order.shuffle(&mut rng);
+        hybrid.copy_from_slice(z);
+        let mut prev = f(&hybrid);
+        for &j in &order {
+            hybrid[j] = x[j];
+            let cur = f(&hybrid);
+            phi[j] += cur - prev;
+            prev = cur;
+        }
+    }
+    for v in &mut phi {
+        *v /= config.n_permutations as f64;
+    }
+    phi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-written additive "model": p(class 1) = sigmoid(w·x), for which
+    /// Shapley values have a known structure.
+    struct Linear {
+        w: Vec<f64>,
+    }
+
+    impl Classifier for Linear {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+            let s: f64 = self.w.iter().zip(x).map(|(&w, &v)| w * v).sum();
+            let p = 1.0 / (1.0 + (-s).exp());
+            vec![1.0 - p, p]
+        }
+    }
+
+    fn grid_background() -> Vec<Vec<f64>> {
+        (0..16)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64, 0.5])
+            .collect()
+    }
+
+    #[test]
+    fn efficiency_axiom_holds_in_expectation() {
+        let model = Linear {
+            w: vec![1.0, -0.5, 0.0],
+        };
+        let x = vec![3.0, 1.0, 0.5];
+        let background = grid_background();
+        let cfg = ShapConfig {
+            n_permutations: 4000,
+            seed: 1,
+        };
+        let phi = shapley_values(&model, &x, 1, &background, &cfg);
+        let fx = model.predict_proba(&x)[1];
+        let mean_fz: f64 = background
+            .iter()
+            .map(|z| model.predict_proba(z)[1])
+            .sum::<f64>()
+            / background.len() as f64;
+        let total: f64 = phi.iter().sum();
+        assert!(
+            (total - (fx - mean_fz)).abs() < 0.02,
+            "sum {total} vs {}",
+            fx - mean_fz
+        );
+    }
+
+    #[test]
+    fn irrelevant_feature_gets_zero() {
+        let model = Linear {
+            w: vec![2.0, 0.0, 0.0],
+        };
+        let x = vec![3.0, 9.0, -4.0];
+        let phi = shapley_values(
+            &model,
+            &x,
+            1,
+            &grid_background(),
+            &ShapConfig {
+                n_permutations: 500,
+                seed: 2,
+            },
+        );
+        assert!(phi[1].abs() < 1e-9, "dead feature phi {}", phi[1]);
+        assert!(phi[2].abs() < 1e-9);
+        assert!(phi[0].abs() > 0.01);
+    }
+
+    #[test]
+    fn sign_tracks_direction() {
+        let model = Linear {
+            w: vec![1.0, -1.0, 0.0],
+        };
+        // x0 above background mean (1.5) → positive contribution to class 1;
+        // x1 above mean with negative weight → negative contribution.
+        let x = vec![3.0, 3.0, 0.5];
+        let phi = shapley_values(
+            &model,
+            &x,
+            1,
+            &grid_background(),
+            &ShapConfig {
+                n_permutations: 800,
+                seed: 3,
+            },
+        );
+        assert!(phi[0] > 0.0);
+        assert!(phi[1] < 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = Linear {
+            w: vec![1.0, 1.0, 1.0],
+        };
+        let x = vec![1.0, 2.0, 3.0];
+        let cfg = ShapConfig {
+            n_permutations: 50,
+            seed: 11,
+        };
+        let a = shapley_values(&model, &x, 1, &grid_background(), &cfg);
+        let b = shapley_values(&model, &x, 1, &grid_background(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn complement_class_mirrors() {
+        let model = Linear {
+            w: vec![1.5, 0.0, 0.0],
+        };
+        let x = vec![2.5, 0.0, 0.0];
+        let cfg = ShapConfig {
+            n_permutations: 300,
+            seed: 4,
+        };
+        let phi1 = shapley_values(&model, &x, 1, &grid_background(), &cfg);
+        let phi0 = shapley_values(&model, &x, 0, &grid_background(), &cfg);
+        // For a two-class model, contributions to the classes are opposite.
+        assert!((phi1[0] + phi0[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "background must be non-empty")]
+    fn empty_background_panics() {
+        let model = Linear { w: vec![1.0] };
+        shapley_values(&model, &[1.0], 1, &[], &ShapConfig::default());
+    }
+}

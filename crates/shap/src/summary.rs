@@ -1,0 +1,109 @@
+//! Aggregating Shapley values across many instances (the Fig 9 view).
+//!
+//! Fig 9 plots, per feature, the distribution of Shapley values against the
+//! feature's value (a beeswarm): "jobs with large input size are more likely
+//! to be in Cluster 6". We aggregate `(feature value, shap value)` pairs per
+//! feature into summary statistics that capture both magnitude and
+//! direction.
+
+use rv_learn::feature_select::pearson;
+
+/// Per-feature summary of Shapley values over a population of instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureShapStats {
+    /// Feature index.
+    pub feature: usize,
+    /// Mean of |φ| — global importance magnitude.
+    pub mean_abs: f64,
+    /// Mean of φ (signed).
+    pub mean: f64,
+    /// Pearson correlation between the feature's value and its Shapley
+    /// value — the "direction": positive means larger values push the
+    /// prediction toward the target class.
+    pub value_correlation: f64,
+    /// Minimum and maximum φ observed.
+    pub min: f64,
+    /// Maximum φ observed.
+    pub max: f64,
+}
+
+/// Summarizes Shapley values.
+///
+/// `shap_rows[i][f]` is instance `i`'s Shapley value for feature `f`;
+/// `feature_rows[i][f]` is the corresponding raw feature value. Output is
+/// sorted by `mean_abs` descending.
+///
+/// # Panics
+/// Panics if shapes disagree or inputs are empty.
+pub fn shap_summary(shap_rows: &[Vec<f64>], feature_rows: &[Vec<f64>]) -> Vec<FeatureShapStats> {
+    assert!(!shap_rows.is_empty(), "need at least one instance");
+    assert_eq!(
+        shap_rows.len(),
+        feature_rows.len(),
+        "instance count mismatch"
+    );
+    let d = shap_rows[0].len();
+    assert!(
+        shap_rows.iter().all(|r| r.len() == d) && feature_rows.iter().all(|r| r.len() == d),
+        "ragged rows"
+    );
+    let n = shap_rows.len() as f64;
+    let mut out: Vec<FeatureShapStats> = (0..d)
+        .map(|f| {
+            let phis: Vec<f64> = shap_rows.iter().map(|r| r[f]).collect();
+            let vals: Vec<f64> = feature_rows.iter().map(|r| r[f]).collect();
+            FeatureShapStats {
+                feature: f,
+                mean_abs: phis.iter().map(|v| v.abs()).sum::<f64>() / n,
+                mean: phis.iter().sum::<f64>() / n,
+                value_correlation: pearson(&vals, &phis),
+                min: phis.iter().cloned().fold(f64::INFINITY, f64::min),
+                max: phis.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.mean_abs
+            .partial_cmp(&a.mean_abs)
+            .expect("finite importances")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_magnitude_and_reports_direction() {
+        // Feature 0: φ follows value (positive direction, large magnitude).
+        // Feature 1: φ is tiny noise.
+        let n = 50;
+        let feature_rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, (i % 5) as f64])
+            .collect();
+        let shap_rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64 - 25.0) * 0.1, if i % 2 == 0 { 0.001 } else { -0.001 }])
+            .collect();
+        let summary = shap_summary(&shap_rows, &feature_rows);
+        assert_eq!(summary[0].feature, 0);
+        assert!(summary[0].mean_abs > summary[1].mean_abs);
+        assert!(summary[0].value_correlation > 0.99);
+        assert!(summary[1].value_correlation.abs() < 0.5);
+        assert!(summary[0].min < 0.0 && summary[0].max > 0.0);
+    }
+
+    #[test]
+    fn negative_direction_detected() {
+        let feature_rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let shap_rows: Vec<Vec<f64>> = (0..20).map(|i| vec![-(i as f64) * 0.2]).collect();
+        let summary = shap_summary(&shap_rows, &feature_rows);
+        assert!(summary[0].value_correlation < -0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "instance count mismatch")]
+    fn shape_mismatch_panics() {
+        shap_summary(&[vec![1.0]], &[]);
+    }
+}

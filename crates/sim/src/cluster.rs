@@ -1,0 +1,267 @@
+//! The shared cluster: a heterogeneous fleet plus its aggregate load state.
+//!
+//! Provides the two environment signals the paper's features need (§5.1):
+//! per-SKU CPU-utilization statistics at submission time, and the cluster's
+//! spare-capacity level that governs preemptive spare tokens (§3.2).
+
+use crate::machine::Machine;
+use crate::sku::{SkuCatalog, SkuGeneration};
+
+const DAY_S: f64 = 86_400.0;
+
+/// Fleet provisioning: how many machines of each generation are racked.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Machines per generation, indexed by [`SkuGeneration::index`].
+    pub machines_per_sku: [u32; SkuGeneration::COUNT],
+    /// SKU hardware catalog.
+    pub catalog: SkuCatalog,
+    /// Mean diurnal utilization level in `\[0, 1\]`.
+    pub mean_load: f64,
+    /// Amplitude of the diurnal (24 h) load swing.
+    pub diurnal_amplitude: f64,
+    /// Spread of persistent per-machine load offsets.
+    pub machine_offset_spread: f64,
+    /// Amplitude of per-machine load noise.
+    pub machine_noise_amp: f64,
+    /// Seed for machine-level load processes.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            // An aging fleet: plenty of Gen4/Gen5, fewer Gen3/Gen6.
+            machines_per_sku: [40, 60, 120, 100, 80, 40],
+            catalog: SkuCatalog::cosmos_like(),
+            mean_load: 0.55,
+            diurnal_amplitude: 0.2,
+            machine_offset_spread: 0.08,
+            machine_noise_amp: 0.25,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+/// Utilization statistics of one SKU's machines at a point in time —
+/// the paper's "CPU utilization level of the corresponding machines in each
+/// SKU at the job submission time".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkuUtilization {
+    /// Which generation these statistics describe.
+    pub generation: SkuGeneration,
+    /// Mean utilization across the SKU's machines, `\[0, 1\]`.
+    pub mean: f64,
+    /// Standard deviation of utilization across the SKU's machines.
+    pub std: f64,
+}
+
+/// A heterogeneous shared cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+    machines: Vec<Machine>,
+    /// Machine index ranges per SKU (contiguous by construction).
+    sku_ranges: [(usize, usize); SkuGeneration::COUNT],
+    total_tokens: u64,
+}
+
+impl Cluster {
+    /// Builds the fleet described by `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        config.catalog.validate().expect("valid SKU catalog");
+        assert!(
+            config.machines_per_sku.iter().any(|&n| n > 0),
+            "cluster needs at least one machine"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.mean_load),
+            "mean_load must be in [0, 1]"
+        );
+        let mut machines = Vec::new();
+        let mut sku_ranges = [(0usize, 0usize); SkuGeneration::COUNT];
+        let mut total_tokens = 0u64;
+        for g in SkuGeneration::ALL {
+            let start = machines.len();
+            let spec = config.catalog.spec(g);
+            for _ in 0..config.machines_per_sku[g.index()] {
+                machines.push(Machine::new(
+                    machines.len() as u32,
+                    g,
+                    spec.tokens_per_machine,
+                    config.seed,
+                    config.machine_offset_spread,
+                    config.machine_noise_amp,
+                ));
+                total_tokens += spec.tokens_per_machine as u64;
+            }
+            sku_ranges[g.index()] = (start, machines.len());
+        }
+        Self {
+            config,
+            machines,
+            sku_ranges,
+            total_tokens,
+        }
+    }
+
+    /// The provisioning configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// All machines, grouped contiguously by SKU.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Machines of one generation.
+    pub fn machines_of(&self, g: SkuGeneration) -> &[Machine] {
+        let (lo, hi) = self.sku_ranges[g.index()];
+        &self.machines[lo..hi]
+    }
+
+    /// Total token slots across the fleet.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Cluster-wide diurnal load level at time `t` (seconds), in `\[0, 1\]`:
+    /// peak in the "working hours" part of each simulated day.
+    pub fn diurnal_load(&self, t: f64) -> f64 {
+        let phase = std::f64::consts::TAU * (t / DAY_S - 0.25);
+        (self.config.mean_load + self.config.diurnal_amplitude * phase.sin()).clamp(0.0, 1.0)
+    }
+
+    /// Per-SKU utilization statistics at time `t` — the submit-time
+    /// environment features of §5.1. Empty SKUs report zero mean/std.
+    pub fn sku_utilization(&self, t: f64) -> [SkuUtilization; SkuGeneration::COUNT] {
+        let d = self.diurnal_load(t);
+        let mut out = [SkuUtilization {
+            generation: SkuGeneration::Gen3,
+            mean: 0.0,
+            std: 0.0,
+        }; SkuGeneration::COUNT];
+        for g in SkuGeneration::ALL {
+            let ms = self.machines_of(g);
+            let (mean, std) = if ms.is_empty() {
+                (0.0, 0.0)
+            } else {
+                let utils: Vec<f64> = ms.iter().map(|m| m.utilization(t, d)).collect();
+                let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+                let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>()
+                    / utils.len() as f64;
+                (mean, var.sqrt())
+            };
+            out[g.index()] = SkuUtilization {
+                generation: g,
+                mean,
+                std,
+            };
+        }
+        out
+    }
+
+    /// Fraction of the fleet's tokens that are idle and eligible to be
+    /// handed out as preemptive spare tokens at time `t` (§3.2): high when
+    /// the cluster is quiet, approaching zero at peak load.
+    pub fn spare_fraction(&self, t: f64) -> f64 {
+        (1.0 - self.diurnal_load(t)).clamp(0.0, 1.0) * 0.8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    #[test]
+    fn fleet_sizes_match_config() {
+        let c = cluster();
+        assert_eq!(c.machines().len(), 440);
+        assert_eq!(c.machines_of(SkuGeneration::Gen4).len(), 120);
+        for g in SkuGeneration::ALL {
+            for m in c.machines_of(g) {
+                assert_eq!(m.generation, g);
+            }
+        }
+    }
+
+    #[test]
+    fn total_tokens_counted() {
+        let c = cluster();
+        let expected: u64 = SkuGeneration::ALL
+            .iter()
+            .map(|&g| {
+                c.config().machines_per_sku[g.index()] as u64
+                    * c.config().catalog.spec(g).tokens_per_machine as u64
+            })
+            .sum();
+        assert_eq!(c.total_tokens(), expected);
+    }
+
+    #[test]
+    fn diurnal_cycle_has_peak_and_trough() {
+        let c = cluster();
+        let samples: Vec<f64> = (0..48).map(|i| c.diurnal_load(i as f64 * 1800.0)).collect();
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.3, "diurnal swing too small: {min}..{max}");
+    }
+
+    #[test]
+    fn spare_fraction_inverse_of_load() {
+        let c = cluster();
+        // find peak/trough times
+        let peak_t = (0..96)
+            .map(|i| i as f64 * 900.0)
+            .max_by(|&a, &b| {
+                c.diurnal_load(a)
+                    .partial_cmp(&c.diurnal_load(b))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        let trough_t = (0..96)
+            .map(|i| i as f64 * 900.0)
+            .min_by(|&a, &b| {
+                c.diurnal_load(a)
+                    .partial_cmp(&c.diurnal_load(b))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert!(c.spare_fraction(trough_t) > c.spare_fraction(peak_t));
+    }
+
+    #[test]
+    fn sku_utilization_has_spread() {
+        let c = cluster();
+        let stats = c.sku_utilization(3_600.0 * 10.0);
+        for s in stats {
+            assert!((0.0..=1.0).contains(&s.mean));
+            assert!(s.std > 0.0, "{} has zero utilization spread", s.generation);
+            assert!(s.std < 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cluster().sku_utilization(5_000.0);
+        let b = cluster().sku_utilization(5_000.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean, y.mean);
+            assert_eq!(x.std, y.std);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_cluster_rejected() {
+        Cluster::new(ClusterConfig {
+            machines_per_sku: [0; 6],
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,110 @@
+//! Top-level simulation parameters.
+
+use crate::rare::DisruptionModel;
+use crate::scheduler::SchedulingPolicy;
+use crate::tokens::SparePolicy;
+
+/// Parameters governing the execution physics.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// GB of work one token processes per second on a speed-1.0 SKU.
+    pub gb_per_token_second: f64,
+    /// Exponent of vertex-count scaling with input size: a run at `s×` the
+    /// reference input launches `s^exponent ×` the vertices. Values below 1
+    /// reflect that partitioning does not keep up with data growth, so
+    /// larger inputs also mean more work per vertex.
+    pub vertex_scale_exponent: f64,
+    /// Contention coefficient: the service-time multiplier contributed by
+    /// machine load is `1 + contention_coeff * load_sensitivity * load²`
+    /// (convex — hot machines hurt disproportionately, §3.2).
+    pub contention_coeff: f64,
+    /// Base log-normal sigma of per-vertex service-time noise; scaled by
+    /// SKU jitter factors and the template's UDF jitter.
+    pub straggler_sigma: f64,
+    /// Queueing-delay coefficient, seconds at full load: submission waits
+    /// `queue_coeff * load³ * Exp(1)` seconds before vertices start.
+    pub queue_coeff: f64,
+    /// Rare-event model.
+    pub disruption: DisruptionModel,
+    /// Spare-token policy.
+    pub spare: SparePolicy,
+    /// Vertex placement policy.
+    pub scheduling: SchedulingPolicy,
+    /// Master seed for per-run randomness.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            gb_per_token_second: 0.12,
+            vertex_scale_exponent: 0.6,
+            contention_coeff: 1.8,
+            straggler_sigma: 0.05,
+            queue_coeff: 15.0,
+            disruption: DisruptionModel::default(),
+            spare: SparePolicy::default(),
+            scheduling: SchedulingPolicy::CapacityProportional,
+            seed: 0xdeadbeef,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates that all parameters are physically sensible.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("gb_per_token_second", self.gb_per_token_second),
+            ("contention_coeff", self.contention_coeff),
+            ("vertex_scale_exponent", self.vertex_scale_exponent),
+            ("straggler_sigma", self.straggler_sigma),
+            ("queue_coeff", self.queue_coeff),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be non-negative and finite"));
+            }
+        }
+        if self.gb_per_token_second == 0.0 {
+            return Err("gb_per_token_second must be positive".into());
+        }
+        if self.spare.cap_multiplier < 1.0 {
+            return Err("spare cap_multiplier must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate().expect("default config valid");
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        let c = SimConfig {
+            gb_per_token_second: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let c = SimConfig {
+            contention_coeff: f64::NAN,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_sub_unit_spare_cap() {
+        let mut c = SimConfig::default();
+        c.spare.cap_multiplier = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! Job execution: the stage-level wave model.
+//!
+//! `simulate_job` turns a (template, instance) pair into a completed run with
+//! a runtime, a token skyline, and the environment readings the telemetry
+//! layer records. The physics encode §3.2's sources of variation end to end:
+//!
+//! * *tokens*: stage `s` with `n_s` vertices and `p` effective tokens runs in
+//!   `ceil(n_s / p)` waves;
+//! * *stragglers*: each wave lasts the max of its vertices' service times —
+//!   approximated by the Gumbel-style extreme-value factor
+//!   `exp(σ · sqrt(2 ln k))` for `k` parallel log-normal vertices, times a
+//!   sampled log-normal wave noise;
+//! * *contention*: service times inflate convexly with the hosting machines'
+//!   utilization;
+//! * *spare tokens*: extra parallelism when the cluster is quiet, nothing at
+//!   peak — faster on average, wider in distribution;
+//! * *disruptions*: rare Pareto-tailed penalties proportional to vertex
+//!   exposure (the Fig 4a "stalagmite").
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use rv_scope::job::{sample_standard_normal, stream_rng};
+use rv_scope::{JobInstance, JobTemplate};
+
+use crate::cluster::Cluster;
+use crate::config::SimConfig;
+use crate::scheduler::{place, placement_from_fractions, Placement};
+use crate::sku::SkuGeneration;
+use crate::tokens::TokenSkyline;
+
+/// Per-SKU usage of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkuUsage {
+    /// Fraction of vertices per SKU (sums to 1).
+    pub fractions: [f64; SkuGeneration::COUNT],
+    /// Vertex counts per SKU (sums to `total_vertices`).
+    pub vertex_counts: [u64; SkuGeneration::COUNT],
+}
+
+/// The completed execution of one job instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRunResult {
+    /// End-to-end runtime in seconds (queueing + execution + penalties).
+    pub runtime_s: f64,
+    /// Time spent waiting for the first vertex to start.
+    pub queue_delay_s: f64,
+    /// Execution time before any disruption penalty.
+    pub nominal_s: f64,
+    /// Disruption penalty factor, if the run was hit (`runtime ≈ queue +
+    /// nominal × factor`).
+    pub disruption_factor: Option<f64>,
+    /// Placement outcome (SKU mix, effective load/speed).
+    pub placement: Placement,
+    /// Guaranteed token allocation.
+    pub allocated_tokens: u32,
+    /// Spare tokens granted for this run.
+    pub spare_tokens: u32,
+    /// Whether the spare tokens were preempted mid-run (§3.2's
+    /// unpredictable spare availability).
+    pub spare_preempted: bool,
+    /// Total CPU-seconds consumed across all vertices (the §5.1
+    /// "per-container usage" counter the paper anticipates).
+    pub cpu_seconds: f64,
+    /// Peak memory across concurrently running vertices, GB.
+    pub peak_memory_gb: f64,
+    /// Total vertices launched.
+    pub total_vertices: u64,
+    /// Per-SKU usage.
+    pub sku_usage: SkuUsage,
+    /// Token-usage skyline.
+    pub skyline: TokenSkyline,
+}
+
+/// Optional overrides for what-if replays (§7): force a SKU mix or disable
+/// spare tokens without touching the rest of the physics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOverrides {
+    /// Force these vertex fractions instead of the scheduler's choice.
+    pub sku_fractions: Option<[f64; SkuGeneration::COUNT]>,
+    /// Force spare tokens off for this run.
+    pub disable_spare: bool,
+}
+
+/// Simulates one run of `template` realized as `instance` on `cluster`.
+///
+/// Deterministic given `(config.seed, template.id, instance.seq)`.
+pub fn simulate_job(
+    template: &JobTemplate,
+    instance: &JobInstance,
+    cluster: &Cluster,
+    config: &SimConfig,
+    overrides: ExecOverrides,
+) -> JobRunResult {
+    let mut rng = run_rng(config.seed, template.id, instance.seq);
+    let t = instance.submit_time_s;
+    let profile = template.archetype.profile();
+
+    // --- Placement -------------------------------------------------------
+    let affinity = template
+        .sku_affinity
+        .and_then(|i| SkuGeneration::ALL.get(i).copied());
+    let placement = match overrides.sku_fractions {
+        Some(fr) => placement_from_fractions(cluster, fr, t, &mut rng),
+        None => place(cluster, config.scheduling, t, affinity, &mut rng),
+    };
+
+    // --- Tokens ----------------------------------------------------------
+    let allocated = template.allocated_tokens.max(1);
+    // Spare availability is the least predictable resource on the cluster
+    // (§3.2): what other tenants leave idle swings widely from run to run
+    // even at the same time of day. The draw happens unconditionally so
+    // that replays with spares disabled stay on the same noise path
+    // (common random numbers — paired what-if comparisons stay paired).
+    let availability = cluster.spare_fraction(t) * rng.gen_range(0.25..1.0);
+    let spare_tokens = if overrides.disable_spare {
+        0
+    } else {
+        config
+            .spare
+            .grant(allocated, profile.spare_affinity, availability)
+    };
+    // Spare tokens are preemptive [7]: under load they can be revoked
+    // mid-run, in which case roughly half the run proceeds at reduced
+    // parallelism — modeled as losing half the spare contribution. The
+    // draw happens unconditionally (common random numbers for replays).
+    let preempt_roll: f64 = rng.gen_range(0.0..1.0);
+    let spare_preempted = spare_tokens > 0
+        && preempt_roll
+            < config.spare.preemption_prob_at_full_load * placement.effective_load;
+    let effective_spare = if spare_preempted {
+        spare_tokens / 2
+    } else {
+        spare_tokens
+    };
+    let p_total = (allocated + effective_spare).max(1) as f64;
+
+    // --- Queueing --------------------------------------------------------
+    let load = placement.effective_load;
+    let queue_delay_s = config.queue_coeff * load.powi(3) * sample_exp(&mut rng);
+
+    // --- Stage-by-stage execution ----------------------------------------
+    let scale = instance.input_scale(template).max(1e-3);
+    let contention =
+        1.0 + config.contention_coeff * profile.load_sensitivity * load * load;
+    let sigma = config.straggler_sigma
+        * placement.effective_jitter_factor
+        * (1.0 + profile.udf_jitter * 4.0)
+        + profile.udf_jitter * 0.2;
+
+    let stages = template.plan.stages();
+    let mut finish = vec![0.0f64; stages.len()];
+    let mut intervals: Vec<(f64, f64, u32)> = Vec::with_capacity(stages.len());
+    let mut total_vertices = 0u64;
+
+    let vertex_scale = scale.powf(config.vertex_scale_exponent);
+    let mut cpu_seconds = 0.0f64;
+    let mut peak_memory_gb = 0.0f64;
+    for (i, stage) in stages.iter().enumerate() {
+        let n_vertices = ((stage.base_vertices as f64 * vertex_scale).ceil() as u64).max(1);
+        total_vertices += n_vertices;
+        let p_used = p_total.min(n_vertices as f64).max(1.0);
+        // Work-conserving parallelism: vertices are dispatched as tokens
+        // free up (no lock-step waves), so stage time scales continuously
+        // with n / p. The straggler factor below accounts for the tail of
+        // the last running vertices.
+        let waves = (n_vertices as f64 / p_used).max(1.0);
+
+        // Work per vertex in GB: stage's share of the input scaled by its
+        // per-row cost, split across vertices.
+        let stage_work_gb = instance.input_gb * stage.cost_per_row();
+        let per_vertex_gb = stage_work_gb / n_vertices as f64;
+        let base_service =
+            per_vertex_gb / (config.gb_per_token_second * placement.effective_speed);
+
+        // Extreme-value straggler factor for the max of ~p_used parallel
+        // log-normal service times, plus stage-level jitter.
+        let stage_sigma = if stage.is_jittery() { sigma + 0.15 } else { sigma };
+        let straggler = (stage_sigma * (2.0 * p_used.ln().max(0.0)).sqrt()).exp();
+        let wave_noise = (stage_sigma * sample_standard_normal(&mut rng)).exp();
+        let wave_time = base_service * contention * straggler * wave_noise;
+        let duration = (waves * wave_time).max(1e-3);
+
+        // Container-level counters: CPU-seconds across all vertices of the
+        // stage, and the stage's aggregate working set (concurrent vertices
+        // each hold their partition in memory).
+        cpu_seconds += n_vertices as f64 * base_service * contention;
+        peak_memory_gb = peak_memory_gb.max(p_used * per_vertex_gb * 0.5);
+
+        let start = stage
+            .inputs
+            .iter()
+            .map(|&j| finish[j])
+            .fold(0.0f64, f64::max);
+        finish[i] = start + duration;
+        intervals.push((start, finish[i], p_used as u32));
+    }
+    let nominal_s = finish.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-3);
+
+    // --- Rare disruptions --------------------------------------------------
+    let sensitivity =
+        profile.disruption_sensitivity * placement.effective_disruption_factor;
+    let disruption_factor = config
+        .disruption
+        .sample_penalty(total_vertices, sensitivity, &mut rng);
+    let runtime_s = queue_delay_s + nominal_s * disruption_factor.unwrap_or(1.0);
+
+    // --- Skyline -----------------------------------------------------------
+    let skyline = build_skyline(allocated, p_total as u32, &intervals);
+
+    // --- Per-SKU vertex counts ----------------------------------------------
+    let mut vertex_counts = [0u64; SkuGeneration::COUNT];
+    let mut assigned = 0u64;
+    for (count, &frac) in vertex_counts.iter_mut().zip(&placement.sku_fractions) {
+        let c = (frac * total_vertices as f64).floor() as u64;
+        *count = c;
+        assigned += c;
+    }
+    // Give the rounding remainder to the largest-fraction SKU.
+    if assigned < total_vertices {
+        let max_i = (0..SkuGeneration::COUNT)
+            .max_by(|&a, &b| {
+                placement.sku_fractions[a]
+                    .partial_cmp(&placement.sku_fractions[b])
+                    .expect("fractions finite")
+            })
+            .expect("non-empty");
+        vertex_counts[max_i] += total_vertices - assigned;
+    }
+
+    JobRunResult {
+        runtime_s,
+        queue_delay_s,
+        nominal_s,
+        disruption_factor,
+        sku_usage: SkuUsage {
+            fractions: placement.sku_fractions,
+            vertex_counts,
+        },
+        placement,
+        allocated_tokens: allocated,
+        spare_tokens,
+        spare_preempted,
+        cpu_seconds,
+        peak_memory_gb,
+        total_vertices,
+        skyline,
+    }
+}
+
+/// Rasterizes per-stage `(start, end, tokens)` intervals into a
+/// piecewise-constant skyline, capping concurrent usage at `p_total`.
+fn build_skyline(allocated: u32, p_total: u32, intervals: &[(f64, f64, u32)]) -> TokenSkyline {
+    let mut sky = TokenSkyline::new(allocated);
+    let mut bounds: Vec<f64> = intervals
+        .iter()
+        .flat_map(|&(s, e, _)| [s, e])
+        .collect();
+    bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    for w in bounds.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi - lo < 1e-12 {
+            continue;
+        }
+        let mid = 0.5 * (lo + hi);
+        let used: u32 = intervals
+            .iter()
+            .filter(|&&(s, e, _)| s <= mid && mid < e)
+            .map(|&(_, _, n)| n)
+            .sum();
+        sky.push(lo, hi, used.min(p_total));
+    }
+    sky
+}
+
+/// Per-run RNG stream: decorrelated across (template, recurrence).
+fn run_rng(seed: u64, template_id: u32, seq: u32) -> SmallRng {
+    stream_rng(seed, ((template_id as u64) << 32) | seq as u64 | 0x8000_0000_0000_0000)
+}
+
+/// Unit-mean exponential deviate.
+fn sample_exp(rng: &mut SmallRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use rv_scope::{Archetype, GeneratorConfig, WorkloadGenerator};
+
+    fn setup() -> (WorkloadGenerator, Cluster, SimConfig) {
+        let gen = WorkloadGenerator::new(GeneratorConfig {
+            n_templates: 24,
+            seed: 7,
+            ..Default::default()
+        });
+        let cluster = Cluster::new(ClusterConfig::default());
+        let config = SimConfig::default();
+        (gen, cluster, config)
+    }
+
+    fn run_one(
+        gen: &WorkloadGenerator,
+        cluster: &Cluster,
+        config: &SimConfig,
+        template_idx: usize,
+        seq: u32,
+        t: f64,
+    ) -> JobRunResult {
+        let template = &gen.templates()[template_idx];
+        let mut rng = stream_rng(1, seq as u64);
+        let instance = JobInstance {
+            template_id: template.id,
+            seq,
+            submit_time_s: t,
+            input_gb: template.sample_input_gb(t, &mut rng),
+        };
+        simulate_job(template, &instance, cluster, config, ExecOverrides::default())
+    }
+
+    #[test]
+    fn runs_produce_positive_runtimes() {
+        let (gen, cluster, config) = setup();
+        for i in 0..gen.templates().len() {
+            let r = run_one(&gen, &cluster, &config, i, 0, 3_600.0);
+            assert!(r.runtime_s > 0.0);
+            assert!(r.nominal_s > 0.0);
+            assert!(r.queue_delay_s >= 0.0);
+            assert!(r.total_vertices > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (gen, cluster, config) = setup();
+        let a = run_one(&gen, &cluster, &config, 3, 5, 7_200.0);
+        let b = run_one(&gen, &cluster, &config, 3, 5, 7_200.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_recurrences_differ() {
+        let (gen, cluster, config) = setup();
+        let a = run_one(&gen, &cluster, &config, 3, 1, 7_200.0);
+        let b = run_one(&gen, &cluster, &config, 3, 2, 7_200.0);
+        assert_ne!(a.runtime_s, b.runtime_s);
+    }
+
+    #[test]
+    fn larger_inputs_run_longer() {
+        let (gen, cluster, config) = setup();
+        let template = &gen.templates()[0];
+        let mk = |gb: f64, seq: u32| {
+            let instance = JobInstance {
+                template_id: template.id,
+                seq,
+                submit_time_s: 10_000.0,
+                input_gb: gb,
+            };
+            simulate_job(template, &instance, &cluster, &config, ExecOverrides::default())
+        };
+        // Average over several recurrence seeds to wash out noise.
+        let small: f64 = (0..10).map(|s| mk(template.base_input_gb, s).nominal_s).sum();
+        let large: f64 = (0..10)
+            .map(|s| mk(template.base_input_gb * 8.0, s).nominal_s)
+            .sum();
+        assert!(large > small * 1.5, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn skyline_is_consistent() {
+        let (gen, cluster, config) = setup();
+        let r = run_one(&gen, &cluster, &config, 2, 0, 3_600.0);
+        assert!(r.skyline.peak() <= r.allocated_tokens + r.spare_tokens);
+        assert!(r.skyline.peak() > 0);
+        assert!((r.skyline.duration() - r.nominal_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vertex_counts_sum_to_total() {
+        let (gen, cluster, config) = setup();
+        for i in 0..8 {
+            let r = run_one(&gen, &cluster, &config, i, 1, 50_000.0);
+            let sum: u64 = r.sku_usage.vertex_counts.iter().sum();
+            assert_eq!(sum, r.total_vertices);
+        }
+    }
+
+    #[test]
+    fn disable_spare_removes_spare_tokens() {
+        let (gen, cluster, config) = setup();
+        // Pick a spare-riding template for a strong signal.
+        let idx = gen
+            .templates()
+            .iter()
+            .position(|t| t.archetype == Archetype::SpareTokenRider)
+            .unwrap_or(0);
+        let template = &gen.templates()[idx];
+        let instance = JobInstance {
+            template_id: template.id,
+            seq: 0,
+            submit_time_s: 0.0, // trough of the diurnal cycle → spares available
+            input_gb: template.base_input_gb,
+        };
+        let with = simulate_job(template, &instance, &cluster, &config, ExecOverrides::default());
+        let without = simulate_job(
+            template,
+            &instance,
+            &cluster,
+            &config,
+            ExecOverrides {
+                disable_spare: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(without.spare_tokens, 0);
+        assert!(with.spare_tokens > 0 || with.allocated_tokens as f64 >= with.total_vertices as f64);
+    }
+
+    #[test]
+    fn forced_sku_mix_is_respected() {
+        let (gen, cluster, config) = setup();
+        let template = &gen.templates()[0];
+        let instance = JobInstance {
+            template_id: template.id,
+            seq: 0,
+            submit_time_s: 1000.0,
+            input_gb: template.base_input_gb,
+        };
+        let mut fractions = [0.0; SkuGeneration::COUNT];
+        fractions[SkuGeneration::Gen5_2.index()] = 1.0;
+        let r = simulate_job(
+            template,
+            &instance,
+            &cluster,
+            &config,
+            ExecOverrides {
+                sku_fractions: Some(fractions),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.sku_usage.fractions, fractions);
+        assert_eq!(
+            r.sku_usage.vertex_counts[SkuGeneration::Gen5_2.index()],
+            r.total_vertices
+        );
+    }
+
+    #[test]
+    fn newer_skus_run_faster_on_average() {
+        let (gen, cluster, config) = setup();
+        let template = &gen.templates()[0];
+        let avg = |gen_idx: usize| -> f64 {
+            let mut fr = [0.0; SkuGeneration::COUNT];
+            fr[gen_idx] = 1.0;
+            (0..20)
+                .map(|seq| {
+                    let instance = JobInstance {
+                        template_id: template.id,
+                        seq,
+                        submit_time_s: 1000.0,
+                        input_gb: template.base_input_gb,
+                    };
+                    simulate_job(
+                        template,
+                        &instance,
+                        &cluster,
+                        &config,
+                        ExecOverrides {
+                            sku_fractions: Some(fr),
+                            ..Default::default()
+                        },
+                    )
+                    .nominal_s
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        let old = avg(SkuGeneration::Gen3.index());
+        let new = avg(SkuGeneration::Gen6.index());
+        assert!(new < old, "Gen6 {new} should beat Gen3 {old}");
+    }
+
+    #[test]
+    fn disruptions_are_rare_but_present_at_scale() {
+        let (gen, cluster, config) = setup();
+        let mut hits = 0;
+        let mut n = 0;
+        for i in 0..gen.templates().len() {
+            for seq in 0..60 {
+                let r = run_one(&gen, &cluster, &config, i, seq, 1_000.0 * seq as f64);
+                if r.disruption_factor.is_some() {
+                    hits += 1;
+                }
+                n += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(rate > 0.001, "disruption rate {rate} too low");
+        assert!(rate < 0.2, "disruption rate {rate} too high");
+    }
+}

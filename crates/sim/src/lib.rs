@@ -1,0 +1,43 @@
+//! # rv-sim — a Cosmos-like cluster simulator
+//!
+//! The paper measures production telemetry from Cosmos, Microsoft's
+//! exabyte-scale analytics platform. That substrate is proprietary, so this
+//! crate implements the closest synthetic equivalent (see DESIGN.md): a
+//! deterministic, seedable simulator of a token-scheduled, multi-SKU shared
+//! cluster executing SCOPE-like vertex DAGs.
+//!
+//! The simulator reproduces every *source of variation* catalogued in §3.2:
+//!
+//! * **Intrinsic characteristics** — input sizes and parameters vary across
+//!   recurrences (driven by `rv-scope`'s templates);
+//! * **Resource allocation** — jobs get guaranteed *tokens* plus preemptive
+//!   *spare tokens* whose availability depends on cluster load ([`tokens`]);
+//!   tokens map to machines with heterogeneous SKUs ([`sku`], [`machine`]);
+//! * **Physical cluster environment** — diurnal + stochastic machine load
+//!   causes contention ([`cluster`]), and rare service disruptions produce
+//!   the outliers that dominate the paper's long tails ([`rare`]).
+//!
+//! Execution ([`exec`]) uses a stage-level wave model: a stage with `n`
+//! vertices and `p` effective tokens runs in `ceil(n / p)` waves, each wave
+//! lasting the *maximum* of its vertices' service times (stragglers). This
+//! keeps per-job cost at `O(stages)` so we can simulate hundreds of
+//! thousands of job instances while preserving the runtime phenomenology
+//! (queueing, stragglers, contention, spare-token speedups, disruptions).
+
+pub mod cluster;
+pub mod config;
+pub mod exec;
+pub mod machine;
+pub mod rare;
+pub mod scheduler;
+pub mod sku;
+pub mod tokens;
+
+pub use cluster::{Cluster, ClusterConfig, SkuUtilization};
+pub use config::SimConfig;
+pub use exec::{simulate_job, JobRunResult, SkuUsage};
+pub use machine::Machine;
+pub use rare::DisruptionModel;
+pub use scheduler::SchedulingPolicy;
+pub use sku::{SkuCatalog, SkuGeneration, SkuSpec};
+pub use tokens::{SparePolicy, TokenSkyline};

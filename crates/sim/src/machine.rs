@@ -1,0 +1,135 @@
+//! Individual compute machines and their background-load processes.
+//!
+//! The paper's environment features are the *CPU utilization of machines in
+//! each SKU at job-submission time* (§5.1). Utilization on a shared cluster
+//! has a strong diurnal component plus machine-specific noise; "a larger
+//! range of loads may increase runtime variation" (§3.2). Each machine
+//! carries a deterministic load process: a diurnal sinusoid shared with the
+//! cluster, a per-machine offset, and smooth per-machine noise derived from
+//! hash-mixed harmonics so that `load(t)` is reproducible without storing a
+//! time series.
+
+use crate::sku::SkuGeneration;
+
+const DAY_S: f64 = 86_400.0;
+
+/// One physical machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Dense machine id within the cluster.
+    pub id: u32,
+    /// SKU generation of this machine.
+    pub generation: SkuGeneration,
+    /// Token slots this machine offers.
+    pub token_capacity: u32,
+    /// Per-machine mean utilization offset (some machines run persistently
+    /// hotter because of placement skew).
+    offset: f64,
+    /// Per-machine noise phase seeds, derived from the id.
+    phase: [f64; 3],
+    /// Per-machine noise amplitude.
+    noise_amp: f64,
+}
+
+impl Machine {
+    /// Creates a machine with load parameters derived deterministically from
+    /// `(seed, id)`.
+    pub fn new(
+        id: u32,
+        generation: SkuGeneration,
+        token_capacity: u32,
+        seed: u64,
+        offset_spread: f64,
+        noise_amp: f64,
+    ) -> Self {
+        let h = |salt: u64| -> f64 {
+            // SplitMix64-style hash → uniform in [0, 1).
+            let mut z = seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(id as u64 + 1))
+                .wrapping_add(salt.wrapping_mul(0x6a09_e667_f3bc_c909));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Self {
+            id,
+            generation,
+            token_capacity,
+            offset: (h(1) - 0.5) * 2.0 * offset_spread,
+            phase: [h(2) * DAY_S, h(3) * DAY_S, h(4) * DAY_S],
+            noise_amp,
+        }
+    }
+
+    /// Background CPU utilization in `\[0, 1\]` at time `t` seconds, given the
+    /// cluster-wide diurnal level `diurnal` (already in `\[0, 1\]`).
+    ///
+    /// The machine adds its persistent offset and three incommensurate
+    /// harmonics (periods ≈ 7.6 h, 2.6 h, 41 min) that stand in for the
+    /// unpredictable comings and goings of co-located work.
+    pub fn utilization(&self, t: f64, diurnal: f64) -> f64 {
+        let two_pi = std::f64::consts::TAU;
+        let noise = self.noise_amp
+            * ((two_pi * (t + self.phase[0]) / (DAY_S / 3.17)).sin()
+                + 0.6 * (two_pi * (t + self.phase[1]) / (DAY_S / 9.3)).sin()
+                + 0.4 * (two_pi * (t + self.phase[2]) / (DAY_S / 35.1)).sin())
+            / 2.0;
+        (diurnal + self.offset + noise).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(id: u32) -> Machine {
+        Machine::new(id, SkuGeneration::Gen4, 12, 42, 0.1, 0.2)
+    }
+
+    #[test]
+    fn utilization_in_unit_interval() {
+        let m = machine(0);
+        for i in 0..1000 {
+            let t = i as f64 * 977.0;
+            let u = m.utilization(t, 0.5);
+            assert!((0.0..=1.0).contains(&u), "u = {u} at t = {t}");
+        }
+    }
+
+    #[test]
+    fn utilization_is_deterministic() {
+        let a = machine(7);
+        let b = machine(7);
+        assert_eq!(a.utilization(12_345.0, 0.4), b.utilization(12_345.0, 0.4));
+    }
+
+    #[test]
+    fn machines_differ() {
+        let a = machine(1);
+        let b = machine(2);
+        let ua = a.utilization(50_000.0, 0.5);
+        let ub = b.utilization(50_000.0, 0.5);
+        assert_ne!(ua, ub);
+    }
+
+    #[test]
+    fn tracks_diurnal_level() {
+        let m = machine(3);
+        // Averaged over many time points, higher diurnal input → higher load.
+        let avg = |d: f64| -> f64 {
+            (0..200)
+                .map(|i| m.utilization(i as f64 * 431.0, d))
+                .sum::<f64>()
+                / 200.0
+        };
+        assert!(avg(0.8) > avg(0.2) + 0.3);
+    }
+
+    #[test]
+    fn clamps_extremes() {
+        let m = machine(4);
+        assert!(m.utilization(0.0, 2.0) <= 1.0);
+        assert!(m.utilization(0.0, -2.0) >= 0.0);
+    }
+}

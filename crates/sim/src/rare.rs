@@ -1,0 +1,146 @@
+//! Rare service disruptions — the source of runtime outliers.
+//!
+//! The paper's challenge **C2** is the existence of rare events ("occasional
+//! service disruption") that create outliers and long tails. Fig 4a's
+//! "stalagmite" — runs far slower than their group median, comprising <5% of
+//! all runs — is their footprint. We model disruptions as per-vertex
+//! Bernoulli events whose probability scales with the job's exposure (number
+//! of vertices), the SKU reliability, and the archetype's sensitivity; a hit
+//! costs a heavy-tailed (Pareto) re-run penalty.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Disruption model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisruptionModel {
+    /// Baseline probability that a single vertex suffers a disruption.
+    pub per_vertex_prob: f64,
+    /// Pareto shape of the slowdown penalty (smaller = heavier tail).
+    pub pareto_alpha: f64,
+    /// Minimum penalty, expressed as a multiple of the job's nominal
+    /// runtime (a disruption at least doubles the run by default).
+    pub min_penalty_factor: f64,
+    /// Hard cap on the penalty factor to keep the simulation bounded.
+    pub max_penalty_factor: f64,
+}
+
+impl Default for DisruptionModel {
+    fn default() -> Self {
+        Self {
+            per_vertex_prob: 5.0e-5,
+            pareto_alpha: 1.0,
+            min_penalty_factor: 2.0,
+            max_penalty_factor: 60.0,
+        }
+    }
+}
+
+impl DisruptionModel {
+    /// Probability that a job with `n_vertices` vertices and combined
+    /// sensitivity `sensitivity` (archetype × SKU factors) suffers at least
+    /// one disruption: `1 - (1 - p·s)^n`.
+    pub fn job_prob(&self, n_vertices: u64, sensitivity: f64) -> f64 {
+        let p = (self.per_vertex_prob * sensitivity).clamp(0.0, 1.0);
+        if p == 0.0 || n_vertices == 0 {
+            return 0.0;
+        }
+        1.0 - (1.0 - p).powf(n_vertices as f64)
+    }
+
+    /// Samples the disruption penalty for one job run: `None` if the run is
+    /// clean, otherwise the multiplicative slowdown factor (≥
+    /// `min_penalty_factor`).
+    pub fn sample_penalty(
+        &self,
+        n_vertices: u64,
+        sensitivity: f64,
+        rng: &mut SmallRng,
+    ) -> Option<f64> {
+        let p = self.job_prob(n_vertices, sensitivity);
+        if p <= 0.0 || !rng.gen_bool(p.min(1.0)) {
+            return None;
+        }
+        // Pareto(alpha) with scale = min_penalty_factor, capped.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let factor = self.min_penalty_factor * u.powf(-1.0 / self.pareto_alpha);
+        Some(factor.min(self.max_penalty_factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn job_prob_increases_with_exposure() {
+        let m = DisruptionModel::default();
+        let small = m.job_prob(10, 1.0);
+        let large = m.job_prob(10_000, 1.0);
+        assert!(large > small);
+        assert!(large < 1.0);
+        assert_eq!(m.job_prob(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn job_prob_scales_with_sensitivity() {
+        let m = DisruptionModel::default();
+        assert!(m.job_prob(1000, 6.0) > m.job_prob(1000, 1.0));
+        assert_eq!(m.job_prob(1000, 0.0), 0.0);
+    }
+
+    #[test]
+    fn penalties_are_bounded_and_heavy_tailed() {
+        let m = DisruptionModel {
+            per_vertex_prob: 1.0, // force a hit every time
+            ..Default::default()
+        };
+        let mut r = rng(1);
+        let mut penalties = Vec::new();
+        for _ in 0..5000 {
+            let p = m.sample_penalty(1, 1.0, &mut r).expect("always disrupted");
+            assert!(p >= m.min_penalty_factor);
+            assert!(p <= m.max_penalty_factor);
+            penalties.push(p);
+        }
+        // Heavy tail: some penalties should be far above the minimum.
+        let big = penalties.iter().filter(|&&p| p > 10.0).count();
+        assert!(big > 50, "only {big} large penalties");
+        // ... but most runs are only moderately slowed.
+        let small = penalties.iter().filter(|&&p| p < 5.0).count();
+        assert!(small > 2500, "only {small} moderate penalties");
+    }
+
+    #[test]
+    fn clean_runs_dominate_at_low_prob() {
+        let m = DisruptionModel::default();
+        let mut r = rng(2);
+        let hits = (0..10_000)
+            .filter(|_| m.sample_penalty(100, 1.0, &mut r).is_some())
+            .count();
+        // p ≈ 1 - (1-2e-5)^100 ≈ 0.2%; allow generous slack.
+        assert!(hits < 100, "too many disruptions: {hits}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DisruptionModel {
+            per_vertex_prob: 0.01,
+            ..Default::default()
+        };
+        let a: Vec<Option<f64>> = {
+            let mut r = rng(3);
+            (0..100).map(|_| m.sample_penalty(50, 1.0, &mut r)).collect()
+        };
+        let b: Vec<Option<f64>> = {
+            let mut r = rng(3);
+            (0..100).map(|_| m.sample_penalty(50, 1.0, &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

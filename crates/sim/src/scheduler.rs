@@ -1,0 +1,280 @@
+//! Vertex placement across the heterogeneous fleet.
+//!
+//! A job's vertices execute on many machines simultaneously; within one job
+//! group different instances have been observed on one to nine different
+//! SKUs (§3.2). The scheduler decides the per-SKU split and which machines
+//! host the vertices; its policy is one of the paper's levers (Scenario 2
+//! shifts vertices from Gen3.5 to Gen5.2).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::cluster::Cluster;
+use crate::sku::SkuGeneration;
+
+/// Placement policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Place proportionally to each SKU's free token capacity.
+    CapacityProportional,
+    /// Prefer machines with lower current utilization.
+    LeastLoaded,
+    /// Prefer newer (faster) generations, weighted by speed.
+    PreferNewest,
+}
+
+/// The outcome of placing one job's vertices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Fraction of the job's vertices on each SKU (sums to 1).
+    pub sku_fractions: [f64; SkuGeneration::COUNT],
+    /// Utilization of the machines actually hosting the vertices, weighted
+    /// by the vertex fractions — the job's effective contention level.
+    pub effective_load: f64,
+    /// Spread of utilization across the hosting machines.
+    pub load_std: f64,
+    /// Vertex-weighted mean SKU speed the job experiences.
+    pub effective_speed: f64,
+    /// Vertex-weighted mean disruption factor of the hosting SKUs.
+    pub effective_disruption_factor: f64,
+    /// Vertex-weighted mean jitter factor of the hosting SKUs.
+    pub effective_jitter_factor: f64,
+}
+
+/// Places a job's vertices on the cluster at submission time `t`.
+///
+/// Sampling is stochastic but bounded: each SKU contributes a Dirichlet-like
+/// perturbed weight so recurrences of the same job land on different SKU
+/// mixes run to run, matching §3.2.
+pub fn place(
+    cluster: &Cluster,
+    policy: SchedulingPolicy,
+    t: f64,
+    affinity: Option<SkuGeneration>,
+    rng: &mut SmallRng,
+) -> Placement {
+    let util = cluster.sku_utilization(t);
+    let catalog = &cluster.config().catalog;
+
+    // Raw per-SKU attractiveness under the policy.
+    let mut weights = [0.0f64; SkuGeneration::COUNT];
+    for g in SkuGeneration::ALL {
+        let i = g.index();
+        let spec = catalog.spec(g);
+        let capacity = cluster.machines_of(g).len() as f64 * spec.tokens_per_machine as f64;
+        if capacity == 0.0 {
+            continue;
+        }
+        weights[i] = match policy {
+            SchedulingPolicy::CapacityProportional => capacity * (1.0 - util[i].mean).max(0.05),
+            SchedulingPolicy::LeastLoaded => capacity * (1.0 - util[i].mean).max(0.01).powi(2),
+            SchedulingPolicy::PreferNewest => {
+                capacity * spec.speed.powi(3) * (1.0 - util[i].mean).max(0.05)
+            }
+        };
+        // Run-to-run placement noise: multiplicative perturbation. Kept
+        // moderate — the SKU mix varies across recurrences (§3.2) but a
+        // job's vertices are spread over enough machines that the effective
+        // speed does not swing wildly run to run.
+        let noise: f64 = rng.gen_range(0.8..1.2);
+        weights[i] *= noise;
+        // Data-locality pull: jobs pinned near their data strongly prefer
+        // their home generation's pool.
+        if affinity == Some(g) {
+            weights[i] *= 15.0;
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "no capacity available for placement");
+    let mut sku_fractions = [0.0f64; SkuGeneration::COUNT];
+    for i in 0..SkuGeneration::COUNT {
+        sku_fractions[i] = weights[i] / total;
+    }
+    placement_from_fractions(cluster, sku_fractions, t, rng)
+}
+
+/// Builds the effective placement metrics from explicit SKU fractions.
+///
+/// Exposed so that what-if replays (e.g. Scenario 2's Gen3.5 → Gen5.2 shift)
+/// can force a modified mix through the identical downstream physics.
+pub fn placement_from_fractions(
+    cluster: &Cluster,
+    sku_fractions: [f64; SkuGeneration::COUNT],
+    t: f64,
+    rng: &mut SmallRng,
+) -> Placement {
+    let catalog = &cluster.config().catalog;
+    let d = cluster.diurnal_load(t);
+    let mut effective_load = 0.0;
+    let mut effective_speed = 0.0;
+    let mut effective_disruption_factor = 0.0;
+    let mut effective_jitter_factor = 0.0;
+    let mut sampled_loads: Vec<f64> = Vec::new();
+
+    for g in SkuGeneration::ALL {
+        let i = g.index();
+        let frac = sku_fractions[i];
+        if frac <= 0.0 {
+            continue;
+        }
+        let spec = catalog.spec(g);
+        let machines = cluster.machines_of(g);
+        // Sample a handful of representative hosting machines per SKU.
+        let n_samples = ((frac * 24.0).ceil() as usize).clamp(1, 8).min(machines.len());
+        let mut load_sum = 0.0;
+        for _ in 0..n_samples {
+            let m = &machines[rng.gen_range(0..machines.len())];
+            let u = m.utilization(t, d);
+            load_sum += u;
+            sampled_loads.push(u);
+        }
+        let mean_load = load_sum / n_samples as f64;
+        effective_load += frac * mean_load;
+        effective_speed += frac * spec.speed;
+        effective_disruption_factor += frac * spec.disruption_factor;
+        effective_jitter_factor += frac * spec.jitter_factor;
+    }
+
+    let load_std = if sampled_loads.len() > 1 {
+        let m = sampled_loads.iter().sum::<f64>() / sampled_loads.len() as f64;
+        (sampled_loads.iter().map(|u| (u - m) * (u - m)).sum::<f64>()
+            / (sampled_loads.len() - 1) as f64)
+            .sqrt()
+    } else {
+        0.0
+    };
+
+    Placement {
+        sku_fractions,
+        effective_load,
+        load_std,
+        effective_speed,
+        effective_disruption_factor,
+        effective_jitter_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use rand::SeedableRng;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c = cluster();
+        for policy in [
+            SchedulingPolicy::CapacityProportional,
+            SchedulingPolicy::LeastLoaded,
+            SchedulingPolicy::PreferNewest,
+        ] {
+            let p = place(&c, policy, 1000.0, None, &mut rng(1));
+            let sum: f64 = p.sku_fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{policy:?} fractions sum {sum}");
+        }
+    }
+
+    #[test]
+    fn prefer_newest_shifts_mass_to_new_skus() {
+        let c = cluster();
+        let mut new_frac_pref = 0.0;
+        let mut new_frac_cap = 0.0;
+        for seed in 0..40 {
+            let pp = place(&c, SchedulingPolicy::PreferNewest, 1000.0, None, &mut rng(seed));
+            let pc = place(
+                &c,
+                SchedulingPolicy::CapacityProportional,
+                1000.0,
+                None,
+                &mut rng(seed + 1000),
+            );
+            let idx_new = [
+                SkuGeneration::Gen5.index(),
+                SkuGeneration::Gen5_2.index(),
+                SkuGeneration::Gen6.index(),
+            ];
+            new_frac_pref += idx_new.iter().map(|&i| pp.sku_fractions[i]).sum::<f64>();
+            new_frac_cap += idx_new.iter().map(|&i| pc.sku_fractions[i]).sum::<f64>();
+        }
+        assert!(
+            new_frac_pref > new_frac_cap,
+            "PreferNewest {new_frac_pref} vs CapacityProportional {new_frac_cap}"
+        );
+    }
+
+    #[test]
+    fn placement_varies_run_to_run() {
+        let c = cluster();
+        let a = place(&c, SchedulingPolicy::CapacityProportional, 0.0, None, &mut rng(1));
+        let b = place(&c, SchedulingPolicy::CapacityProportional, 0.0, None, &mut rng(2));
+        assert_ne!(a.sku_fractions, b.sku_fractions);
+    }
+
+    #[test]
+    fn effective_speed_tracks_sku_mix() {
+        let c = cluster();
+        // All vertices on Gen6 → speed 1.6; all on Gen3 → 0.7.
+        let mut all_new = [0.0; 6];
+        all_new[SkuGeneration::Gen6.index()] = 1.0;
+        let mut all_old = [0.0; 6];
+        all_old[SkuGeneration::Gen3.index()] = 1.0;
+        let pn = placement_from_fractions(&c, all_new, 0.0, &mut rng(3));
+        let po = placement_from_fractions(&c, all_old, 0.0, &mut rng(3));
+        assert!((pn.effective_speed - 1.6).abs() < 1e-9);
+        assert!((po.effective_speed - 0.7).abs() < 1e-9);
+        assert!(pn.effective_disruption_factor < po.effective_disruption_factor);
+    }
+
+    #[test]
+    fn load_fields_in_range() {
+        let c = cluster();
+        for seed in 0..20 {
+            let p = place(&c, SchedulingPolicy::LeastLoaded, 7200.0, None, &mut rng(seed));
+            assert!((0.0..=1.0).contains(&p.effective_load));
+            assert!(p.load_std >= 0.0 && p.load_std < 0.6);
+        }
+    }
+
+    #[test]
+    fn affinity_concentrates_placement() {
+        let c = cluster();
+        let mut with_aff = 0.0;
+        let mut without = 0.0;
+        for seed in 0..20 {
+            let pa = place(
+                &c,
+                SchedulingPolicy::CapacityProportional,
+                500.0,
+                Some(SkuGeneration::Gen3_5),
+                &mut rng(seed),
+            );
+            let pn = place(
+                &c,
+                SchedulingPolicy::CapacityProportional,
+                500.0,
+                None,
+                &mut rng(seed),
+            );
+            with_aff += pa.sku_fractions[SkuGeneration::Gen3_5.index()];
+            without += pn.sku_fractions[SkuGeneration::Gen3_5.index()];
+        }
+        assert!(with_aff > 2.0 * without, "affinity {with_aff} vs {without}");
+        assert!(with_aff / 20.0 > 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cluster();
+        let a = place(&c, SchedulingPolicy::LeastLoaded, 500.0, None, &mut rng(9));
+        let b = place(&c, SchedulingPolicy::LeastLoaded, 500.0, None, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Machine SKUs (Stock Keeping Units).
+//!
+//! Cosmos evolved for over a decade and its fleet mixes 10–20 SKUs with
+//! different processing speeds (§3.2, \[83\]). The paper's what-if Scenario 2
+//! moves vertices from Gen3.5 to Gen5.2 machines and §6 finds that larger
+//! vertex fractions on Gen5/Gen6 predict the stabler clusters. We model the
+//! named generations with speed and reliability factors: newer SKUs are
+//! faster, hold more tokens, and suffer fewer disruptions.
+
+/// The machine generations in our synthetic fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SkuGeneration {
+    /// Oldest generation still racked.
+    Gen3 = 0,
+    /// Mid-life refresh of Gen3 (the paper's Scenario 2 source SKU).
+    Gen3_5,
+    /// Fourth generation.
+    Gen4,
+    /// Fifth generation.
+    Gen5,
+    /// Refresh of Gen5 (the paper's Scenario 2 destination SKU).
+    Gen5_2,
+    /// Newest generation.
+    Gen6,
+}
+
+impl SkuGeneration {
+    /// All generations, oldest first. A generation's position in this array
+    /// is its stable feature-column index.
+    pub const ALL: [SkuGeneration; 6] = [
+        SkuGeneration::Gen3,
+        SkuGeneration::Gen3_5,
+        SkuGeneration::Gen4,
+        SkuGeneration::Gen5,
+        SkuGeneration::Gen5_2,
+        SkuGeneration::Gen6,
+    ];
+
+    /// Number of generations in the fleet.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable index of this generation.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display name matching the paper's nomenclature.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkuGeneration::Gen3 => "Gen3",
+            SkuGeneration::Gen3_5 => "Gen3.5",
+            SkuGeneration::Gen4 => "Gen4",
+            SkuGeneration::Gen5 => "Gen5",
+            SkuGeneration::Gen5_2 => "Gen5.2",
+            SkuGeneration::Gen6 => "Gen6",
+        }
+    }
+}
+
+impl std::fmt::Display for SkuGeneration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hardware characteristics of one SKU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkuSpec {
+    /// Which generation this spec describes.
+    pub generation: SkuGeneration,
+    /// Relative processing speed (Gen4 = 1.0 reference; newer is faster,
+    /// per \[83\]).
+    pub speed: f64,
+    /// Token slots per machine (newer machines have more capacity).
+    pub tokens_per_machine: u32,
+    /// Multiplier on the disruption probability for vertices on this SKU
+    /// (older hardware fails/slows more often).
+    pub disruption_factor: f64,
+    /// Multiplier on per-vertex service-time jitter (older hardware is less
+    /// predictable under contention).
+    pub jitter_factor: f64,
+}
+
+/// The catalog of SKU specifications for the fleet.
+#[derive(Debug, Clone)]
+pub struct SkuCatalog {
+    specs: [SkuSpec; SkuGeneration::COUNT],
+}
+
+impl Default for SkuCatalog {
+    fn default() -> Self {
+        Self::cosmos_like()
+    }
+}
+
+impl SkuCatalog {
+    /// A fleet profile patterned after the qualitative description in \[83\]:
+    /// each generation is ~15–25% faster than the previous, with more token
+    /// slots and better reliability.
+    pub fn cosmos_like() -> Self {
+        let mk = |generation, speed, tokens_per_machine, disruption_factor, jitter_factor| SkuSpec {
+            generation,
+            speed,
+            tokens_per_machine,
+            disruption_factor,
+            jitter_factor,
+        };
+        Self {
+            specs: [
+                mk(SkuGeneration::Gen3, 0.70, 8, 2.2, 1.8),
+                mk(SkuGeneration::Gen3_5, 0.80, 10, 1.8, 1.6),
+                mk(SkuGeneration::Gen4, 1.00, 12, 1.3, 1.2),
+                mk(SkuGeneration::Gen5, 1.25, 16, 0.9, 0.9),
+                mk(SkuGeneration::Gen5_2, 1.35, 18, 0.8, 0.8),
+                mk(SkuGeneration::Gen6, 1.60, 24, 0.6, 0.7),
+            ],
+        }
+    }
+
+    /// Spec for `generation`.
+    #[inline]
+    pub fn spec(&self, generation: SkuGeneration) -> &SkuSpec {
+        &self.specs[generation.index()]
+    }
+
+    /// All specs, oldest generation first.
+    pub fn specs(&self) -> &[SkuSpec] {
+        &self.specs
+    }
+
+    /// Validates monotone improvement across generations (the property
+    /// \[83\] reports and §6/§7.2 rely on).
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.specs.windows(2) {
+            if w[1].speed <= w[0].speed {
+                return Err(format!(
+                    "{} must be faster than {}",
+                    w[1].generation, w[0].generation
+                ));
+            }
+            if w[1].disruption_factor >= w[0].disruption_factor {
+                return Err(format!(
+                    "{} must be more reliable than {}",
+                    w[1].generation, w[0].generation
+                ));
+            }
+        }
+        for s in &self.specs {
+            if s.speed <= 0.0 || s.tokens_per_machine == 0 {
+                return Err(format!("{} has degenerate spec", s.generation));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, g) in SkuGeneration::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn default_catalog_is_valid() {
+        SkuCatalog::default().validate().expect("valid catalog");
+    }
+
+    #[test]
+    fn newer_is_faster_and_steadier() {
+        let c = SkuCatalog::cosmos_like();
+        let g35 = c.spec(SkuGeneration::Gen3_5);
+        let g52 = c.spec(SkuGeneration::Gen5_2);
+        assert!(g52.speed > g35.speed);
+        assert!(g52.disruption_factor < g35.disruption_factor);
+        assert!(g52.jitter_factor < g35.jitter_factor);
+        assert!(g52.tokens_per_machine > g35.tokens_per_machine);
+    }
+
+    #[test]
+    fn validate_catches_inversions() {
+        let mut c = SkuCatalog::cosmos_like();
+        c.specs[5].speed = 0.1; // slower than Gen5.2 — invalid
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SkuGeneration::Gen3_5.to_string(), "Gen3.5");
+        assert_eq!(SkuGeneration::Gen5_2.to_string(), "Gen5.2");
+    }
+}

@@ -1,0 +1,221 @@
+//! Token accounting: guaranteed allocations, preemptive spare tokens, and
+//! usage skylines.
+//!
+//! In Cosmos the unit of resource allocation is the *token* (≈ container,
+//! §3.2). A job is guaranteed the tokens it (over-)allocates, and may
+//! additionally grab preemptive *spare tokens* repurposed from idle
+//! capacity \[7\] — capped at a multiple of the allocation (footnote 1). The
+//! skyline of Fig 3 (allocated = 66, peak usage = 198) is exactly such a
+//! spare-assisted run.
+
+/// Policy governing spare-token grants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparePolicy {
+    /// Whether spare tokens are granted at all (what-if Scenario 1 turns
+    /// this off).
+    pub enabled: bool,
+    /// Cap on total tokens as a multiple of the allocation ("the usage of
+    /// spare tokens is capped by the allocation": total ≤ cap × allocated).
+    pub cap_multiplier: f64,
+    /// Probability, at full cluster load, that granted spare tokens are
+    /// *preempted* mid-run. Spare tokens are repurposed idle capacity \[7\]:
+    /// when guaranteed work arrives they are revoked, which is exactly why
+    /// their availability "is difficult to predict" (§3.2). Scaled linearly
+    /// by the submit-time load.
+    pub preemption_prob_at_full_load: f64,
+}
+
+impl Default for SparePolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            cap_multiplier: 3.0,
+            preemption_prob_at_full_load: 0.35,
+        }
+    }
+}
+
+impl SparePolicy {
+    /// Spare tokens granted to a job given its allocation, its willingness
+    /// to use spares (`affinity ∈ \[0, 1\]`), and the cluster's current spare
+    /// fraction (`spare_fraction ∈ \[0, 1\]`).
+    pub fn grant(&self, allocated: u32, affinity: f64, spare_fraction: f64) -> u32 {
+        if !self.enabled || allocated == 0 {
+            return 0;
+        }
+        debug_assert!((0.0..=1.0).contains(&affinity));
+        let max_spare = (self.cap_multiplier - 1.0).max(0.0) * allocated as f64;
+        (max_spare * affinity * spare_fraction.clamp(0.0, 1.0)).floor() as u32
+    }
+}
+
+/// A token-usage skyline: piecewise-constant tokens-in-use over time (Fig 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenSkyline {
+    /// Guaranteed allocation (the dashed line of Fig 3).
+    pub allocated: u32,
+    /// `(start_s, end_s, tokens_in_use)` segments, contiguous and ordered.
+    segments: Vec<(f64, f64, u32)>,
+}
+
+impl TokenSkyline {
+    /// Creates an empty skyline for a job with the given allocation.
+    pub fn new(allocated: u32) -> Self {
+        Self {
+            allocated,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Appends a segment. Segments must be appended in time order and be
+    /// non-empty.
+    ///
+    /// # Panics
+    /// Panics if the segment is degenerate or overlaps the previous one.
+    pub fn push(&mut self, start_s: f64, end_s: f64, tokens: u32) {
+        assert!(end_s > start_s, "segment must have positive duration");
+        if let Some(&(_, prev_end, _)) = self.segments.last() {
+            assert!(
+                start_s >= prev_end - 1e-9,
+                "segments must be appended in time order"
+            );
+        }
+        self.segments.push((start_s, end_s, tokens));
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[(f64, f64, u32)] {
+        &self.segments
+    }
+
+    /// Peak tokens used at any point ("maximum token counts vary by a factor
+    /// of 10 within the same job group", §3.2).
+    pub fn peak(&self) -> u32 {
+        self.segments.iter().map(|&(_, _, n)| n).max().unwrap_or(0)
+    }
+
+    /// Minimum tokens used across segments (0 for an empty skyline).
+    pub fn min(&self) -> u32 {
+        self.segments.iter().map(|&(_, _, n)| n).min().unwrap_or(0)
+    }
+
+    /// Time-weighted average token usage.
+    pub fn average(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for &(s, e, n) in &self.segments {
+            weighted += (e - s) * n as f64;
+            total += e - s;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+
+    /// Time-weighted average of tokens used *beyond* the allocation, i.e.
+    /// spare-token consumption.
+    pub fn average_spare(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for &(s, e, n) in &self.segments {
+            weighted += (e - s) * n.saturating_sub(self.allocated) as f64;
+            total += e - s;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+
+    /// Total duration covered by the skyline.
+    pub fn duration(&self) -> f64 {
+        match (self.segments.first(), self.segments.last()) {
+            (Some(&(s, _, _)), Some(&(_, e, _))) => e - s,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_zero_when_disabled() {
+        let p = SparePolicy {
+            enabled: false,
+            ..Default::default()
+        };
+        assert_eq!(p.grant(100, 1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn grant_respects_cap() {
+        let p = SparePolicy::default();
+        // cap 3x: at most 2x allocation in spares.
+        assert_eq!(p.grant(66, 1.0, 1.0), 132);
+        assert!(p.grant(66, 1.0, 0.5) <= 66);
+    }
+
+    #[test]
+    fn grant_scales_with_affinity_and_spares() {
+        let p = SparePolicy::default();
+        assert!(p.grant(100, 1.0, 0.8) > p.grant(100, 0.3, 0.8));
+        assert!(p.grant(100, 0.8, 1.0) > p.grant(100, 0.8, 0.2));
+        assert_eq!(p.grant(100, 0.0, 1.0), 0);
+        assert_eq!(p.grant(0, 1.0, 1.0), 0);
+    }
+
+    #[test]
+    fn fig3_like_skyline() {
+        // Allocation 66, peak 198 with spares — the Fig 3 shape.
+        let mut sky = TokenSkyline::new(66);
+        sky.push(0.0, 60.0, 66);
+        sky.push(60.0, 120.0, 198);
+        sky.push(120.0, 200.0, 40);
+        assert_eq!(sky.peak(), 198);
+        assert_eq!(sky.min(), 40);
+        assert!(sky.average() > 40.0 && sky.average() < 198.0);
+        assert_eq!(sky.duration(), 200.0);
+        // Spare usage only in the middle segment: (198-66)*60/200 = 39.6
+        assert!((sky.average_spare() - 39.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_skyline_is_zeroes() {
+        let sky = TokenSkyline::new(10);
+        assert_eq!(sky.peak(), 0);
+        assert_eq!(sky.average(), 0.0);
+        assert_eq!(sky.duration(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_segments_panic() {
+        let mut sky = TokenSkyline::new(10);
+        sky.push(10.0, 20.0, 5);
+        sky.push(0.0, 5.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn degenerate_segment_panics() {
+        let mut sky = TokenSkyline::new(10);
+        sky.push(10.0, 10.0, 5);
+    }
+}
+
+#[cfg(test)]
+mod preemption_tests {
+    use super::*;
+
+    #[test]
+    fn default_preemption_prob_is_sane() {
+        let p = SparePolicy::default();
+        assert!((0.0..=1.0).contains(&p.preemption_prob_at_full_load));
+        assert!(p.preemption_prob_at_full_load > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Property-based tests for the cluster-simulator substrate.
+
+use proptest::prelude::*;
+
+use rv_sim::{SparePolicy, TokenSkyline};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spare_grant_respects_cap(
+        allocated in 1u32..1000,
+        affinity in 0.0..1.0f64,
+        spare_fraction in 0.0..1.0f64,
+        cap in 1.0..5.0f64,
+    ) {
+        let p = SparePolicy {
+            enabled: true,
+            cap_multiplier: cap,
+            ..Default::default()
+        };
+        let grant = p.grant(allocated, affinity, spare_fraction);
+        let max_spare = ((cap - 1.0) * allocated as f64).floor();
+        prop_assert!(grant as f64 <= max_spare + 1e-9);
+    }
+
+    #[test]
+    fn skyline_stats_are_ordered(
+        allocated in 1u32..100,
+        segments in prop::collection::vec((1.0..100.0f64, 1u32..300), 1..20),
+    ) {
+        let mut sky = TokenSkyline::new(allocated);
+        let mut t = 0.0;
+        for (duration, tokens) in &segments {
+            sky.push(t, t + duration, *tokens);
+            t += duration;
+        }
+        prop_assert!(sky.min() <= sky.peak());
+        prop_assert!(sky.average() >= sky.min() as f64 - 1e-9);
+        prop_assert!(sky.average() <= sky.peak() as f64 + 1e-9);
+        prop_assert!(sky.average_spare() <= sky.average());
+        prop_assert!((sky.duration() - t).abs() < 1e-6);
+    }
+}

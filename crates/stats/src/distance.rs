@@ -1,0 +1,148 @@
+//! Distances and affinities between vectors and samples.
+//!
+//! Includes the Kolmogorov–Smirnov distance that Fig 8 of the paper uses to
+//! compare predicted and actual runtime distributions, plus the vector
+//! distances that back the clustering analysis.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Squared Euclidean distance (avoids the sqrt in hot clustering loops).
+#[inline]
+pub fn l2_distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean absolute error between paired values.
+///
+/// # Panics
+/// Panics if the lengths differ or are zero.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    assert!(!a.is_empty(), "need at least one pair");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Two-sample Kolmogorov–Smirnov distance: the supremum of the absolute
+/// difference between the two empirical CDFs.
+///
+/// Non-finite samples are ignored. Returns `None` if either side has no
+/// finite samples.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    let mut xa: Vec<f64> = a.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut xb: Vec<f64> = b.iter().copied().filter(|v| v.is_finite()).collect();
+    if xa.is_empty() || xb.is_empty() {
+        return None;
+    }
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (xa.len() as f64, xb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < xa.len() && j < xb.len() {
+        let x = xa[i].min(xb[j]);
+        while i < xa.len() && xa[i] <= x {
+            i += 1;
+        }
+        while j < xb.len() && xb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_l2() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert!((l2_distance(&a, &b) - 27.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l2_distance_sq(&a, &b), 27.0);
+    }
+
+    #[test]
+    fn mae_known() {
+        assert!((mae(&[1.0, 2.0], &[2.0, 0.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!(ks_distance(&a, &a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn ks_disjoint_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_value() {
+        // a: mass at {0,1}; b: mass at {0.5, 1}. CDF gap is 0.5 on [0, 0.5).
+        let a = [0.0, 1.0];
+        let b = [0.5, 1.0];
+        assert!((ks_distance(&a, &b).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_symmetry() {
+        let a = [1.0, 5.0, 9.0, 2.0];
+        let b = [3.0, 3.5, 8.0];
+        let d1 = ks_distance(&a, &b).unwrap();
+        let d2 = ks_distance(&b, &a).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_empty_sides() {
+        assert_eq!(ks_distance(&[], &[1.0]), None);
+        assert_eq!(ks_distance(&[1.0], &[f64::NAN]), None);
+    }
+
+    #[test]
+    fn ks_shift_detects_tail() {
+        // Same bulk, one sample has a heavy tail: KS sees a moderate gap.
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut b = a.clone();
+        for v in b.iter_mut().skip(90) {
+            *v *= 10.0;
+        }
+        let d = ks_distance(&a, &b).unwrap();
+        assert!(d > 0.05 && d < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Complements the PMF machinery: exact tail probabilities
+//! (`P(runtime > SLO)`) and the first-Wasserstein ("earth mover's")
+//! distance between two runtime samples, an alternative distribution
+//! distance to the Kolmogorov–Smirnov statistic of Fig 8.
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF, ignoring non-finite samples. Returns `None` when no
+    /// finite samples remain.
+    pub fn new(samples: &[f64]) -> Option<Self> {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Self { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x) = P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Exceedance probability `P(X > x)` — the SLO-breach risk.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `q`-quantile via the inverse CDF (lower value of the step).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+}
+
+/// First Wasserstein (earth mover's) distance between two samples: the area
+/// between their quantile functions, computed exactly on the merged grid.
+///
+/// Returns `None` if either side has no finite samples.
+pub fn wasserstein_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    let ea = Ecdf::new(a)?;
+    let eb = Ecdf::new(b)?;
+    // Merge all sample points; between consecutive points both CDFs are
+    // constant, so the integral is a sum of |Fa - Fb| * width terms.
+    let mut grid: Vec<f64> = ea
+        .samples()
+        .iter()
+        .chain(eb.samples())
+        .copied()
+        .collect();
+    grid.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    grid.dedup();
+    let mut total = 0.0;
+    for w in grid.windows(2) {
+        let width = w[1] - w[0];
+        total += (ea.cdf(w[0]) - eb.cdf(w[0])).abs() * width;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps_correctly() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn exceedance_complements_cdf() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0]).expect("non-empty");
+        assert!((e.exceedance(15.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.exceedance(30.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0]).expect("non-empty");
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.34), 3.0);
+        assert_eq!(e.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn wasserstein_of_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(wasserstein_distance(&a, &a).expect("finite") < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_of_shift_equals_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 7.5).collect();
+        let d = wasserstein_distance(&a, &b).expect("finite");
+        assert!((d - 7.5).abs() < 1e-9, "distance {d}");
+    }
+
+    #[test]
+    fn wasserstein_is_symmetric() {
+        let a = [1.0, 5.0, 9.0];
+        let b = [2.0, 2.5, 30.0];
+        let d1 = wasserstein_distance(&a, &b).expect("finite");
+        let d2 = wasserstein_distance(&b, &a).expect("finite");
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_sees_tails_ks_compresses() {
+        // Same 5% of mass moved, but much farther: KS is identical while
+        // Wasserstein grows — the reason it complements KS for tail work.
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut near = base.clone();
+        let mut far = base.clone();
+        for v in near.iter_mut().skip(95) {
+            *v += 50.0;
+        }
+        for v in far.iter_mut().skip(95) {
+            *v += 5000.0;
+        }
+        let d_near = wasserstein_distance(&base, &near).expect("finite");
+        let d_far = wasserstein_distance(&base, &far).expect("finite");
+        assert!(d_far > 10.0 * d_near);
+    }
+}

@@ -1,0 +1,421 @@
+//! Fixed-bin histograms and empirical probability mass functions (PMFs).
+//!
+//! The paper (§4.2) represents every job group's normalized-runtime
+//! distribution as a histogram with a fixed bin specification shared across
+//! all groups, so that histograms are directly comparable as vectors:
+//!
+//! * the *interior* range is divided into `n_bins` equal-width bins;
+//! * values below the lower edge are absorbed into the first bin and values
+//!   above the upper edge into the last bin (footnote 3: outliers are merged
+//!   into one bin "based on being ≤ or ≥ some thresholds").
+//!
+//! The paper uses 200 bins, range `\[0, 10\]` for Ratio-normalization and
+//! `[-900, 900]` seconds for Delta-normalization.
+
+/// Bin layout shared by all histograms that should be comparable as vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinSpec {
+    /// Lower edge of the interior range (values `< lo` fall into bin 0).
+    pub lo: f64,
+    /// Upper edge of the interior range (values `>= hi` fall into the last bin).
+    pub hi: f64,
+    /// Number of bins covering `[lo, hi)`; must be at least 2.
+    pub n_bins: usize,
+}
+
+impl BinSpec {
+    /// Creates a new bin specification.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`, if `n_bins < 2`, or if either edge is not finite.
+    pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bin edges must be finite");
+        assert!(lo < hi, "lower edge must be below upper edge");
+        assert!(n_bins >= 2, "need at least 2 bins");
+        Self { lo, hi, n_bins }
+    }
+
+    /// The paper's Ratio-normalization spec: 200 bins over `\[0, 10\]`,
+    /// with ≥10× jobs merged into the top (outlier) bin.
+    pub fn ratio() -> Self {
+        Self::new(0.0, 10.0, 200)
+    }
+
+    /// The paper's Delta-normalization spec: 200 bins over `[-900, 900]`
+    /// seconds, with jobs ≥900 s slower than median merged into the top bin.
+    pub fn delta() -> Self {
+        Self::new(-900.0, 900.0, 200)
+    }
+
+    /// Width of one interior bin.
+    #[inline]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.n_bins as f64
+    }
+
+    /// Maps a value to its bin index, clamping out-of-range values into the
+    /// edge (outlier) bins. This is the `h(x_n)` function of §5.2.
+    ///
+    /// Non-finite values (NaN, ±inf) are clamped to the nearest edge bin;
+    /// NaN goes to the top bin since it most often arises from runaway
+    /// ratios.
+    #[inline]
+    pub fn bin_index(&self, value: f64) -> usize {
+        if value.is_nan() {
+            return self.n_bins - 1;
+        }
+        if value < self.lo {
+            return 0;
+        }
+        if value >= self.hi {
+            return self.n_bins - 1;
+        }
+        let idx = ((value - self.lo) / self.bin_width()) as usize;
+        idx.min(self.n_bins - 1)
+    }
+
+    /// Midpoint of bin `idx`, used for reconstructing representative values
+    /// when sampling from a PMF.
+    #[inline]
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        self.lo + (idx as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Lower edge of bin `idx`.
+    #[inline]
+    pub fn bin_lo(&self, idx: usize) -> f64 {
+        self.lo + idx as f64 * self.bin_width()
+    }
+}
+
+/// A histogram of counts over a [`BinSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    spec: BinSpec,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `spec`.
+    pub fn new(spec: BinSpec) -> Self {
+        Self {
+            counts: vec![0; spec.n_bins],
+            spec,
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(spec: BinSpec, samples: I) -> Self {
+        let mut h = Self::new(spec);
+        for s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        self.counts[self.spec.bin_index(value)] += 1;
+        self.total += 1;
+    }
+
+    /// The bin specification.
+    pub fn spec(&self) -> BinSpec {
+        self.spec
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in the top (≥ threshold) outlier bin.
+    pub fn upper_outlier_count(&self) -> u64 {
+        *self.counts.last().expect("histogram has at least 2 bins")
+    }
+
+    /// Converts to an empirical PMF. An empty histogram yields the uniform
+    /// PMF (a non-informative default, matching the paper's non-informative
+    /// prior assumption).
+    pub fn to_pmf(&self) -> Pmf {
+        let n = self.counts.len();
+        let probs = if self.total == 0 {
+            vec![1.0 / n as f64; n]
+        } else {
+            self.counts
+                .iter()
+                .map(|&c| c as f64 / self.total as f64)
+                .collect()
+        };
+        Pmf {
+            spec: self.spec,
+            probs,
+        }
+    }
+}
+
+/// A probability mass function over a [`BinSpec`]; probabilities sum to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    spec: BinSpec,
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Creates a PMF from raw weights, normalizing them to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != spec.n_bins`, if any weight is negative or
+    /// non-finite, or if all weights are zero.
+    pub fn from_weights(spec: BinSpec, weights: &[f64]) -> Self {
+        assert_eq!(weights.len(), spec.n_bins, "weight/bin count mismatch");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        Self {
+            spec,
+            probs: weights.iter().map(|w| w / sum).collect(),
+        }
+    }
+
+    /// The bin specification.
+    pub fn spec(&self) -> BinSpec {
+        self.spec
+    }
+
+    /// Per-bin probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Probability of the bin containing `value`.
+    #[inline]
+    pub fn prob_of(&self, value: f64) -> f64 {
+        self.probs[self.spec.bin_index(value)]
+    }
+
+    /// Probability mass in the top outlier bin (e.g. ≥10× slower than the
+    /// median for Ratio-normalization) — the paper's "outlier probability".
+    pub fn upper_outlier_prob(&self) -> f64 {
+        *self.probs.last().expect("pmf has at least 2 bins")
+    }
+
+    /// Probability mass in the bottom edge bin.
+    pub fn lower_edge_prob(&self) -> f64 {
+        self.probs[0]
+    }
+
+    /// Approximate quantile `q ∈ \[0, 1\]` of the distribution, computed from
+    /// the cumulative mass and reported at bin centers.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut cum = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            cum += p;
+            if cum >= q - 1e-12 {
+                return self.spec.bin_center(i);
+            }
+        }
+        self.spec.bin_center(self.spec.n_bins - 1)
+    }
+
+    /// Mean of the distribution using bin centers.
+    pub fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * self.spec.bin_center(i))
+            .sum()
+    }
+
+    /// Standard deviation of the distribution using bin centers.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        let var: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let d = self.spec.bin_center(i) - m;
+                p * d * d
+            })
+            .sum();
+        var.sqrt()
+    }
+
+    /// Log-probabilities with an `epsilon` floor so that empty bins do not
+    /// produce `-inf` (used by the posterior-likelihood assignment, Eq. 9).
+    pub fn log_probs(&self, epsilon: f64) -> Vec<f64> {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        self.probs.iter().map(|&p| p.max(epsilon).ln()).collect()
+    }
+
+    /// Elementwise mixture of two PMFs over the same spec:
+    /// `(1 - w) * self + w * other`.
+    ///
+    /// # Panics
+    /// Panics if the specs differ or `w` is outside `\[0, 1\]`.
+    pub fn mix(&self, other: &Pmf, w: f64) -> Pmf {
+        assert_eq!(self.spec, other.spec, "PMF specs must match");
+        assert!((0.0..=1.0).contains(&w), "mixture weight must be in [0, 1]");
+        let probs = self
+            .probs
+            .iter()
+            .zip(&other.probs)
+            .map(|(&a, &b)| (1.0 - w) * a + w * b)
+            .collect();
+        Pmf {
+            spec: self.spec,
+            probs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_index_interior() {
+        let spec = BinSpec::new(0.0, 10.0, 10);
+        assert_eq!(spec.bin_index(0.0), 0);
+        assert_eq!(spec.bin_index(0.99), 0);
+        assert_eq!(spec.bin_index(1.0), 1);
+        assert_eq!(spec.bin_index(9.99), 9);
+    }
+
+    #[test]
+    fn bin_index_outliers_clamped() {
+        let spec = BinSpec::new(0.0, 10.0, 10);
+        assert_eq!(spec.bin_index(-5.0), 0);
+        assert_eq!(spec.bin_index(10.0), 9);
+        assert_eq!(spec.bin_index(1e9), 9);
+        assert_eq!(spec.bin_index(f64::INFINITY), 9);
+        assert_eq!(spec.bin_index(f64::NEG_INFINITY), 0);
+        assert_eq!(spec.bin_index(f64::NAN), 9);
+    }
+
+    #[test]
+    fn paper_specs() {
+        let r = BinSpec::ratio();
+        assert_eq!(r.n_bins, 200);
+        assert_eq!(r.lo, 0.0);
+        assert_eq!(r.hi, 10.0);
+        let d = BinSpec::delta();
+        assert_eq!(d.n_bins, 200);
+        assert_eq!(d.lo, -900.0);
+        assert_eq!(d.hi, 900.0);
+        // A job exactly at the median lands mid-range for Delta.
+        assert_eq!(d.bin_index(0.0), 100);
+    }
+
+    #[test]
+    fn bin_center_round_trips() {
+        let spec = BinSpec::new(-900.0, 900.0, 200);
+        for i in 0..200 {
+            assert_eq!(spec.bin_index(spec.bin_center(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_total() {
+        let spec = BinSpec::new(0.0, 10.0, 10);
+        let h = Histogram::from_samples(spec, vec![0.5, 0.6, 5.5, 42.0]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.upper_outlier_count(), 1);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let spec = BinSpec::new(0.0, 10.0, 10);
+        let h = Histogram::from_samples(spec, (0..100).map(|i| i as f64 / 10.0));
+        let pmf = h.to_pmf();
+        let sum: f64 = pmf.probs().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_yields_uniform_pmf() {
+        let spec = BinSpec::new(0.0, 10.0, 4);
+        let pmf = Histogram::new(spec).to_pmf();
+        for &p in pmf.probs() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_quantile_monotone() {
+        let spec = BinSpec::new(0.0, 10.0, 100);
+        let h = Histogram::from_samples(spec, (0..1000).map(|i| i as f64 / 100.0));
+        let pmf = h.to_pmf();
+        let q25 = pmf.quantile(0.25);
+        let q50 = pmf.quantile(0.5);
+        let q95 = pmf.quantile(0.95);
+        assert!(q25 <= q50 && q50 <= q95);
+        assert!((q50 - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn pmf_mean_std_of_point_mass() {
+        let spec = BinSpec::new(0.0, 10.0, 10);
+        let h = Histogram::from_samples(spec, vec![5.2; 50]);
+        let pmf = h.to_pmf();
+        assert!((pmf.mean() - 5.5).abs() < 1e-9); // bin center of bin 5
+        assert!(pmf.std_dev() < 1e-9);
+    }
+
+    #[test]
+    fn log_probs_floored() {
+        let spec = BinSpec::new(0.0, 10.0, 4);
+        let pmf = Pmf::from_weights(spec, &[1.0, 0.0, 0.0, 1.0]);
+        let lp = pmf.log_probs(1e-9);
+        assert!(lp.iter().all(|v| v.is_finite()));
+        assert!((lp[0] - (0.5f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_is_convex_combination() {
+        let spec = BinSpec::new(0.0, 10.0, 2);
+        let a = Pmf::from_weights(spec, &[1.0, 0.0]);
+        let b = Pmf::from_weights(spec, &[0.0, 1.0]);
+        let m = a.mix(&b, 0.25);
+        assert!((m.probs()[0] - 0.75).abs() < 1e-12);
+        assert!((m.probs()[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower edge must be below upper edge")]
+    fn bad_spec_panics() {
+        BinSpec::new(1.0, 1.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn zero_weights_panic() {
+        Pmf::from_weights(BinSpec::new(0.0, 1.0, 2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn outlier_prob_reported() {
+        let spec = BinSpec::ratio();
+        // 2 of 100 samples are ≥10x the median.
+        let mut vals = vec![1.0; 98];
+        vals.push(12.0);
+        vals.push(30.0);
+        let pmf = Histogram::from_samples(spec, vals).to_pmf();
+        assert!((pmf.upper_outlier_prob() - 0.02).abs() < 1e-12);
+    }
+}

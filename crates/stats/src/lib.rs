@@ -1,0 +1,46 @@
+//! # rv-stats — statistics toolkit for runtime-variation analysis
+//!
+//! Foundational, dependency-free statistics used throughout the `runvar`
+//! workspace:
+//!
+//! * [`histogram`] — fixed-bin histograms / empirical PMFs with
+//!   outlier-absorbing edge bins, exactly as specified in §4.2 of the paper
+//!   (200 interior bins; Ratio range `\[0, 10\]`; Delta range `[-900 s, 900 s]`).
+//! * [`mod@normalize`] — the paper's two runtime normalizations
+//!   (Definition 4.1): *Ratio* (`runtime / historic median`) and *Delta*
+//!   (`runtime - historic median`).
+//! * [`smooth`] — kernel smoothing of PMFs so that adjacent-bin correlation
+//!   is respected by vector-space clustering (§4.2, "Smoothing histograms").
+//! * [`mod@quantile`] — empirical quantiles over unsorted samples.
+//! * [`summary`] — mean / variance / standard deviation / median /
+//!   coefficient of variation (COV).
+//! * [`distance`] — L2 / dot-product affinities, Kolmogorov–Smirnov distance,
+//!   mean absolute error.
+//! * [`qq`] — quantile–quantile comparison of two samples (Fig 8).
+//! * [`ecdf`] — empirical CDFs, exceedance probabilities, and the
+//!   Wasserstein distance (a tail-sensitive complement to KS).
+//! * [`moments`] — skewness and excess kurtosis for tail/asymmetry
+//!   characterization beyond Table 2's quantile statistics.
+//!
+//! All routines are deterministic and operate on `f64` slices; none of them
+//! allocate beyond their output buffers.
+
+pub mod distance;
+pub mod ecdf;
+pub mod histogram;
+pub mod moments;
+pub mod normalize;
+pub mod qq;
+pub mod quantile;
+pub mod smooth;
+pub mod summary;
+
+pub use distance::{dot, ks_distance, l2_distance, mae};
+pub use ecdf::{wasserstein_distance, Ecdf};
+pub use moments::{excess_kurtosis, skewness};
+pub use histogram::{BinSpec, Histogram, Pmf};
+pub use normalize::{normalize, normalize_all, Normalization};
+pub use qq::{qq_mae, qq_points, qq_tail_mae};
+pub use quantile::{median, quantile, quantiles};
+pub use smooth::{smooth_pmf, SmoothingKernel};
+pub use summary::{coefficient_of_variation, mean, std_dev, Summary};

@@ -1,0 +1,93 @@
+//! Higher distribution moments: skewness and excess kurtosis.
+//!
+//! Runtime distributions are right-skewed and heavy-tailed (§4.1); skewness
+//! and kurtosis quantify exactly those properties and extend the Table 2
+//! shape statistics beyond the quantile summaries.
+
+use crate::summary::{mean, std_dev};
+
+/// Sample skewness (adjusted Fisher–Pearson, the same estimator as pandas):
+/// `g1 * sqrt(n(n-1)) / (n-2)`. Returns `None` for fewer than 3 samples or
+/// zero variance.
+pub fn skewness(samples: &[f64]) -> Option<f64> {
+    let n = samples.len();
+    if n < 3 {
+        return None;
+    }
+    let m = mean(samples);
+    let s = std_dev(samples);
+    if s == 0.0 {
+        return None;
+    }
+    let nf = n as f64;
+    let m3 = samples.iter().map(|&x| (x - m).powi(3)).sum::<f64>() / nf;
+    // std_dev is Bessel-corrected; convert to the population std for g1.
+    let pop_var = samples.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / nf;
+    let g1 = m3 / pop_var.powf(1.5);
+    Some(g1 * (nf * (nf - 1.0)).sqrt() / (nf - 2.0))
+}
+
+/// Sample excess kurtosis (`g2 = m4 / m2² - 3`, population form). Returns
+/// `None` for fewer than 4 samples or zero variance.
+pub fn excess_kurtosis(samples: &[f64]) -> Option<f64> {
+    let n = samples.len();
+    if n < 4 {
+        return None;
+    }
+    let m = mean(samples);
+    let nf = n as f64;
+    let m2 = samples.iter().map(|&x| (x - m).powi(2)).sum::<f64>() / nf;
+    if m2 == 0.0 {
+        return None;
+    }
+    let m4 = samples.iter().map(|&x| (x - m).powi(4)).sum::<f64>() / nf;
+    Some(m4 / (m2 * m2) - 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let v: Vec<f64> = (-50..=50).map(|i| i as f64).collect();
+        assert!(skewness(&v).expect("enough samples").abs() < 1e-9);
+    }
+
+    #[test]
+    fn right_tail_is_positive_skew() {
+        let mut v = vec![1.0; 95];
+        v.extend(vec![100.0; 5]);
+        assert!(skewness(&v).expect("enough samples") > 1.0);
+    }
+
+    #[test]
+    fn left_tail_is_negative_skew() {
+        let mut v = vec![100.0; 95];
+        v.extend(vec![1.0; 5]);
+        assert!(skewness(&v).expect("enough samples") < -1.0);
+    }
+
+    #[test]
+    fn uniform_kurtosis_is_negative() {
+        // Continuous uniform has excess kurtosis -1.2.
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let k = excess_kurtosis(&v).expect("enough samples");
+        assert!((k + 1.2).abs() < 0.05, "kurtosis {k}");
+    }
+
+    #[test]
+    fn heavy_tail_kurtosis_is_large() {
+        let mut v = vec![0.0; 999];
+        v.push(1000.0);
+        assert!(excess_kurtosis(&v).expect("enough samples") > 100.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(skewness(&[1.0, 2.0]).is_none());
+        assert!(skewness(&[5.0; 10]).is_none());
+        assert!(excess_kurtosis(&[1.0, 2.0, 3.0]).is_none());
+        assert!(excess_kurtosis(&[5.0; 10]).is_none());
+    }
+}

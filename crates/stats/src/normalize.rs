@@ -1,0 +1,111 @@
+//! Runtime normalization (Definition 4.1 of the paper).
+//!
+//! Runtimes of a recurring job are normalized against the job group's
+//! *historic median* so that distributions of different job groups become
+//! comparable:
+//!
+//! * **Ratio-normalization** — `runtime / median`: relative change, unitless.
+//!   Good for lumping together comparable shapes across runtime ranges, but
+//!   exaggerates variation for very short jobs and compresses it for very
+//!   long jobs.
+//! * **Delta-normalization** — `runtime - median`: absolute deviation in
+//!   seconds. Complements Ratio by capturing variation in absolute terms.
+//!
+//! The paper uses *both*, producing two parallel shape catalogs.
+
+/// The two normalization policies of Definition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Normalization {
+    /// `runtime / historic median` (unitless).
+    Ratio,
+    /// `runtime - historic median` (seconds).
+    Delta,
+}
+
+impl Normalization {
+    /// All policies, in the order the paper presents them.
+    pub const ALL: [Normalization; 2] = [Normalization::Ratio, Normalization::Delta];
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Normalization::Ratio => "Ratio",
+            Normalization::Delta => "Delta",
+        }
+    }
+}
+
+impl std::fmt::Display for Normalization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Normalizes a single runtime against a historic median.
+///
+/// For [`Normalization::Ratio`] a non-positive median (which cannot occur for
+/// real runtimes but may appear in degenerate synthetic data) yields ratio 1.0
+/// for zero runtime and `+inf` handling is delegated to the histogram's
+/// outlier bin.
+#[inline]
+pub fn normalize(policy: Normalization, runtime: f64, historic_median: f64) -> f64 {
+    match policy {
+        Normalization::Ratio => {
+            if historic_median <= 0.0 {
+                if runtime <= 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                runtime / historic_median
+            }
+        }
+        Normalization::Delta => runtime - historic_median,
+    }
+}
+
+/// Normalizes a batch of runtimes against one historic median.
+pub fn normalize_all(policy: Normalization, runtimes: &[f64], historic_median: f64) -> Vec<f64> {
+    runtimes
+        .iter()
+        .map(|&r| normalize(policy, r, historic_median))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_basic() {
+        assert!((normalize(Normalization::Ratio, 120.0, 60.0) - 2.0).abs() < 1e-12);
+        assert!((normalize(Normalization::Ratio, 60.0, 60.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_basic() {
+        assert!((normalize(Normalization::Delta, 120.0, 60.0) - 60.0).abs() < 1e-12);
+        assert!((normalize(Normalization::Delta, 30.0, 60.0) + 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_degenerate_median() {
+        assert_eq!(normalize(Normalization::Ratio, 0.0, 0.0), 1.0);
+        assert_eq!(normalize(Normalization::Ratio, 5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let rts = [10.0, 20.0, 30.0];
+        let out = normalize_all(Normalization::Delta, &rts, 20.0);
+        assert_eq!(out, vec![-10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Normalization::Ratio.to_string(), "Ratio");
+        assert_eq!(Normalization::Delta.to_string(), "Delta");
+        assert_eq!(Normalization::ALL.len(), 2);
+    }
+}

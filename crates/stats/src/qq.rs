@@ -1,0 +1,113 @@
+//! Quantile–quantile comparison of two samples (Fig 8 of the paper).
+//!
+//! The paper compares the *predicted* distribution of all job runtimes
+//! against the *actual* distribution with a Q–Q plot and summarizes the gap
+//! as the mean absolute error (MAE) between paired quantiles; identical
+//! distributions align on the diagonal with MAE = 0.
+
+use crate::distance::mae;
+use crate::quantile::quantile_sorted;
+
+/// Paired quantiles `(actual_q, predicted_q)` at `n_points` evenly spaced
+/// probabilities in `(0, 1)`.
+///
+/// Returns `None` if either sample has no finite values.
+pub fn qq_points(actual: &[f64], predicted: &[f64], n_points: usize) -> Option<Vec<(f64, f64)>> {
+    assert!(n_points >= 2, "need at least 2 points");
+    let mut a: Vec<f64> = actual.iter().copied().filter(|v| v.is_finite()).collect();
+    let mut p: Vec<f64> = predicted
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if a.is_empty() || p.is_empty() {
+        return None;
+    }
+    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    p.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    Some(
+        (0..n_points)
+            .map(|i| {
+                let q = (i as f64 + 0.5) / n_points as f64;
+                (quantile_sorted(&a, q), quantile_sorted(&p, q))
+            })
+            .collect(),
+    )
+}
+
+/// MAE between paired quantiles over the full probability range.
+pub fn qq_mae(actual: &[f64], predicted: &[f64], n_points: usize) -> Option<f64> {
+    let pts = qq_points(actual, predicted, n_points)?;
+    let (a, p): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
+    Some(mae(&a, &p))
+}
+
+/// MAE between paired quantiles restricted to the upper tail
+/// (`q >= tail_from`). This is where the paper's classification approach
+/// beats the regression baseline: outliers live in the high percentiles.
+pub fn qq_tail_mae(
+    actual: &[f64],
+    predicted: &[f64],
+    n_points: usize,
+    tail_from: f64,
+) -> Option<f64> {
+    assert!((0.0..1.0).contains(&tail_from), "tail_from must be in [0, 1)");
+    let pts = qq_points(actual, predicted, n_points)?;
+    let tail: Vec<(f64, f64)> = pts
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| (*i as f64 + 0.5) / n_points as f64 >= tail_from)
+        .map(|(_, p)| p)
+        .collect();
+    if tail.is_empty() {
+        return None;
+    }
+    let (a, p): (Vec<f64>, Vec<f64>) = tail.into_iter().unzip();
+    Some(mae(&a, &p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_zero_mae() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(qq_mae(&v, &v, 50).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_samples_mae_equals_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let p: Vec<f64> = a.iter().map(|x| x + 3.0).collect();
+        assert!((qq_mae(&a, &p, 50).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_mae_catches_missing_outliers() {
+        // Predicted misses the heavy tail: overall MAE small, tail MAE large.
+        let mut actual: Vec<f64> = vec![10.0; 95];
+        actual.extend(vec![1000.0; 5]);
+        let predicted = vec![10.0; 100];
+        let overall = qq_mae(&actual, &predicted, 100).unwrap();
+        let tail = qq_tail_mae(&actual, &predicted, 100, 0.9).unwrap();
+        assert!(tail > 5.0 * overall);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let a: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        let b: Vec<f64> = (0..80).map(|i| i as f64 * 3.0).collect();
+        let pts = qq_points(&a, &b, 20).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(qq_points(&[], &[1.0], 10).is_none());
+        assert!(qq_mae(&[1.0], &[f64::NAN], 10).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Empirical quantiles over raw samples.
+//!
+//! Uses the common linear-interpolation definition (type 7 in the Hyndman–Fan
+//! taxonomy, the default of R and NumPy): for `n` sorted samples the quantile
+//! `q` sits at rank `q * (n - 1)` with linear interpolation between the two
+//! neighbouring order statistics.
+
+/// Returns the `q`-quantile (`q ∈ \[0, 1\]`) of `samples`.
+///
+/// Non-finite samples are ignored. Returns `None` when no finite samples
+/// remain.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+    Some(quantile_sorted(&v, q))
+}
+
+/// Quantile of already-sorted, finite samples. `O(1)`.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn quantile_sorted(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+    let n = samples.len();
+    if n == 1 {
+        return samples[0];
+    }
+    let rank = q * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    samples[lo] + (samples[hi] - samples[lo]) * frac
+}
+
+/// Returns several quantiles in one sort.
+pub fn quantiles(samples: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+    Some(qs.iter().map(|&q| quantile_sorted(&v, q)).collect())
+}
+
+/// Median (0.5-quantile) of `samples`; `None` if no finite samples.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn extremes() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.25), Some(2.5));
+        assert_eq!(quantile(&v, 0.75), Some(7.5));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let v = [f64::NAN, 1.0, f64::INFINITY, 3.0];
+        assert_eq!(median(&v), Some(2.0));
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn multi_quantiles_consistent() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let qs = quantiles(&v, &[0.25, 0.5, 0.95]).unwrap();
+        assert_eq!(qs, vec![25.0, 50.0, 95.0]);
+    }
+
+    #[test]
+    fn single_sample() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [0, 1]")]
+    fn out_of_range_q() {
+        quantile(&[1.0], 1.5);
+    }
+}

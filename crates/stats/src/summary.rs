@@ -1,0 +1,172 @@
+//! Scalar summary statistics, including the Coefficient of Variation (COV)
+//! whose shortcomings §4.1 of the paper demonstrates.
+
+use crate::quantile::quantile_sorted;
+
+/// Mean of `samples`; 0.0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sample standard deviation (Bessel-corrected, `n - 1` denominator);
+/// 0.0 for fewer than two samples.
+pub fn std_dev(samples: &[f64]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let ss: f64 = samples.iter().map(|&x| (x - m) * (x - m)).sum();
+    (ss / (n - 1) as f64).sqrt()
+}
+
+/// Coefficient of Variation: `std_dev / mean` (unitless).
+///
+/// Returns `None` when the mean is zero (COV undefined). Note the paper's
+/// critique (§4.1): COV is biased for short-running jobs, unstable under
+/// outliers, and too coarse to describe distribution shape — it is provided
+/// here as the *baseline* scalar metric.
+pub fn coefficient_of_variation(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples);
+    if m == 0.0 {
+        None
+    } else {
+        Some(std_dev(samples) / m)
+    }
+}
+
+/// A one-pass-friendly bundle of summary statistics over a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of finite samples summarized.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary over `samples`, ignoring non-finite values.
+    /// Returns `None` if no finite samples remain.
+    pub fn compute(samples: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Summary {
+            count: v.len(),
+            mean: mean(&v),
+            std_dev: std_dev(&v),
+            min: v[0],
+            max: *v.last().expect("non-empty"),
+            median: quantile_sorted(&v, 0.5),
+            p25: quantile_sorted(&v, 0.25),
+            p75: quantile_sorted(&v, 0.75),
+            p95: quantile_sorted(&v, 0.95),
+        })
+    }
+
+    /// Interquartile range `p75 - p25` — the paper's primary dispersion
+    /// measure for ranking clusters in Table 2.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// COV of the summarized samples, `None` if the mean is zero.
+    pub fn cov(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_known_values() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7)
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_undefined_for_zero_mean() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), None);
+        assert!(coefficient_of_variation(&[1.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn cov_bias_for_short_jobs() {
+        // The paper's bias argument: the same ±1 s jitter yields a much
+        // larger COV for a 5 s job than for a 500 s job.
+        let short = [4.0, 5.0, 6.0];
+        let long = [499.0, 500.0, 501.0];
+        let c_short = coefficient_of_variation(&short).unwrap();
+        let c_long = coefficient_of_variation(&long).unwrap();
+        assert!(c_short > 50.0 * c_long);
+    }
+
+    #[test]
+    fn cov_instability_under_outliers() {
+        // Adding one outlier swings the COV dramatically (§4.1 instability).
+        let base: Vec<f64> = vec![100.0; 50];
+        let mut with_outlier = base.clone();
+        with_outlier.push(5000.0);
+        let c0 = coefficient_of_variation(&base).unwrap();
+        let c1 = coefficient_of_variation(&with_outlier).unwrap();
+        assert!(c0 < 1e-9);
+        assert!(c1 > 1.0);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::compute(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.p25 - 25.75).abs() < 1e-9);
+        assert!((s.p75 - 75.25).abs() < 1e-9);
+        assert!((s.iqr() - 49.5).abs() < 1e-9);
+        assert!(s.p95 > s.p75);
+    }
+
+    #[test]
+    fn summary_empty_and_nan() {
+        assert!(Summary::compute(&[]).is_none());
+        assert!(Summary::compute(&[f64::NAN]).is_none());
+        let s = Summary::compute(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn empty_mean_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use rv_stats::{
+    ks_distance, normalize, quantile, smooth_pmf, BinSpec, Histogram, Normalization,
+    SmoothingKernel, Summary,
+};
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn histogram_conserves_count(samples in finite_samples(300)) {
+        let spec = BinSpec::new(-1e6, 1e6, 64);
+        let h = Histogram::from_samples(spec, samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    #[test]
+    fn pmf_is_a_distribution(samples in finite_samples(300)) {
+        let spec = BinSpec::new(-1e6, 1e6, 64);
+        let pmf = Histogram::from_samples(spec, samples.iter().copied()).to_pmf();
+        let total: f64 = pmf.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(pmf.probs().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn bin_index_is_monotone(a in -1e6..1e6f64, b in -1e6..1e6f64) {
+        let spec = BinSpec::ratio();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(spec.bin_index(lo) <= spec.bin_index(hi));
+    }
+
+    #[test]
+    fn smoothing_conserves_mass(
+        samples in finite_samples(200),
+        sigma in 0.5..4.0f64,
+    ) {
+        let spec = BinSpec::new(-1e6, 1e6, 64);
+        let pmf = Histogram::from_samples(spec, samples.iter().copied()).to_pmf();
+        let s = smooth_pmf(&pmf, SmoothingKernel::Gaussian { sigma_bins: sigma });
+        let total: f64 = s.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in finite_samples(200)) {
+        let q25 = quantile(&samples, 0.25).unwrap();
+        let q50 = quantile(&samples, 0.50).unwrap();
+        let q95 = quantile(&samples, 0.95).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q95);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q25 >= min && q95 <= max);
+    }
+
+    #[test]
+    fn ks_is_a_bounded_symmetric_distance(
+        a in finite_samples(100),
+        b in finite_samples(100),
+    ) {
+        let d_ab = ks_distance(&a, &b).unwrap();
+        let d_ba = ks_distance(&b, &a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(ks_distance(&a, &a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_round_trips(runtime in 0.001..1e5f64, median in 0.001..1e5f64) {
+        let r = normalize(Normalization::Ratio, runtime, median);
+        prop_assert!((r * median - runtime).abs() < 1e-6 * runtime.max(1.0));
+        let d = normalize(Normalization::Delta, runtime, median);
+        prop_assert!((d + median - runtime).abs() < 1e-9 * runtime.max(1.0));
+    }
+
+    #[test]
+    fn summary_orders_its_quantiles(samples in finite_samples(200)) {
+        let s = Summary::compute(&samples).unwrap();
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median && s.median <= s.p75 && s.p75 <= s.p95);
+        prop_assert!(s.p95 <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+}

@@ -1,0 +1,328 @@
+//! CSV export / import of telemetry stores.
+//!
+//! Serde-free persistence so campaigns can be captured once and re-analyzed
+//! (or inspected with standard tools) without re-running the simulator. The
+//! format is a flat CSV with one row per job instance; array-valued fields
+//! (per-SKU fractions/counts/utilizations) are expanded into suffixed
+//! columns.
+
+use std::io::{BufRead, Write};
+
+use rv_scope::{JobGroupKey, PlanSignature};
+
+use crate::record::JobTelemetry;
+use crate::store::TelemetryStore;
+
+const N_SKUS: usize = 6;
+const N_OPS: usize = 18;
+/// Fixed column count of the format: 26 scalars + operator counts + four
+/// per-SKU arrays.
+const N_COLS: usize = 26 + N_OPS + 4 * N_SKUS;
+
+/// Writes the store as CSV. The group key is stored as two columns
+/// (normalized name + hex signature); the operator-count vector and every
+/// per-SKU array become suffixed columns.
+pub fn write_store<W: Write>(store: &TelemetryStore, out: &mut W) -> std::io::Result<()> {
+    let mut header: Vec<String> = vec![
+        "group_name".into(),
+        "signature".into(),
+        "template_id".into(),
+        "seq".into(),
+        "submit_time_s".into(),
+        "runtime_s".into(),
+        "disrupted".into(),
+        "n_stages".into(),
+        "critical_path".into(),
+        "total_base_vertices".into(),
+        "estimated_rows".into(),
+        "estimated_cost".into(),
+        "estimated_input_gb".into(),
+        "data_read_gb".into(),
+        "temp_data_gb".into(),
+        "total_vertices".into(),
+        "allocated_tokens".into(),
+        "token_min".into(),
+        "token_max".into(),
+        "token_avg".into(),
+        "spare_avg".into(),
+        "spare_preempted".into(),
+        "cpu_seconds".into(),
+        "peak_memory_gb".into(),
+        "cluster_load".into(),
+        "spare_fraction".into(),
+    ];
+    for i in 0..N_OPS {
+        header.push(format!("op_{i}"));
+    }
+    for i in 0..N_SKUS {
+        header.push(format!("sku_frac_{i}"));
+    }
+    for i in 0..N_SKUS {
+        header.push(format!("sku_verts_{i}"));
+    }
+    for i in 0..N_SKUS {
+        header.push(format!("util_mean_{i}"));
+    }
+    for i in 0..N_SKUS {
+        header.push(format!("util_std_{i}"));
+    }
+    writeln!(out, "{}", header.join(","))?;
+
+    for r in store.rows() {
+        let mut fields: Vec<String> = vec![
+            r.group.normalized_name.clone(),
+            format!("{:016x}", r.group.signature.0),
+            r.template_id.to_string(),
+            r.seq.to_string(),
+            r.submit_time_s.to_string(),
+            r.runtime_s.to_string(),
+            (r.disrupted as u8).to_string(),
+            r.n_stages.to_string(),
+            r.critical_path.to_string(),
+            r.total_base_vertices.to_string(),
+            r.estimated_rows.to_string(),
+            r.estimated_cost.to_string(),
+            r.estimated_input_gb.to_string(),
+            r.data_read_gb.to_string(),
+            r.temp_data_gb.to_string(),
+            r.total_vertices.to_string(),
+            r.allocated_tokens.to_string(),
+            r.token_min.to_string(),
+            r.token_max.to_string(),
+            r.token_avg.to_string(),
+            r.spare_avg.to_string(),
+            (r.spare_preempted as u8).to_string(),
+            r.cpu_seconds.to_string(),
+            r.peak_memory_gb.to_string(),
+            r.cluster_load.to_string(),
+            r.spare_fraction.to_string(),
+        ];
+        for i in 0..N_OPS {
+            fields.push(r.operator_counts.get(i).copied().unwrap_or(0).to_string());
+        }
+        for v in r.sku_fractions {
+            fields.push(v.to_string());
+        }
+        for v in r.sku_vertex_counts {
+            fields.push(v.to_string());
+        }
+        for v in r.sku_util_mean {
+            fields.push(v.to_string());
+        }
+        for v in r.sku_util_std {
+            fields.push(v.to_string());
+        }
+        writeln!(out, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Parse error for telemetry CSV.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads a store previously written by [`write_store`].
+pub fn read_store<R: BufRead>(input: R) -> Result<TelemetryStore, ParseError> {
+    let mut store = TelemetryStore::new();
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError {
+        line: 1,
+        message: "missing header".into(),
+    })?;
+    let header = header.map_err(|e| ParseError {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    // Validate against the *schema*, not the header, so a malformed header
+    // cannot smuggle short rows past the field-index bounds.
+    let header_cols = header.split(',').count();
+    if header_cols != N_COLS {
+        return Err(ParseError {
+            line: 1,
+            message: format!("expected {N_COLS} columns, header has {header_cols}"),
+        });
+    }
+    let expected_cols = N_COLS;
+
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.map_err(|e| ParseError {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected_cols {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected {expected_cols} fields, got {}", fields.len()),
+            });
+        }
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let pf = |s: &str| -> Result<f64, ParseError> {
+            s.parse().map_err(|_| err(format!("bad float {s:?}")))
+        };
+        let pu = |s: &str| -> Result<u64, ParseError> {
+            s.parse().map_err(|_| err(format!("bad integer {s:?}")))
+        };
+
+        let signature = u64::from_str_radix(fields[1], 16)
+            .map_err(|_| err(format!("bad signature {:?}", fields[1])))?;
+        let mut idx = 26;
+        let mut operator_counts = Vec::with_capacity(N_OPS);
+        for _ in 0..N_OPS {
+            operator_counts.push(pu(fields[idx])? as u32);
+            idx += 1;
+        }
+        let take_f6 = |idx: &mut usize| -> Result<[f64; N_SKUS], ParseError> {
+            let mut a = [0.0; N_SKUS];
+            for slot in &mut a {
+                *slot = pf(fields[*idx])?;
+                *idx += 1;
+            }
+            Ok(a)
+        };
+        let sku_fractions = take_f6(&mut idx)?;
+        let mut sku_vertex_counts = [0u64; N_SKUS];
+        for slot in &mut sku_vertex_counts {
+            *slot = pu(fields[idx])?;
+            idx += 1;
+        }
+        let sku_util_mean = take_f6(&mut idx)?;
+        let sku_util_std = take_f6(&mut idx)?;
+
+        store.push(JobTelemetry {
+            group: JobGroupKey::new(fields[0], PlanSignature(signature)),
+            template_id: pu(fields[2])? as u32,
+            seq: pu(fields[3])? as u32,
+            submit_time_s: pf(fields[4])?,
+            runtime_s: pf(fields[5])?,
+            disrupted: fields[6] == "1",
+            n_stages: pu(fields[7])? as u32,
+            critical_path: pu(fields[8])? as u32,
+            total_base_vertices: pu(fields[9])? as u32,
+            estimated_rows: pf(fields[10])?,
+            estimated_cost: pf(fields[11])?,
+            estimated_input_gb: pf(fields[12])?,
+            data_read_gb: pf(fields[13])?,
+            temp_data_gb: pf(fields[14])?,
+            total_vertices: pu(fields[15])?,
+            allocated_tokens: pu(fields[16])? as u32,
+            token_min: pu(fields[17])? as u32,
+            token_max: pu(fields[18])? as u32,
+            token_avg: pf(fields[19])?,
+            spare_avg: pf(fields[20])?,
+            spare_preempted: fields[21] == "1",
+            cpu_seconds: pf(fields[22])?,
+            peak_memory_gb: pf(fields[23])?,
+            cluster_load: pf(fields[24])?,
+            spare_fraction: pf(fields[25])?,
+            operator_counts,
+            sku_fractions,
+            sku_vertex_counts,
+            sku_util_mean,
+            sku_util_std,
+        });
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect_telemetry, CampaignConfig};
+    use rv_scope::{GeneratorConfig, WorkloadGenerator};
+    use rv_sim::{Cluster, ClusterConfig, SimConfig};
+
+    fn campaign() -> TelemetryStore {
+        let generator = WorkloadGenerator::new(GeneratorConfig {
+            n_templates: 8,
+            seed: 5,
+            ..Default::default()
+        });
+        let cluster = Cluster::new(ClusterConfig::default());
+        collect_telemetry(
+            &generator,
+            &cluster,
+            &SimConfig::default(),
+            &CampaignConfig {
+                window_days: 2.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_every_row() {
+        let store = campaign();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let restored = read_store(std::io::BufReader::new(&buf[..])).expect("parse");
+        assert_eq!(restored.len(), store.len());
+        assert_eq!(restored.n_groups(), store.n_groups());
+        for (a, b) in store.rows().iter().zip(restored.rows()) {
+            assert_eq!(a, b, "row mismatch after round trip");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_rows() {
+        let store = campaign();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let mut text = String::from_utf8(buf).expect("utf8");
+        // Chop fields off the last data line.
+        let cut = text.trim_end().rfind(',').expect("has commas");
+        text.truncate(cut);
+        text.push('\n');
+        let err = read_store(std::io::BufReader::new(text.as_bytes()))
+            .expect_err("must fail");
+        assert!(err.message.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_numbers() {
+        // A short header (and short rows matching it) must be rejected
+        // before any field indexing happens.
+        let bad = "a,b\nx,y\n";
+        assert!(read_store(std::io::BufReader::new(bad.as_bytes())).is_err());
+        // Correct width but non-numeric payload must also error.
+        let store = campaign();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let mut text = String::from_utf8(buf).expect("utf8");
+        let header_end = text.find('\n').expect("has header");
+        let n_cols = text[..header_end].split(',').count();
+        text.truncate(header_end + 1);
+        text.push_str(&vec!["junk"; n_cols].join(","));
+        text.push('\n');
+        assert!(read_store(std::io::BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = TelemetryStore::new();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).expect("write");
+        let restored = read_store(std::io::BufReader::new(&buf[..])).expect("parse");
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,411 @@
+//! Feature extraction — the §5.1 feature classes.
+//!
+//! Three classes of predictive features, all available at compile/submit
+//! time:
+//!
+//! 1. **Intrinsic** — operator counts, plan shape, optimizer estimates;
+//! 2. **Historic** — statistics of the group's past runs (data read, token
+//!    usage incl. spare tokens, per-SKU vertex mix);
+//! 3. **Environment** — per-SKU machine utilization (mean and spread) at the
+//!    moment of submission, plus cluster load and spare availability.
+//!
+//! The schema is fixed-width with stable, named columns so that feature
+//! importances and Shapley values (§6) can be reported by name, and so the
+//! what-if engine (§7) can transform exactly the right columns.
+//!
+//! Deliberately excluded: statistics of the group's *runtimes themselves*.
+//! The prediction target is a property of the runtime distribution, so
+//! runtime-derived features would leak the label and leave no credit for
+//! the causal levers (§5.1 extracts historic *data read* and *token usage*
+//! statistics, not runtime statistics).
+
+use rv_scope::OperatorKind;
+use rv_sim::SkuGeneration;
+
+use crate::dataset::{GroupHistory, GroupStats};
+use crate::record::JobTelemetry;
+
+/// Human-readable names of every feature column, in schema order.
+pub const FEATURE_NAMES: [&str; FeatureSchema::WIDTH] = [
+    // --- intrinsic -------------------------------------------------------
+    "total_operators",
+    "op_extract",
+    "op_filter",
+    "op_project",
+    "op_hash_aggregate",
+    "op_stream_aggregate",
+    "op_hash_join",
+    "op_merge_join",
+    "op_broadcast_join",
+    "op_sort",
+    "op_top_n",
+    "op_exchange",
+    "op_index_lookup",
+    "op_window",
+    "op_range",
+    "op_process",
+    "op_reduce",
+    "op_union",
+    "op_output",
+    "n_stages",
+    "critical_path",
+    "total_base_vertices",
+    "log_estimated_rows",
+    "log_estimated_cost",
+    "log_estimated_input_gb",
+    // --- historic ---------------------------------------------------------
+    "log_hist_runs",
+    "log_hist_data_read_avg",
+    "hist_data_read_cv",
+    "log_hist_temp_data_avg",
+    "log_hist_vertices_avg",
+    "hist_token_min_avg",
+    "hist_token_max_avg",
+    "hist_token_avg_avg",
+    "hist_token_avg_std",
+    "hist_spare_avg",
+    "hist_spare_std",
+    // --- resource allocation ----------------------------------------------
+    "allocated_tokens",
+    // --- historic SKU mix ---------------------------------------------------
+    "sku_frac_gen3",
+    "sku_frac_gen3_5",
+    "sku_frac_gen4",
+    "sku_frac_gen5",
+    "sku_frac_gen5_2",
+    "sku_frac_gen6",
+    "log_sku_vertices_gen3",
+    "log_sku_vertices_gen3_5",
+    "log_sku_vertices_gen4",
+    "log_sku_vertices_gen5",
+    "log_sku_vertices_gen5_2",
+    "log_sku_vertices_gen6",
+    // --- environment at submit ----------------------------------------------
+    "util_mean_gen3",
+    "util_mean_gen3_5",
+    "util_mean_gen4",
+    "util_mean_gen5",
+    "util_mean_gen5_2",
+    "util_mean_gen6",
+    "util_std_gen3",
+    "util_std_gen3_5",
+    "util_std_gen4",
+    "util_std_gen5",
+    "util_std_gen5_2",
+    "util_std_gen6",
+    "cluster_load",
+    "spare_fraction",
+    // --- container-level counters (§5.1's anticipated extension) -----------
+    "log_hist_cpu_seconds_avg",
+    "log_hist_peak_mem_avg",
+    "hist_spare_preempt_rate",
+];
+
+/// Column-index bookkeeping for the fixed feature schema.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeatureSchema;
+
+impl FeatureSchema {
+    /// Total number of feature columns.
+    pub const WIDTH: usize = 66;
+
+    const OP_BASE: usize = 1;
+    const HIST_BASE: usize = 25;
+    /// Index of `hist_spare_avg`.
+    pub const HIST_SPARE_AVG: usize = 34;
+    /// Index of `hist_spare_std`.
+    pub const HIST_SPARE_STD: usize = 35;
+    /// Index of `allocated_tokens`.
+    pub const ALLOCATED_TOKENS: usize = 36;
+    const SKU_FRAC_BASE: usize = 37;
+    const SKU_VERT_BASE: usize = 43;
+    const UTIL_MEAN_BASE: usize = 49;
+    const UTIL_STD_BASE: usize = 55;
+    /// Index of `cluster_load`.
+    pub const CLUSTER_LOAD: usize = 61;
+    /// Index of `spare_fraction`.
+    pub const SPARE_FRACTION: usize = 62;
+    /// Index of `log_hist_cpu_seconds_avg`.
+    pub const HIST_CPU_SECONDS: usize = 63;
+    /// Index of `log_hist_peak_mem_avg`.
+    pub const HIST_PEAK_MEM: usize = 64;
+    /// Index of `hist_spare_preempt_rate`.
+    pub const HIST_PREEMPT_RATE: usize = 65;
+    /// Index of `log_hist_data_read_avg`.
+    pub const HIST_DATA_READ: usize = 26;
+    /// Index of `hist_token_max_avg`.
+    pub const HIST_TOKEN_MAX: usize = 31;
+
+    /// Column of the per-kind operator count.
+    pub fn op_count_index(kind: OperatorKind) -> usize {
+        Self::OP_BASE + kind.index()
+    }
+
+    /// Column of the historic vertex fraction on `gen`.
+    pub fn sku_fraction_index(gen: SkuGeneration) -> usize {
+        Self::SKU_FRAC_BASE + gen.index()
+    }
+
+    /// Column of the historic (log) vertex count on `gen`.
+    pub fn sku_vertex_count_index(gen: SkuGeneration) -> usize {
+        Self::SKU_VERT_BASE + gen.index()
+    }
+
+    /// Column of submit-time mean utilization of `gen`.
+    pub fn util_mean_index(gen: SkuGeneration) -> usize {
+        Self::UTIL_MEAN_BASE + gen.index()
+    }
+
+    /// Column of submit-time utilization spread of `gen`.
+    pub fn util_std_index(gen: SkuGeneration) -> usize {
+        Self::UTIL_STD_BASE + gen.index()
+    }
+
+    /// Looks up a column by name; `None` if not in the schema.
+    pub fn index_of(name: &str) -> Option<usize> {
+        FEATURE_NAMES.iter().position(|&n| n == name)
+    }
+
+    /// The spare-token usage columns (the Scenario 1 levers). Note that
+    /// `spare_fraction` — the *ambient* idle capacity at submit — is not a
+    /// lever: disabling a job's spare tokens does not change how busy the
+    /// cluster is.
+    pub fn spare_indices() -> [usize; 3] {
+        [
+            Self::HIST_SPARE_AVG,
+            Self::HIST_SPARE_STD,
+            Self::HIST_PREEMPT_RATE,
+        ]
+    }
+
+    /// All utilization-spread columns (the Scenario 3 levers).
+    pub fn util_std_indices() -> [usize; SkuGeneration::COUNT] {
+        let mut out = [0; SkuGeneration::COUNT];
+        for g in SkuGeneration::ALL {
+            out[g.index()] = Self::util_std_index(g);
+        }
+        out
+    }
+}
+
+/// Extracts fixed-width feature vectors from telemetry rows, using a
+/// [`GroupHistory`] as the source of historic statistics.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    history: GroupHistory,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor over the given history (typically computed from
+    /// D1, or from all telemetry preceding the prediction window).
+    pub fn new(history: GroupHistory) -> Self {
+        Self { history }
+    }
+
+    /// The backing history.
+    pub fn history(&self) -> &GroupHistory {
+        &self.history
+    }
+
+    /// Extracts the feature vector for one row. Groups without history get
+    /// neutral (zero) historic features — the model learns to rely on the
+    /// intrinsic and environment blocks for them.
+    pub fn extract(&self, row: &JobTelemetry) -> Vec<f64> {
+        let mut x = vec![0.0; FeatureSchema::WIDTH];
+
+        // --- intrinsic -----------------------------------------------------
+        let total_ops: u32 = row.operator_counts.iter().sum();
+        x[0] = total_ops as f64;
+        for (i, &c) in row.operator_counts.iter().enumerate() {
+            if FeatureSchema::OP_BASE + i < 1 + OperatorKind::COUNT {
+                x[FeatureSchema::OP_BASE + i] = c as f64;
+            }
+        }
+        x[19] = row.n_stages as f64;
+        x[20] = row.critical_path as f64;
+        x[21] = row.total_base_vertices as f64;
+        x[22] = row.estimated_rows.max(0.0).ln_1p();
+        x[23] = row.estimated_cost.max(0.0).ln_1p();
+        x[24] = row.estimated_input_gb.max(0.0).ln_1p();
+
+        // --- historic -------------------------------------------------------
+        if let Some(h) = self.history.get(&row.group) {
+            self.fill_history(&mut x, h);
+        }
+
+        // --- resource -------------------------------------------------------
+        x[FeatureSchema::ALLOCATED_TOKENS] = row.allocated_tokens as f64;
+
+        // --- environment ----------------------------------------------------
+        for g in SkuGeneration::ALL {
+            x[FeatureSchema::util_mean_index(g)] = row.sku_util_mean[g.index()];
+            x[FeatureSchema::util_std_index(g)] = row.sku_util_std[g.index()];
+        }
+        x[FeatureSchema::CLUSTER_LOAD] = row.cluster_load;
+        x[FeatureSchema::SPARE_FRACTION] = row.spare_fraction;
+        x
+    }
+
+    fn fill_history(&self, x: &mut [f64], h: &GroupStats) {
+        x[FeatureSchema::HIST_BASE] = (h.n_runs as f64).ln_1p();
+        x[FeatureSchema::HIST_DATA_READ] = h.data_read_avg.max(0.0).ln_1p();
+        x[27] = if h.data_read_avg > 0.0 {
+            h.data_read_std / h.data_read_avg
+        } else {
+            0.0
+        };
+        x[28] = h.temp_data_avg.max(0.0).ln_1p();
+        x[29] = h.vertices_avg.max(0.0).ln_1p();
+        x[30] = h.token_min_avg;
+        x[FeatureSchema::HIST_TOKEN_MAX] = h.token_max_avg;
+        x[32] = h.token_avg_avg;
+        x[33] = h.token_avg_std;
+        x[FeatureSchema::HIST_SPARE_AVG] = h.spare_avg;
+        x[FeatureSchema::HIST_SPARE_STD] = h.spare_std;
+        for g in SkuGeneration::ALL {
+            x[FeatureSchema::sku_fraction_index(g)] = h.sku_fraction_avg[g.index()];
+            x[FeatureSchema::sku_vertex_count_index(g)] =
+                h.sku_vertex_count_avg[g.index()].max(0.0).ln_1p();
+        }
+        x[FeatureSchema::HIST_CPU_SECONDS] = h.cpu_seconds_avg.max(0.0).ln_1p();
+        x[FeatureSchema::HIST_PEAK_MEM] = h.peak_memory_avg.max(0.0).ln_1p();
+        x[FeatureSchema::HIST_PREEMPT_RATE] = h.preemption_rate;
+    }
+
+    /// Extracts feature vectors for a batch of rows.
+    pub fn extract_all(&self, rows: &[&JobTelemetry]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.extract(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TelemetryStore;
+    use rv_scope::{JobGroupKey, PlanSignature};
+
+    fn row(name: &str, runtime: f64) -> JobTelemetry {
+        let mut op_counts = vec![0u32; OperatorKind::COUNT];
+        op_counts[OperatorKind::Extract.index()] = 2;
+        op_counts[OperatorKind::Window.index()] = 1;
+        JobTelemetry {
+            group: JobGroupKey::new(name, PlanSignature(1)),
+            template_id: 0,
+            seq: 0,
+            submit_time_s: 0.0,
+            runtime_s: runtime,
+            disrupted: false,
+            operator_counts: op_counts,
+            n_stages: 4,
+            critical_path: 3,
+            total_base_vertices: 20,
+            estimated_rows: 1e6,
+            estimated_cost: 500.0,
+            estimated_input_gb: 10.0,
+            data_read_gb: 12.0,
+            temp_data_gb: 3.0,
+            total_vertices: 25,
+            allocated_tokens: 16,
+            token_min: 4,
+            token_max: 30,
+            token_avg: 14.0,
+            spare_avg: 6.0,
+            spare_preempted: false,
+            cpu_seconds: 10.0,
+            peak_memory_gb: 0.5,
+            sku_fractions: [0.0, 0.2, 0.5, 0.3, 0.0, 0.0],
+            sku_vertex_counts: [0, 5, 12, 8, 0, 0],
+            sku_util_mean: [0.4, 0.45, 0.5, 0.55, 0.6, 0.65],
+            sku_util_std: [0.10, 0.11, 0.12, 0.13, 0.14, 0.15],
+            cluster_load: 0.5,
+            spare_fraction: 0.25,
+        }
+    }
+
+    #[test]
+    fn schema_names_match_width() {
+        assert_eq!(FEATURE_NAMES.len(), FeatureSchema::WIDTH);
+        // Names are unique.
+        let mut names: Vec<&str> = FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FeatureSchema::WIDTH);
+    }
+
+    #[test]
+    fn index_helpers_agree_with_names() {
+        assert_eq!(
+            FeatureSchema::op_count_index(OperatorKind::IndexLookup),
+            FeatureSchema::index_of("op_index_lookup").unwrap()
+        );
+        assert_eq!(
+            FeatureSchema::sku_fraction_index(SkuGeneration::Gen5_2),
+            FeatureSchema::index_of("sku_frac_gen5_2").unwrap()
+        );
+        assert_eq!(
+            FeatureSchema::util_std_index(SkuGeneration::Gen6),
+            FeatureSchema::index_of("util_std_gen6").unwrap()
+        );
+        assert_eq!(
+            FeatureSchema::HIST_SPARE_AVG,
+            FeatureSchema::index_of("hist_spare_avg").unwrap()
+        );
+        assert_eq!(
+            FeatureSchema::ALLOCATED_TOKENS,
+            FeatureSchema::index_of("allocated_tokens").unwrap()
+        );
+        assert_eq!(
+            FeatureSchema::SPARE_FRACTION,
+            FeatureSchema::index_of("spare_fraction").unwrap()
+        );
+    }
+
+    #[test]
+    fn extraction_with_history() {
+        let store: TelemetryStore =
+            vec![row("a", 100.0), row("a", 110.0), row("a", 120.0)]
+                .into_iter()
+                .collect();
+        let extractor = FeatureExtractor::new(GroupHistory::compute(&store));
+        let x = extractor.extract(&row("a", 105.0));
+        assert_eq!(x.len(), FeatureSchema::WIDTH);
+        assert_eq!(x[0], 3.0); // total operators
+        assert_eq!(x[FeatureSchema::op_count_index(OperatorKind::Window)], 1.0);
+        assert!((x[FeatureSchema::HIST_SPARE_AVG] - 6.0).abs() < 1e-9);
+        assert_eq!(x[FeatureSchema::ALLOCATED_TOKENS], 16.0);
+        assert!((x[FeatureSchema::CLUSTER_LOAD] - 0.5).abs() < 1e-12);
+        assert!((x[FeatureSchema::util_mean_index(SkuGeneration::Gen6)] - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extraction_without_history_zeroes_historic_block() {
+        let extractor = FeatureExtractor::new(GroupHistory::default());
+        let x = extractor.extract(&row("unknown", 50.0));
+        assert_eq!(x[FeatureSchema::HIST_SPARE_AVG], 0.0);
+        // Intrinsic and environment blocks still populated.
+        assert!(x[0] > 0.0);
+        assert!(x[FeatureSchema::CLUSTER_LOAD] > 0.0);
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let store: TelemetryStore = vec![row("a", 100.0), row("a", 1.0)].into_iter().collect();
+        let extractor = FeatureExtractor::new(GroupHistory::compute(&store));
+        let x = extractor.extract(&row("a", 55.0));
+        for (i, v) in x.iter().enumerate() {
+            assert!(v.is_finite(), "feature {} = {v}", FEATURE_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn spare_and_util_index_groups() {
+        let spare = FeatureSchema::spare_indices();
+        assert_eq!(spare.len(), 3);
+        for i in spare {
+            assert!(FEATURE_NAMES[i].contains("spare"));
+        }
+        for i in FeatureSchema::util_std_indices() {
+            assert!(FEATURE_NAMES[i].starts_with("util_std"));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # rv-telemetry — telemetry capture, datasets, and features
+//!
+//! The paper's data layer (§3.3) joins three sources: compile-time plan
+//! information from the optimizer (Peregrine \[32\]), token-usage information
+//! from execution logs, and SKU/machine-load information (KEA \[83\]). This
+//! crate is the synthetic equivalent:
+//!
+//! * [`record`] — one fully-joined telemetry row per job instance;
+//! * [`collect`] — runs a workload through the simulator and captures rows
+//!   (the "measurement campaign" producing our D1/D2/D3 stand-ins);
+//! * [`store`] — a group-indexed store over telemetry rows;
+//! * [`dataset`] — time-window + support-threshold dataset assembly
+//!   mirroring Table 1;
+//! * [`features`] — the §5.1 feature classes: intrinsic plan features,
+//!   historic resource statistics, and submit-time environment signals;
+//! * [`export`] — serde-free CSV persistence of captured campaigns.
+
+pub mod collect;
+pub mod dataset;
+pub mod export;
+pub mod features;
+pub mod record;
+pub mod store;
+
+pub use collect::{collect_telemetry, CampaignConfig};
+pub use dataset::{Dataset, DatasetSpec, GroupHistory};
+pub use export::{read_store, write_store};
+pub use features::{FeatureExtractor, FeatureSchema, FEATURE_NAMES};
+pub use record::JobTelemetry;
+pub use store::TelemetryStore;

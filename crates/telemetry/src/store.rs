@@ -1,0 +1,186 @@
+//! Group-indexed storage of telemetry rows.
+
+use std::collections::BTreeMap;
+
+use rv_scope::JobGroupKey;
+
+use crate::record::JobTelemetry;
+
+/// An append-only store of telemetry rows indexed by job group.
+///
+/// Rows are kept in insertion (submission) order; a `BTreeMap` index gives
+/// deterministic group iteration order, which keeps every downstream
+/// analysis reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryStore {
+    rows: Vec<JobTelemetry>,
+    by_group: BTreeMap<JobGroupKey, Vec<usize>>,
+}
+
+impl TelemetryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with row capacity pre-reserved.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(n),
+            by_group: BTreeMap::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: JobTelemetry) {
+        let idx = self.rows.len();
+        self.by_group.entry(row.group.clone()).or_default().push(idx);
+        self.rows.push(row);
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[JobTelemetry] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of distinct job groups.
+    pub fn n_groups(&self) -> usize {
+        self.by_group.len()
+    }
+
+    /// Iterator over group keys in deterministic (sorted) order.
+    pub fn group_keys(&self) -> impl Iterator<Item = &JobGroupKey> {
+        self.by_group.keys()
+    }
+
+    /// Rows of one group, in submission order.
+    pub fn group_rows(&self, key: &JobGroupKey) -> Vec<&JobTelemetry> {
+        self.by_group
+            .get(key)
+            .map(|idxs| idxs.iter().map(|&i| &self.rows[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Runtimes of one group, in submission order.
+    pub fn group_runtimes(&self, key: &JobGroupKey) -> Vec<f64> {
+        self.group_rows(key).iter().map(|r| r.runtime_s).collect()
+    }
+
+    /// Rows whose submission time lies in `[from_s, to_s)`.
+    pub fn rows_in_window(&self, from_s: f64, to_s: f64) -> Vec<&JobTelemetry> {
+        self.rows
+            .iter()
+            .filter(|r| r.submit_time_s >= from_s && r.submit_time_s < to_s)
+            .collect()
+    }
+}
+
+impl FromIterator<JobTelemetry> for TelemetryStore {
+    fn from_iter<T: IntoIterator<Item = JobTelemetry>>(iter: T) -> Self {
+        let mut store = Self::new();
+        for row in iter {
+            store.push(row);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_scope::PlanSignature;
+
+    fn row(name: &str, seq: u32, t: f64, runtime: f64) -> JobTelemetry {
+        JobTelemetry {
+            group: JobGroupKey::new(name, PlanSignature(7)),
+            template_id: 0,
+            seq,
+            submit_time_s: t,
+            runtime_s: runtime,
+            disrupted: false,
+            operator_counts: vec![0; 18],
+            n_stages: 1,
+            critical_path: 1,
+            total_base_vertices: 1,
+            estimated_rows: 1.0,
+            estimated_cost: 1.0,
+            estimated_input_gb: 1.0,
+            data_read_gb: 1.0,
+            temp_data_gb: 0.1,
+            total_vertices: 1,
+            allocated_tokens: 1,
+            token_min: 1,
+            token_max: 1,
+            token_avg: 1.0,
+            spare_avg: 0.0,
+            spare_preempted: false,
+            cpu_seconds: 10.0,
+            peak_memory_gb: 0.5,
+            sku_fractions: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            sku_vertex_counts: [1, 0, 0, 0, 0, 0],
+            sku_util_mean: [0.5; 6],
+            sku_util_std: [0.1; 6],
+            cluster_load: 0.5,
+            spare_fraction: 0.2,
+        }
+    }
+
+    #[test]
+    fn groups_and_runtimes() {
+        let store: TelemetryStore = vec![
+            row("a", 0, 0.0, 10.0),
+            row("b", 0, 1.0, 20.0),
+            row("a", 1, 2.0, 12.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.n_groups(), 2);
+        let key = JobGroupKey::new("a", PlanSignature(7));
+        assert_eq!(store.group_runtimes(&key), vec![10.0, 12.0]);
+    }
+
+    #[test]
+    fn missing_group_is_empty() {
+        let store = TelemetryStore::new();
+        let key = JobGroupKey::new("nope", PlanSignature(0));
+        assert!(store.group_rows(&key).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn window_filter() {
+        let store: TelemetryStore = (0..10)
+            .map(|i| row("a", i, i as f64, 1.0))
+            .collect();
+        assert_eq!(store.rows_in_window(2.0, 5.0).len(), 3);
+        assert_eq!(store.rows_in_window(0.0, 100.0).len(), 10);
+        assert_eq!(store.rows_in_window(50.0, 60.0).len(), 0);
+    }
+
+    #[test]
+    fn group_iteration_is_sorted() {
+        let store: TelemetryStore = vec![
+            row("zeta", 0, 0.0, 1.0),
+            row("alpha", 0, 1.0, 1.0),
+            row("mid", 0, 2.0, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<&str> = store
+            .group_keys()
+            .map(|k| k.normalized_name.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The telemetry CSV parser must reject — never panic on — arbitrary input.
+
+use proptest::prelude::*;
+
+use rv_telemetry::read_store;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn read_store_never_panics(input in "\\PC{0,400}") {
+        // Any outcome is fine; a panic is not.
+        let _ = read_store(std::io::BufReader::new(input.as_bytes()));
+    }
+
+    #[test]
+    fn read_store_never_panics_on_csvish_noise(
+        rows in prop::collection::vec(
+            prop::collection::vec("[-0-9a-fx.,]{0,12}", 0..70),
+            0..8,
+        )
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|r| r.join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let _ = read_store(std::io::BufReader::new(text.as_bytes()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Cluster exploration: how many distribution shapes does a workload have?
+//!
+//! ```text
+//! cargo run --release --example cluster_explorer
+//! ```
+//!
+//! Reproduces the §4.2 design loop interactively: build the group PMFs,
+//! sweep k over the inertia curve, pick the elbow, then inspect what kinds
+//! of jobs populate each shape.
+
+use std::collections::BTreeMap;
+
+use rv_core::characterize::{characterize, group_distributions, CharacterizeConfig};
+use rv_core::framework::FrameworkConfig;
+use rv_core::rv_cluster::{elbow_point, inertia_curve, KMeansConfig};
+use rv_core::rv_stats::Normalization;
+use rv_core::rv_scope::WorkloadGenerator;
+use rv_core::rv_sim::{Cluster, SimConfig};
+use rv_core::rv_telemetry::{collect_telemetry, Dataset, DatasetSpec};
+
+fn main() {
+    // Collect a campaign directly through the substrate crates.
+    let config = FrameworkConfig::small();
+    let mut generator_config = config.generator.clone();
+    generator_config.window_days_hint = config.campaign.window_days;
+    let generator = WorkloadGenerator::new(generator_config);
+    let cluster = Cluster::new(config.cluster.clone());
+    let sim = SimConfig::default();
+    let store = collect_telemetry(&generator, &cluster, &sim, &config.campaign);
+    let d1 = Dataset::assemble(
+        &store,
+        DatasetSpec::new("D1", 0.0, config.campaign.window_days, 10),
+    );
+    println!(
+        "campaign: {} instances across {} groups; characterizing on {} groups\n",
+        store.len(),
+        store.n_groups(),
+        d1.n_groups()
+    );
+
+    // Inertia curve and elbow (§4.2's "number of clusters" design choice).
+    let ch_config = CharacterizeConfig {
+        min_support: 10,
+        ..CharacterizeConfig::paper(Normalization::Ratio)
+    };
+    let dists = group_distributions(&d1.store, &ch_config);
+    let vectors: Vec<Vec<f64>> = dists.pmfs.iter().map(|p| p.probs().to_vec()).collect();
+    let curve = inertia_curve(&vectors, 1..=10, &KMeansConfig::default());
+    println!("inertia curve:");
+    for &(k, inertia) in &curve {
+        let bar = "#".repeat((inertia / curve[0].1 * 40.0) as usize);
+        println!("  k={k:>2} {inertia:>8.4} {bar}");
+    }
+    let k = elbow_point(&curve).unwrap_or(4).max(3);
+    println!("\nelbow suggests k = {k}\n");
+
+    // Characterize at the chosen k and describe each shape's membership.
+    let ch = characterize(
+        &d1.store,
+        &CharacterizeConfig {
+            k,
+            min_support: 10,
+            ..CharacterizeConfig::paper(Normalization::Ratio)
+        },
+    );
+    println!("{}", ch.catalog.to_table());
+    let mut members: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (key, &shape) in &ch.memberships {
+        members
+            .entry(shape)
+            .or_default()
+            .push(key.normalized_name.clone());
+    }
+    for (shape, names) in members {
+        let sample: Vec<&str> = names.iter().take(4).map(|s| s.as_str()).collect();
+        println!(
+            "shape {shape}: {} groups, e.g. {}",
+            names.len(),
+            sample.join(", ")
+        );
+    }
+}

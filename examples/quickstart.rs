@@ -1,0 +1,55 @@
+//! Quickstart: run the full study end to end and inspect its products.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Simulates a telemetry campaign on the synthetic Cosmos-like cluster,
+//! learns the shape catalog (Fig 5 / Table 2), trains the shape predictor
+//! (§5.2), and prints the headline numbers.
+
+use rv_core::framework::{Framework, FrameworkConfig};
+
+fn main() {
+    println!("running the scaled-down study (FrameworkConfig::small) ...\n");
+    let f = Framework::run(FrameworkConfig::small());
+
+    // Table 1 analog: the datasets the study is built on.
+    println!("datasets (Table 1 analog):");
+    for (name, groups, instances, support) in f.dataset_summary() {
+        println!("  {name}: {groups} job groups, {instances} instances (support >= {support})");
+    }
+
+    // The shape catalogs.
+    for pipe in [&f.ratio, &f.delta] {
+        println!("\n{}", pipe.characterization.catalog.to_table());
+    }
+
+    // Predictor quality (Fig 7a headline).
+    println!(
+        "shape prediction accuracy on the test window: Ratio {:.2}%, Delta {:.2}%",
+        f.ratio.test_accuracy * 100.0,
+        f.delta.test_accuracy * 100.0
+    );
+
+    // Predict one upcoming job's distribution.
+    let row = &f.d3.store.rows()[0];
+    let shape = f.ratio.predictor.predict_row(row);
+    let stats = f.ratio.characterization.catalog.stats(shape);
+    println!(
+        "\nexample: job group `{}` is predicted to follow shape {shape}:",
+        row.group.normalized_name
+    );
+    println!(
+        "  outlier probability {:.2}%, IQR {:.3}, p95 {:.3} (ratio to median runtime)",
+        stats.outlier_prob * 100.0,
+        stats.iqr(),
+        stats.p95
+    );
+
+    // Top drivers of the model (Gini importance, §5.2).
+    println!("\ntop feature importances (Ratio predictor):");
+    for (name, v) in f.ratio.predictor.importances().into_iter().take(8) {
+        println!("  {name:<28} {v:.4}");
+    }
+}

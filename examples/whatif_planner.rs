@@ -1,0 +1,81 @@
+//! What-if planning: which control lever most stabilizes each risky job?
+//!
+//! ```text
+//! cargo run --release --example whatif_planner
+//! ```
+//!
+//! §7 of the paper evaluates three platform levers — disabling spare
+//! tokens, shifting vertices to newer SKUs, and balancing machine load.
+//! This planner applies all three to every test job and recommends the one
+//! whose predicted shape has the smallest interquartile range (i.e. the
+//! most stable runtime).
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::rv_sim::SkuGeneration;
+use rv_core::whatif::Scenario;
+
+fn main() {
+    // Lever sensitivity needs the full-scale study (the small demo config
+    // has too few groups near shape boundaries); expect ~a minute.
+    println!("running the full-scale study; this takes a moment ...
+");
+    let f = Framework::run(FrameworkConfig::default());
+    let pipe = &f.ratio;
+    let catalog = &pipe.characterization.catalog;
+
+    let level = f
+        .d3
+        .store
+        .rows()
+        .iter()
+        .map(|r| r.cluster_load)
+        .sum::<f64>()
+        / f.d3.store.len().max(1) as f64;
+    let scenarios = [
+        Scenario::DisableSpareTokens,
+        Scenario::ShiftSku {
+            from: SkuGeneration::Gen3_5,
+            to: SkuGeneration::Gen5_2,
+        },
+        Scenario::PerfectLoadBalance { level },
+    ];
+
+    println!("per-job recommendations (jobs whose shape improves under some lever):\n");
+    let mut recommended = 0;
+    let mut seen = std::collections::BTreeSet::new();
+    for row in f.d3.store.rows() {
+        if !seen.insert(row.group.clone()) {
+            continue;
+        }
+        let features = pipe.predictor.features_of(row);
+        let baseline_shape = pipe.predictor.predict_features(&features);
+        let baseline_iqr = catalog.stats(baseline_shape).iqr();
+
+        let mut best: Option<(Scenario, usize, f64)> = None;
+        for scenario in scenarios {
+            let mut transformed = features.clone();
+            scenario.apply(&mut transformed);
+            let shape = pipe.predictor.predict_features(&transformed);
+            let iqr = catalog.stats(shape).iqr();
+            if iqr < baseline_iqr && best.as_ref().map_or(true, |&(_, _, bi)| iqr < bi) {
+                best = Some((scenario, shape, iqr));
+            }
+        }
+        if let Some((scenario, shape, iqr)) = best {
+            recommended += 1;
+            println!(
+                "  {:<32} shape {} (IQR {:.3}) -> shape {} (IQR {:.3}) via {}",
+                row.group.normalized_name,
+                baseline_shape,
+                baseline_iqr,
+                shape,
+                iqr,
+                scenario.name()
+            );
+        }
+    }
+    println!(
+        "\n{recommended} of {} job groups have an improving lever",
+        seen.len()
+    );
+}

@@ -1,0 +1,124 @@
+//! Structural properties of the simulated campaign and its datasets —
+//! the Table 1 machinery and the §3.2 sources of variation.
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::rv_telemetry::{FeatureExtractor, FeatureSchema, GroupHistory};
+use rv_core::rv_stats::Summary;
+
+use std::sync::OnceLock;
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+}
+
+#[test]
+fn datasets_respect_window_and_support() {
+    let f = framework();
+    for ds in [&f.d1, &f.d2, &f.d3] {
+        let from_s = ds.spec.from_days * 86_400.0;
+        let to_s = ds.spec.to_days * 86_400.0;
+        for key in ds.store.group_keys() {
+            let rows = ds.store.group_rows(key);
+            assert!(
+                rows.len() >= ds.spec.min_support,
+                "{}: group {key} below support",
+                ds.spec.name
+            );
+            for r in rows {
+                assert!(r.submit_time_s >= from_s && r.submit_time_s < to_s);
+            }
+        }
+    }
+}
+
+#[test]
+fn recurrences_share_group_but_vary() {
+    // §3.2: within a group, input sizes and token usage vary across runs.
+    let f = framework();
+    let mut groups_with_input_variation = 0;
+    let mut groups_with_token_variation = 0;
+    let mut n_groups = 0;
+    for key in f.d1.store.group_keys() {
+        let rows = f.d1.store.group_rows(key);
+        if rows.len() < 5 {
+            continue;
+        }
+        n_groups += 1;
+        let inputs: Vec<f64> = rows.iter().map(|r| r.data_read_gb).collect();
+        let peaks: Vec<f64> = rows.iter().map(|r| r.token_max as f64).collect();
+        let s_in = Summary::compute(&inputs).expect("non-empty");
+        let s_tok = Summary::compute(&peaks).expect("non-empty");
+        if s_in.max > s_in.min {
+            groups_with_input_variation += 1;
+        }
+        if s_tok.max > s_tok.min {
+            groups_with_token_variation += 1;
+        }
+    }
+    assert!(n_groups > 10);
+    assert!(groups_with_input_variation as f64 > 0.9 * n_groups as f64);
+    assert!(groups_with_token_variation as f64 > 0.5 * n_groups as f64);
+}
+
+#[test]
+fn environment_features_track_diurnal_cycle() {
+    // Submit-time cluster load must span a real range over the campaign.
+    let f = framework();
+    let loads: Vec<f64> = f.store.rows().iter().map(|r| r.cluster_load).collect();
+    let s = Summary::compute(&loads).expect("non-empty");
+    assert!(s.max - s.min > 0.25, "load range {} .. {}", s.min, s.max);
+    // Spare availability is anti-correlated with load.
+    let spare: Vec<f64> = f.store.rows().iter().map(|r| r.spare_fraction).collect();
+    let corr = rv_core::rv_learn::feature_select::pearson(&loads, &spare);
+    assert!(corr < -0.9, "load/spare correlation {corr}");
+}
+
+#[test]
+fn rare_disruptions_form_a_small_tail() {
+    let f = framework();
+    let n = f.store.len();
+    let disrupted = f.store.rows().iter().filter(|r| r.disrupted).count();
+    let rate = disrupted as f64 / n as f64;
+    // The paper: stalagmite runs are rare, <5% of all runs.
+    assert!(rate > 0.0005, "no disruptions at all ({disrupted}/{n})");
+    assert!(rate < 0.05, "disruption rate too high: {rate}");
+}
+
+#[test]
+fn every_feature_vector_is_finite_and_fixed_width() {
+    let f = framework();
+    let extractor = FeatureExtractor::new(GroupHistory::compute(&f.d1.store));
+    for row in f.store.rows() {
+        let x = extractor.extract(row);
+        assert_eq!(x.len(), FeatureSchema::WIDTH);
+        for (i, v) in x.iter().enumerate() {
+            assert!(v.is_finite(), "feature {i} of {} not finite", row.group);
+        }
+    }
+}
+
+#[test]
+fn token_accounting_is_consistent() {
+    let f = framework();
+    for r in f.store.rows() {
+        assert!(r.token_max >= r.token_min);
+        assert!(r.token_avg <= r.token_max as f64 + 1e-9);
+        assert!(r.spare_avg >= 0.0);
+        // Spare usage cannot exceed cap - 1 times the allocation.
+        let cap = f.config.sim.spare.cap_multiplier;
+        assert!(
+            r.spare_avg <= (cap - 1.0) * r.allocated_tokens as f64 + 1e-9,
+            "group {} spare {} alloc {}",
+            r.group,
+            r.spare_avg,
+            r.allocated_tokens
+        );
+        let frac_sum: f64 = r.sku_fractions.iter().sum();
+        assert!((frac_sum - 1.0).abs() < 1e-6);
+        assert_eq!(
+            r.sku_vertex_counts.iter().sum::<u64>(),
+            r.total_vertices
+        );
+    }
+}

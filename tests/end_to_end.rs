@@ -1,0 +1,236 @@
+//! End-to-end integration: the full Fig 2 pipeline on a scaled-down
+//! campaign, exercised exactly the way a downstream user would drive it.
+
+use rv_core::explain::explain_shape;
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::likelihood::{assign_group, posterior_probs};
+use rv_core::regression_baseline::{compare_distribution_fidelity, RuntimeRegressor};
+use rv_core::rv_learn::RandomForestConfig;
+use rv_core::rv_shap::ShapConfig;
+use rv_core::rv_telemetry::{FeatureExtractor, FEATURE_NAMES};
+
+use std::sync::OnceLock;
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+}
+
+#[test]
+fn pipeline_reaches_paper_accuracy_band() {
+    let f = framework();
+    // The paper reports >96% at production scale; the scaled-down campaign
+    // must still clear 90% for both normalizations.
+    assert!(
+        f.ratio.test_accuracy > 0.90,
+        "ratio accuracy {}",
+        f.ratio.test_accuracy
+    );
+    assert!(
+        f.delta.test_accuracy > 0.90,
+        "delta accuracy {}",
+        f.delta.test_accuracy
+    );
+}
+
+#[test]
+fn catalogs_are_ranked_and_consistent() {
+    let f = framework();
+    for pipe in [&f.ratio, &f.delta] {
+        let catalog = &pipe.characterization.catalog;
+        assert_eq!(catalog.n_shapes(), f.config.k);
+        for i in 0..catalog.n_shapes() {
+            let pmf = catalog.pmf(i);
+            let total: f64 = pmf.probs().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "shape {i} PMF not normalized");
+            if i > 0 {
+                assert!(catalog.stats(i).iqr() >= catalog.stats(i - 1).iqr());
+            }
+        }
+        // Every characterization group got a shape id in range.
+        for (key, &shape) in &pipe.characterization.memberships {
+            assert!(shape < catalog.n_shapes(), "group {key} shape {shape}");
+        }
+    }
+}
+
+#[test]
+fn likelihood_assignment_recovers_own_members() {
+    // Groups strongly assigned during characterization should be re-assigned
+    // to the same shape from their raw runtimes.
+    let f = framework();
+    let pipe = &f.ratio;
+    let catalog = &pipe.characterization.catalog;
+    let mut checked = 0;
+    let mut agree = 0;
+    for (key, &shape) in &pipe.characterization.memberships {
+        let runtimes = f.d1.store.group_runtimes(key);
+        let median = f.history.median_or(key, &runtimes).expect("has runs");
+        let (assigned, lls) = assign_group(catalog, &runtimes, median);
+        let posterior = posterior_probs(&lls);
+        if posterior[assigned] > 0.9 {
+            checked += 1;
+            if assigned == shape {
+                agree += 1;
+            }
+        }
+    }
+    assert!(checked > 5, "too few confident groups ({checked})");
+    let rate = agree as f64 / checked as f64;
+    assert!(rate > 0.8, "self-assignment agreement {rate}");
+}
+
+#[test]
+fn predictions_cover_all_test_rows() {
+    let f = framework();
+    for pipe in [&f.ratio, &f.delta] {
+        for row in f.d3.store.rows() {
+            let shape = pipe.predictor.predict_row(row);
+            assert!(shape < f.config.k);
+            let proba = pipe.predictor.predict_proba_row(row);
+            assert_eq!(proba.len(), f.config.k);
+            assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn importances_reference_schema_features() {
+    let f = framework();
+    let imps = f.ratio.predictor.importances();
+    assert!(!imps.is_empty());
+    for (name, value) in imps {
+        assert!(FEATURE_NAMES.contains(&name), "unknown feature {name}");
+        assert!(value > 0.0);
+    }
+}
+
+#[test]
+fn explanation_produces_named_attributions() {
+    let f = framework();
+    let rows: Vec<_> = f.d3.store.rows().iter().step_by(40).take(12).collect();
+    let background: Vec<_> = f.d3.store.rows().iter().step_by(37).take(12).collect();
+    let explanation = explain_shape(
+        &f.ratio.predictor,
+        &rows,
+        &background,
+        0,
+        &ShapConfig {
+            n_permutations: 8,
+            seed: 1,
+        },
+    );
+    assert!(!explanation.features.is_empty());
+    for (name, stats) in &explanation.features {
+        assert!(FEATURE_NAMES.contains(name));
+        assert!(stats.mean_abs.is_finite());
+    }
+    // Sorted by magnitude.
+    for w in explanation.features.windows(2) {
+        assert!(w[0].1.mean_abs >= w[1].1.mean_abs);
+    }
+}
+
+#[test]
+fn classification_beats_regression_in_the_ratio_tail() {
+    let f = framework();
+    let regressor = RuntimeRegressor::train(
+        &f.d2.store,
+        FeatureExtractor::new(f.history.clone()),
+        &RandomForestConfig {
+            n_trees: 15,
+            ..Default::default()
+        },
+    );
+    let report = compare_distribution_fidelity(
+        &f.d3.store,
+        &f.ratio.predictor,
+        &f.ratio.characterization.catalog,
+        &regressor,
+        7,
+    );
+    // The paper's Fig 8 headline: the classification approach reproduces
+    // the runtime distribution better than point regression (KS distance).
+    // The tail-MAE dominance additionally holds at full scale — asserted by
+    // the experiments harness; at this reduced scale the sparse outlier
+    // sample makes the tail comparison too noisy to gate on.
+    assert!(
+        report.ks_classification < report.ks_regression,
+        "KS: classification {} vs regression {}",
+        report.ks_classification,
+        report.ks_regression
+    );
+}
+
+#[test]
+fn risk_assessment_covers_every_test_group() {
+    let f = framework();
+    let assessments = rv_core::risk::assess_store(
+        &f.ratio.predictor,
+        &f.ratio.characterization.catalog,
+        &f.d3.store,
+        2.0,
+    );
+    assert_eq!(assessments.len(), f.d3.store.n_groups());
+    // Sorted by descending breach probability, all probabilities valid.
+    for w in assessments.windows(2) {
+        assert!(w[0].1.breach_probability >= w[1].1.breach_probability);
+    }
+    for (_, a) in &assessments {
+        assert!((0.0..=1.0).contains(&a.breach_probability));
+        assert!(a.shape < f.config.k);
+    }
+}
+
+#[test]
+fn catalog_round_trips_through_persistence() {
+    let f = framework();
+    let catalog = &f.ratio.characterization.catalog;
+    let mut buf = Vec::new();
+    rv_core::persist::write_catalog(catalog, &mut buf).expect("write");
+    let restored =
+        rv_core::persist::read_catalog(std::io::BufReader::new(&buf[..])).expect("read");
+    // The restored catalog must assign every D3 group identically.
+    for key in f.d3.store.group_keys() {
+        let runtimes = f.d3.store.group_runtimes(key);
+        let median = f.history.median_or(key, &runtimes).expect("has runs");
+        let (a, _) = rv_core::likelihood::assign_group(catalog, &runtimes, median);
+        let (b, _) = rv_core::likelihood::assign_group(&restored, &runtimes, median);
+        assert_eq!(a, b, "group {key} assigned differently after round trip");
+    }
+}
+
+#[test]
+fn drift_monitor_accepts_the_whole_test_window() {
+    let f = framework();
+    let mut monitor = rv_core::monitor::DriftMonitor::new(
+        f.ratio.characterization.catalog.clone(),
+        16,
+        6,
+        0.4,
+    );
+    for (key, &shape) in &f.ratio.test_labels {
+        let median = f
+            .history
+            .median_or(key, &f.d3.store.group_runtimes(key))
+            .expect("has runs");
+        monitor.track(key.clone(), shape, median);
+    }
+    let mut verdicts = 0;
+    let mut drifts = 0;
+    for row in f.d3.store.rows() {
+        if let Some(v) = monitor.observe(&row.group, row.runtime_s) {
+            verdicts += 1;
+            if v.drifted {
+                drifts += 1;
+            }
+        }
+    }
+    assert!(verdicts > 0, "monitor never reached min_obs");
+    // Groups are monitored against their own assigned shapes, so organic
+    // drift must be rare.
+    assert!(
+        (drifts as f64) < 0.2 * verdicts as f64,
+        "{drifts} of {verdicts} verdicts drifted"
+    );
+}

@@ -1,0 +1,149 @@
+//! What-if engine integration (§7): scenario evaluation over a trained
+//! predictor plus the simulator-replay cross-check.
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::rv_scope::{JobInstance, WorkloadGenerator};
+use rv_core::rv_sim::exec::ExecOverrides;
+use rv_core::rv_sim::{simulate_job, Cluster, SkuGeneration};
+use rv_core::whatif::{Scenario, WhatIfEngine};
+
+use std::sync::OnceLock;
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+}
+
+fn scenarios() -> [Scenario; 3] {
+    [
+        Scenario::DisableSpareTokens,
+        Scenario::ShiftSku {
+            from: SkuGeneration::Gen3_5,
+            to: SkuGeneration::Gen5_2,
+        },
+        Scenario::PerfectLoadBalance { level: 0.5 },
+    ]
+}
+
+#[test]
+fn transition_matrices_account_for_every_job() {
+    let f = framework();
+    for pipe in [&f.ratio, &f.delta] {
+        let engine = WhatIfEngine::new(&pipe.predictor);
+        for scenario in scenarios() {
+            let outcome = engine.evaluate(&f.d3.store, scenario);
+            assert_eq!(outcome.transitions.total() as usize, f.d3.store.len());
+            assert!(outcome.changed_fraction() <= 1.0);
+            // Description renders without panicking and names the scenario.
+            let text = outcome.describe(&pipe.characterization.catalog, 3);
+            assert!(text.contains(&scenario.name()));
+        }
+    }
+}
+
+#[test]
+fn scenario_transforms_are_idempotent() {
+    // Applying a scenario twice must equal applying it once (they are
+    // projections in feature space).
+    let f = framework();
+    let row = &f.d3.store.rows()[0];
+    for scenario in scenarios() {
+        let mut once = f.ratio.predictor.features_of(row);
+        scenario.apply(&mut once);
+        let mut twice = once.clone();
+        scenario.apply(&mut twice);
+        assert_eq!(once, twice, "{} not idempotent", scenario.name());
+    }
+}
+
+#[test]
+fn replay_disabling_spares_slows_spare_users() {
+    // Ground truth from the simulator: for runs that actually used spare
+    // tokens, disabling spares cannot speed them up.
+    let f = framework();
+    let mut generator_config = f.config.generator.clone();
+    generator_config.window_days_hint = f.config.campaign.window_days;
+    let generator = WorkloadGenerator::new(generator_config);
+    let cluster = Cluster::new(f.config.cluster.clone());
+
+    let mut slower = 0;
+    let mut total = 0;
+    // Search the whole campaign: the 1-day test window alone has too few
+    // runs of the (daily) spare-riding groups.
+    for r in f
+        .store
+        .rows()
+        .iter()
+        .filter(|r| r.spare_avg > 1.0)
+        .take(80)
+    {
+        let template = &generator.templates()[r.template_id as usize];
+        let instance = JobInstance {
+            template_id: r.template_id,
+            seq: r.seq,
+            submit_time_s: r.submit_time_s,
+            input_gb: r.data_read_gb,
+        };
+        let with = simulate_job(
+            template,
+            &instance,
+            &cluster,
+            &f.config.sim,
+            ExecOverrides::default(),
+        );
+        let without = simulate_job(
+            template,
+            &instance,
+            &cluster,
+            &f.config.sim,
+            ExecOverrides {
+                disable_spare: true,
+                ..Default::default()
+            },
+        );
+        total += 1;
+        // Paired (common random numbers): the only difference is p_total.
+        if without.nominal_s >= with.nominal_s - 1e-9 {
+            slower += 1;
+        }
+        assert_eq!(without.spare_tokens, 0);
+    }
+    assert!(total >= 20, "not enough spare-using runs ({total})");
+    assert!(
+        slower as f64 > 0.95 * total as f64,
+        "{slower}/{total} runs slowed down"
+    );
+}
+
+#[test]
+fn forced_sku_shift_changes_placement_not_physics() {
+    let f = framework();
+    let generator = {
+        let mut cfg = f.config.generator.clone();
+        cfg.window_days_hint = f.config.campaign.window_days;
+        WorkloadGenerator::new(cfg)
+    };
+    let cluster = Cluster::new(f.config.cluster.clone());
+    let r = &f.d3.store.rows()[0];
+    let template = &generator.templates()[r.template_id as usize];
+    let instance = JobInstance {
+        template_id: r.template_id,
+        seq: r.seq,
+        submit_time_s: r.submit_time_s,
+        input_gb: r.data_read_gb,
+    };
+    let mut fractions = [0.0; SkuGeneration::COUNT];
+    fractions[SkuGeneration::Gen5_2.index()] = 1.0;
+    let run = simulate_job(
+        template,
+        &instance,
+        &cluster,
+        &f.config.sim,
+        ExecOverrides {
+            sku_fractions: Some(fractions),
+            ..Default::default()
+        },
+    );
+    assert_eq!(run.sku_usage.fractions, fractions);
+    assert!(run.runtime_s > 0.0);
+}
