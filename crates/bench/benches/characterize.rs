@@ -5,10 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use rv_core::rv_cluster::{kmeans, minibatch_kmeans, KMeansConfig, MiniBatchConfig};
-use rv_core::rv_stats::{smooth_pmf, BinSpec, Histogram, SmoothingKernel};
-use rv_core::rv_scope::job::stream_rng;
 use rand::Rng;
+use rv_core::rv_cluster::{kmeans, minibatch_kmeans, KMeansConfig, MiniBatchConfig};
+use rv_core::rv_scope::job::stream_rng;
+use rv_core::rv_stats::{smooth_pmf, BinSpec, Histogram, SmoothingKernel};
 
 fn synth_samples(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = stream_rng(seed, 0);

@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use rand::Rng;
 use rv_core::rv_learn::{
     Classifier, GbdtClassifier, GbdtConfig, RandomForestClassifier, RandomForestConfig,
 };
 use rv_core::rv_scope::job::stream_rng;
-use rand::Rng;
 
 fn task(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut rng = stream_rng(3, 0);

@@ -4,11 +4,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rand::Rng;
 use rv_core::likelihood::assign_samples;
-use rv_core::shapes::{ShapeCatalog, ShapeStats};
 use rv_core::rv_scope::job::stream_rng;
 use rv_core::rv_stats::{BinSpec, Histogram, Normalization};
-use rand::Rng;
+use rv_core::shapes::{ShapeCatalog, ShapeStats};
 
 fn catalog(k: usize) -> ShapeCatalog {
     let spec = BinSpec::ratio();

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rand::Rng;
 use rv_core::rv_learn::{GbdtClassifier, GbdtConfig};
 use rv_core::rv_scope::job::stream_rng;
 use rv_core::rv_shap::{shapley_values, ShapConfig};
-use rand::Rng;
 
 fn bench_shapley(c: &mut Criterion) {
     let d = 30;

@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scale small|full] [--out DIR] [EXPERIMENT...]
+//! experiments [--scale small|full] [--out DIR] [--trace T]
+//!             [--metrics-summary] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Valid names: `table1`, `fig1`,
@@ -11,6 +12,11 @@
 //! `fig8`, `fig9`, `importances`, `scenario1`, `scenario2`, `scenario3`,
 //! `ablation-bins`, `ablation-cluster`, `ablation-smooth`, `ablation-k`,
 //! `ablation-model`.
+//!
+//! Progress goes through the structured logger (filter with
+//! `RUNVAR_LOG=error|warn|info|debug`); tables and figure text stay on
+//! stdout. `--trace` writes a JSON-lines trace; `--metrics-summary` prints
+//! per-phase wall times and simulator counters at exit.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,6 +52,8 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from("target/experiments");
     let mut selected: Vec<String> = Vec::new();
+    let mut trace_path: Option<PathBuf> = None;
+    let mut want_summary = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,25 +62,36 @@ fn main() -> ExitCode {
                 Some("small") => scale = Scale::Small,
                 Some("full") => scale = Scale::Full,
                 other => {
-                    eprintln!("--scale must be 'small' or 'full', got {other:?}");
+                    rv_obs::error!("--scale must be 'small' or 'full', got {other:?}");
                     return ExitCode::FAILURE;
                 }
             },
             "--out" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
-                    eprintln!("--out requires a directory");
+                    rv_obs::error!("--out requires a directory");
                     return ExitCode::FAILURE;
                 }
             },
+            "--trace" => match args.next() {
+                Some(path) if !path.starts_with("--") => trace_path = Some(PathBuf::from(path)),
+                _ => {
+                    rv_obs::error!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-summary" => want_summary = true,
             "--help" | "-h" => {
-                println!("experiments [--scale small|full] [--out DIR] [EXPERIMENT...]");
+                println!(
+                    "experiments [--scale small|full] [--out DIR] [--trace T] \
+                     [--metrics-summary] [EXPERIMENT...]"
+                );
                 println!("experiments: {}", ALL.join(", "));
                 return ExitCode::SUCCESS;
             }
             name if ALL.contains(&name) => selected.push(name.to_string()),
             other => {
-                eprintln!("unknown experiment {other:?}; valid: {}", ALL.join(", "));
+                rv_obs::error!("unknown experiment {other:?}; valid: {}", ALL.join(", "));
                 return ExitCode::FAILURE;
             }
         }
@@ -81,15 +100,31 @@ fn main() -> ExitCode {
         selected = ALL.iter().map(|s| s.to_string()).collect();
     }
 
-    println!(
+    if want_summary || trace_path.is_some() {
+        if let Err(e) = rv_obs::init(rv_obs::ObsConfig {
+            trace_path,
+            log_level: None,
+        }) {
+            rv_obs::error!("cannot open trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    rv_obs::info!(
         "running {} experiment(s) at {:?} scale; artifacts -> {}",
         selected.len(),
         scale,
         out_dir.display()
     );
     let start = std::time::Instant::now();
-    let ctx = Ctx::new(scale, &out_dir);
-    println!(
+    let ctx = match Ctx::new(scale, &out_dir) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            rv_obs::error!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rv_obs::info!(
         "framework run complete in {:.1}s ({} telemetry rows, {} groups)",
         start.elapsed().as_secs_f64(),
         ctx.framework.store.len(),
@@ -122,10 +157,16 @@ fn main() -> ExitCode {
             _ => unreachable!("validated above"),
         }
     }
-    println!(
-        "\nall done in {:.1}s; artifacts in {}",
+    rv_obs::info!(
+        "all done in {:.1}s; artifacts in {}",
         start.elapsed().as_secs_f64(),
         out_dir.display()
     );
+    if rv_obs::enabled() {
+        rv_obs::flush();
+        if want_summary {
+            print!("{}", rv_obs::render_summary());
+        }
+    }
     ExitCode::SUCCESS
 }

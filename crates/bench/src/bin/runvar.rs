@@ -1,6 +1,7 @@
 //! `runvar` — command-line front end for the runtime-variation framework.
 //!
 //! ```text
+//! runvar run       [--scale small|paper] [--trace T] [--metrics-summary]
 //! runvar simulate  --out telemetry.csv [--templates N] [--days D] [--seed S]
 //! runvar characterize --telemetry telemetry.csv --out catalog.txt
 //!                     [--normalization ratio|delta] [--k K] [--support N]
@@ -11,14 +12,22 @@
 //!
 //! The subcommands compose through files: capture a campaign once
 //! (`simulate`), learn the shape catalog from it (`characterize`), then
-//! assess SLO risk for every group against a saved catalog (`assess`).
+//! assess SLO risk for every group against a saved catalog (`assess`);
+//! `run` executes the whole study (Fig 2) in one process.
+//!
+//! Observability flags work on every subcommand: `--trace <path>` writes a
+//! JSON-lines trace of spans, progress events, and log lines;
+//! `--metrics-summary` prints per-phase wall times and simulator counters at
+//! exit. Log verbosity follows the `RUNVAR_LOG` env var
+//! (`error|warn|info|debug`).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use rv_core::likelihood::assign_group;
 use rv_core::characterize::{characterize, CharacterizeConfig};
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::likelihood::assign_group;
 use rv_core::persist::{read_catalog, write_catalog};
 use rv_core::risk::{breach_probability, RiskLevel};
 use rv_core::rv_scope::{GeneratorConfig, WorkloadGenerator};
@@ -31,21 +40,57 @@ use rv_core::rv_telemetry::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        eprintln!("usage: runvar <simulate|characterize|assess|explain-plan> [flags]");
+        eprintln!("usage: runvar <run|simulate|characterize|assess|explain-plan> [flags]");
         return ExitCode::FAILURE;
     };
     let flags = Flags::parse(&args[1..]);
+
+    let want_summary = flags.has("metrics-summary");
+    // `--trace` as a bare switch would otherwise write a file literally
+    // named "true" (the parser's boolean marker) into the cwd.
+    if flags.get("trace") == Some("true") {
+        eprintln!("error: --trace requires a file path (use ./true for a file named true)");
+        return ExitCode::FAILURE;
+    }
+    let trace_path = flags.get("trace").map(std::path::PathBuf::from);
+    if want_summary || trace_path.is_some() {
+        if let Err(e) = rv_obs::init(rv_obs::ObsConfig {
+            trace_path,
+            log_level: None,
+        }) {
+            eprintln!("error: cannot open trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let result = match cmd.as_str() {
+        "run" => run_framework(&flags),
         "simulate" => simulate(&flags),
         "characterize" => run_characterize(&flags),
         "assess" => assess(&flags),
         "explain-plan" => explain_plan(&flags),
         "--help" | "-h" | "help" => {
-            println!("subcommands: simulate, characterize, assess, explain-plan");
+            println!("subcommands: run, simulate, characterize, assess, explain-plan");
+            println!("observability: --trace <path>, --metrics-summary, RUNVAR_LOG=level");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
     };
+
+    if rv_obs::enabled() {
+        rv_obs::emit(
+            "run.end",
+            &[
+                ("command", rv_obs::FieldValue::from(cmd.as_str())),
+                ("ok", rv_obs::FieldValue::from(result.is_ok())),
+            ],
+        );
+        rv_obs::flush();
+        if want_summary {
+            print!("{}", rv_obs::render_summary());
+        }
+    }
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -55,21 +100,29 @@ fn main() -> ExitCode {
     }
 }
 
-/// Minimal `--key value` flag parser.
+/// Minimal `--key value` flag parser. A `--key` followed by another flag
+/// (or by nothing) is a boolean switch.
 struct Flags(Vec<(String, String)>);
 
 impl Flags {
     fn parse(args: &[String]) -> Self {
         let mut out = Vec::new();
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                if let Some(v) = it.next() {
-                    out.push((key.to_string(), v.clone()));
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        out.push((key.to_string(), it.next().expect("peeked").clone()));
+                    }
+                    _ => out.push((key.to_string(), "true".to_string())),
                 }
             }
         }
         Self(out)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
     }
 
     fn get(&self, key: &str) -> Option<&str> {
@@ -86,6 +139,36 @@ impl Flags {
     fn require(&self, key: &str) -> Result<&str, String> {
         self.get(key).ok_or_else(|| format!("missing --{key}"))
     }
+}
+
+fn run_framework(flags: &Flags) -> Result<(), String> {
+    let config = match flags.get_or("scale", "small") {
+        "small" => FrameworkConfig::small(),
+        "paper" | "full" => FrameworkConfig::default(),
+        other => return Err(format!("unknown scale {other:?} (small|paper)")),
+    };
+    rv_obs::info!(
+        "running full framework: {} templates, {} days",
+        config.generator.n_templates,
+        config.campaign.window_days
+    );
+    let fw = Framework::run(config);
+    println!(
+        "{:<6} {:>8} {:>10} {:>9}",
+        "set", "groups", "instances", "support"
+    );
+    for (name, groups, instances, support) in fw.dataset_summary() {
+        println!("{name:<6} {groups:>8} {instances:>10} {support:>9}");
+    }
+    for pipe in [&fw.ratio, &fw.delta] {
+        println!(
+            "{:<6} accuracy {:.3} over {} test groups",
+            pipe.normalization.name(),
+            pipe.test_accuracy,
+            pipe.test_labels.len()
+        );
+    }
+    Ok(())
 }
 
 fn load_store(path: &str) -> Result<TelemetryStore, String> {

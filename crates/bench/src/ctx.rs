@@ -35,14 +35,19 @@ pub struct Ctx {
 
 impl Ctx {
     /// Runs the framework at `scale` and prepares the output directory.
-    pub fn new(scale: Scale, out_dir: &Path) -> Self {
-        std::fs::create_dir_all(out_dir).expect("create output directory");
+    ///
+    /// Fails (instead of panicking) when the output directory cannot be
+    /// created — e.g. a read-only location or a path that exists as a file —
+    /// so binaries can exit with a proper message.
+    pub fn new(scale: Scale, out_dir: &Path) -> Result<Self, String> {
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("cannot create output directory {}: {e}", out_dir.display()))?;
         let framework = Framework::run(scale.config());
-        Self {
+        Ok(Self {
             framework,
             out_dir: out_dir.to_path_buf(),
             scale,
-        }
+        })
     }
 
     /// Path of an output artifact.

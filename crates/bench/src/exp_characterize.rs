@@ -89,13 +89,12 @@ pub fn fig6(ctx: &Ctx) {
     let catalog = &pipe.characterization.catalog;
 
     // A group with ~10 observations in D3, like the paper's example.
-    let key = f
-        .d3
-        .store
-        .group_keys()
-        .min_by_key(|k| (f.d3.store.group_rows(k).len() as i64 - 10).abs())
-        .expect("d3 non-empty")
-        .clone();
+    let key =
+        f.d3.store
+            .group_keys()
+            .min_by_key(|k| (f.d3.store.group_rows(k).len() as i64 - 10).abs())
+            .expect("d3 non-empty")
+            .clone();
     let runtimes = f.d3.store.group_runtimes(&key);
     let median = f
         .history
@@ -140,7 +139,12 @@ pub fn fig6(ctx: &Ctx) {
     }
     write_csv_records(
         &ctx.path("fig6_likelihood_example.csv"),
-        &["bin_center", "group_pmf", "best_cluster_pmf", "worst_cluster_pmf"],
+        &[
+            "bin_center",
+            "group_pmf",
+            "best_cluster_pmf",
+            "worst_cluster_pmf",
+        ],
         rows,
     )
     .expect("write fig6");
@@ -176,7 +180,12 @@ pub fn ablation_bins(ctx: &Ctx) {
     }
     write_csv(
         &ctx.path("ablation_bins.csv"),
-        &["n_bins", "inertia", "inertia_per_bin", "largest_cluster_share"],
+        &[
+            "n_bins",
+            "inertia",
+            "inertia_per_bin",
+            "largest_cluster_share",
+        ],
         rows,
     )
     .expect("write ablation_bins");
@@ -230,7 +239,10 @@ pub fn ablation_cluster(ctx: &Ctx) {
         }
         let share = *counts.iter().max().expect("k >= 1") as f64 / labels.len() as f64;
         println!("agglomerative {linkage:?}: largest-cluster share {share:.2}");
-        rows.push(vec![format!("agglomerative-{linkage:?}"), format!("{share:.4}")]);
+        rows.push(vec![
+            format!("agglomerative-{linkage:?}"),
+            format!("{share:.4}"),
+        ]);
     }
     write_csv_records(
         &ctx.path("ablation_cluster_algorithm.csv"),

@@ -1,11 +1,11 @@
 //! Descriptive experiments: Table 1, Fig 1, Fig 3, Fig 4a/4b.
 
 use rv_core::report::{text_table, write_csv, write_csv_records};
-use rv_core::scalar_metrics::{cov_pairs, median_scatter, stalagmite_stats};
+use rv_core::rv_scope::JobInstance;
 use rv_core::rv_scope::WorkloadGenerator;
 use rv_core::rv_sim::exec::ExecOverrides;
 use rv_core::rv_sim::{simulate_job, Cluster};
-use rv_core::rv_scope::JobInstance;
+use rv_core::scalar_metrics::{cov_pairs, median_scatter, stalagmite_stats};
 
 use crate::ctx::Ctx;
 
@@ -27,7 +27,10 @@ pub fn table1(ctx: &Ctx) {
         .collect();
     println!(
         "{}",
-        text_table(&["dataset", "job groups", "job instances", "support"], &rows)
+        text_table(
+            &["dataset", "job groups", "job instances", "support"],
+            &rows
+        )
     );
     write_csv_records(
         &ctx.path("table1_datasets.csv"),
@@ -45,7 +48,9 @@ pub fn fig1(ctx: &Ctx) {
     let mut picked: Vec<(String, usize)> = Vec::new();
     for key in f.store.group_keys() {
         let n = f.store.group_rows(key).len();
-        if picked.iter().all(|(_, pn)| (n as f64 / *pn as f64 - 1.0).abs() > 0.5)
+        if picked
+            .iter()
+            .all(|(_, pn)| (n as f64 / *pn as f64 - 1.0).abs() > 0.5)
             || picked.is_empty()
         {
             picked.push((key.normalized_name.clone(), n));
@@ -56,7 +61,7 @@ pub fn fig1(ctx: &Ctx) {
     }
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, n) in &picked {
-        println!("group {name}: {n} runs over the campaign");
+        rv_obs::info!("group {name}: {n} runs over the campaign");
         let key = f
             .store
             .group_keys()
@@ -116,7 +121,10 @@ pub fn fig3(ctx: &Ctx) {
     );
     println!(
         "job {}: allocated {} tokens, peak usage {} (spare granted {})",
-        best.group, run.allocated_tokens, run.skyline.peak(), run.spare_tokens
+        best.group,
+        run.allocated_tokens,
+        run.skyline.peak(),
+        run.spare_tokens
     );
     let rows: Vec<Vec<f64>> = run
         .skyline

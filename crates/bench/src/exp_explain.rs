@@ -35,8 +35,7 @@ pub fn fig9(ctx: &Ctx) {
             })
             .expect("catalog non-empty");
         let (sample, background) = sample_rows(f, 60, 40);
-        let explanation =
-            explain_shape(&pipe.predictor, &sample, &background, target, &shap_cfg);
+        let explanation = explain_shape(&pipe.predictor, &sample, &background, target, &shap_cfg);
         println!(
             "Delta, high-variance shape {target} (outlier {:.2}%):",
             catalog.stats(target).outlier_prob * 100.0
@@ -74,7 +73,13 @@ pub fn fig9(ctx: &Ctx) {
 
     write_csv_records(
         &ctx.path("fig9_shap.csv"),
-        &["normalization", "target_shape", "feature", "mean_abs_shap", "value_correlation"],
+        &[
+            "normalization",
+            "target_shape",
+            "feature",
+            "mean_abs_shap",
+            "value_correlation",
+        ],
         rows,
     )
     .expect("write fig9");

@@ -98,7 +98,13 @@ pub fn fig7b(ctx: &Ctx) {
     }
     write_csv_records(
         &ctx.path("fig7b_accuracy_by_occurrences.csv"),
-        &["normalization", "occurrence_bucket", "accuracy", "n_groups", "n_instances"],
+        &[
+            "normalization",
+            "occurrence_bucket",
+            "accuracy",
+            "n_groups",
+            "n_instances",
+        ],
         csv_rows,
     )
     .expect("write fig7b");

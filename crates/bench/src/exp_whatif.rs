@@ -19,10 +19,7 @@ fn run_scenario(ctx: &Ctx, scenario: Scenario, csv_name: &str) {
         let engine = WhatIfEngine::new(&pipe.predictor);
         let outcome = engine.evaluate(&f.d3.store, scenario);
         println!("[{}]", pipe.normalization);
-        print!(
-            "{}",
-            outcome.describe(&pipe.characterization.catalog, 5)
-        );
+        print!("{}", outcome.describe(&pipe.characterization.catalog, 5));
         for (from, to, count, pct) in outcome.transitions.top_transitions().into_iter().take(10) {
             rows.push(vec![
                 pipe.normalization.to_string(),
@@ -35,7 +32,13 @@ fn run_scenario(ctx: &Ctx, scenario: Scenario, csv_name: &str) {
     }
     write_csv_records(
         &ctx.path(csv_name),
-        &["normalization", "from_cluster", "to_cluster", "n_jobs", "pct_of_from"],
+        &[
+            "normalization",
+            "from_cluster",
+            "to_cluster",
+            "n_jobs",
+            "pct_of_from",
+        ],
         rows,
     )
     .expect("write scenario csv");
@@ -65,14 +68,13 @@ pub fn scenario2(ctx: &Ctx) {
 pub fn scenario3(ctx: &Ctx) {
     ctx.banner("Scenario 3 — improving load balance (§7.3)");
     let f = &ctx.framework;
-    let level = f
-        .d3
-        .store
-        .rows()
-        .iter()
-        .map(|r| r.cluster_load)
-        .sum::<f64>()
-        / f.d3.store.len().max(1) as f64;
+    let level =
+        f.d3.store
+            .rows()
+            .iter()
+            .map(|r| r.cluster_load)
+            .sum::<f64>()
+            / f.d3.store.len().max(1) as f64;
     println!("balancing every machine at the fleet average utilization {level:.2}");
     run_scenario(
         ctx,
@@ -104,7 +106,7 @@ fn replay_spare_validation(ctx: &Ctx) {
     groups.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite spare usage"));
     groups.truncate(12);
     if groups.is_empty() {
-        println!("replay: no spare-using groups — skipping validation");
+        rv_obs::warn!("replay: no spare-using groups — skipping validation");
         return;
     }
 
@@ -155,7 +157,11 @@ fn replay_spare_validation(ctx: &Ctx) {
         // finite samples.
         let disp_b = sb.iqr() / sb.median.max(1e-9);
         let disp_n = sn.iqr() / sn.median.max(1e-9);
-        std_changes.push(if disp_b > 0.0 { disp_n / disp_b - 1.0 } else { 0.0 });
+        std_changes.push(if disp_b > 0.0 {
+            disp_n / disp_b - 1.0
+        } else {
+            0.0
+        });
         csv_rows.push(vec![
             key.to_string(),
             format!("{:.3}", sb.median),
@@ -165,7 +171,7 @@ fn replay_spare_validation(ctx: &Ctx) {
         ]);
     }
     if median_changes.is_empty() {
-        println!("replay: spare-using groups too small — skipping validation");
+        rv_obs::warn!("replay: spare-using groups too small — skipping validation");
         return;
     }
     let n = median_changes.len() as f64;
@@ -179,7 +185,13 @@ fn replay_spare_validation(ctx: &Ctx) {
     );
     write_csv_records(
         &ctx.path("scenario1_replay_validation.csv"),
-        &["group", "median_with", "median_without", "cov_with", "cov_without"],
+        &[
+            "group",
+            "median_with",
+            "median_without",
+            "cov_with",
+            "cov_without",
+        ],
         csv_rows,
     )
     .expect("write replay csv");

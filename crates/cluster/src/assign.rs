@@ -11,11 +11,7 @@ pub fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
     for (i, c) in centroids.iter().enumerate() {
         assert_eq!(c.len(), point.len(), "dimension mismatch");
-        let d: f64 = point
-            .iter()
-            .zip(c)
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum();
+        let d: f64 = point.iter().zip(c).map(|(&x, &y)| (x - y) * (x - y)).sum();
         if d < best.1 {
             best = (i, d);
         }

@@ -35,10 +35,7 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
         return None;
     }
     let (x0, y0) = (curve[0].0 as f64, curve[0].1);
-    let (x1, y1) = (
-        curve[curve.len() - 1].0 as f64,
-        curve[curve.len() - 1].1,
-    );
+    let (x1, y1) = (curve[curve.len() - 1].0 as f64, curve[curve.len() - 1].1);
     // Normalize both axes so the chord distance is scale-free.
     let dx = (x1 - x0).abs().max(1e-12);
     let dy = (y0 - y1).abs().max(1e-12);
@@ -46,8 +43,8 @@ pub fn elbow_point(curve: &[(usize, f64)]) -> Option<usize> {
     for &(k, inertia) in &curve[1..curve.len() - 1] {
         let nx = (k as f64 - x0) / dx;
         let ny = (y0 - inertia) / dy; // flipped so the curve rises 0→1
-        // Distance from (nx, ny) to the chord y = x (after normalization the
-        // endpoints are (0,0) and (1,1)).
+                                      // Distance from (nx, ny) to the chord y = x (after normalization the
+                                      // endpoints are (0,0) and (1,1)).
         let d = (ny - nx) / std::f64::consts::SQRT_2;
         if best.map_or(true, |(_, bd)| d > bd) {
             best = Some((k, d));

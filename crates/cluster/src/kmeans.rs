@@ -105,7 +105,25 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
             best = Some(result);
         }
     }
-    best.expect("at least one restart ran")
+    let best = best.expect("at least one restart ran");
+    if rv_obs::enabled() {
+        rv_obs::counter("cluster.kmeans.runs").inc();
+        rv_obs::counter("cluster.kmeans.iterations").add(best.iterations as u64);
+        rv_obs::emit(
+            "cluster.kmeans",
+            &[
+                ("k", rv_obs::FieldValue::from(config.k)),
+                ("points", rv_obs::FieldValue::from(points.len())),
+                ("iterations", rv_obs::FieldValue::from(best.iterations)),
+                (
+                    "converged",
+                    rv_obs::FieldValue::from(best.iterations < config.max_iters),
+                ),
+                ("inertia", rv_obs::FieldValue::from(best.inertia)),
+            ],
+        );
+    }
+    best
 }
 
 fn kmeans_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut SmallRng) -> KMeansResult {
@@ -187,10 +205,7 @@ fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| dist_sq(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let idx = if total <= 0.0 {

@@ -29,7 +29,11 @@ pub fn silhouette_samples(points: &[Vec<f64>], assignments: &[usize]) -> Vec<f64
     assert!(points.iter().all(|p| p.len() == dim), "ragged points");
     let k = assignments.iter().copied().max().expect("non-empty") + 1;
     assert!(
-        assignments.iter().collect::<std::collections::BTreeSet<_>>().len() >= 2,
+        assignments
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            >= 2,
         "need at least two clusters"
     );
 

@@ -5,10 +5,7 @@ use proptest::prelude::*;
 use rv_cluster::{agglomerative, kmeans, nearest_centroid, KMeansConfig, Linkage};
 
 fn points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-100.0..100.0f64, dim..=dim),
-        2..max_n,
-    )
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim..=dim), 2..max_n)
 }
 
 proptest! {

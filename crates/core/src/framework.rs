@@ -147,26 +147,56 @@ pub struct Framework {
 impl Framework {
     /// Runs the full study.
     pub fn run(config: FrameworkConfig) -> Self {
-        let mut generator_config = config.generator.clone();
-        // Keep late-starting ("new job") templates inside the campaign.
-        generator_config.window_days_hint = config.campaign.window_days;
-        let generator = WorkloadGenerator::new(generator_config);
-        let cluster = Cluster::new(config.cluster.clone());
-        let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign);
+        // Not a `phase.` span: it encloses the phases below, and the report's
+        // share column assumes `phase.*` spans are disjoint.
+        let _run_span = rv_obs::span("framework.run");
+        let store = {
+            let _span = rv_obs::span("phase.simulate");
+            let mut generator_config = config.generator.clone();
+            // Keep late-starting ("new job") templates inside the campaign.
+            generator_config.window_days_hint = config.campaign.window_days;
+            let generator = WorkloadGenerator::new(generator_config);
+            let cluster = Cluster::new(config.cluster.clone());
+            let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign);
+            rv_obs::counter("framework.telemetry_rows").add(store.len() as u64);
+            store
+        };
 
-        let [d1_spec, d2_spec, d3_spec] = DatasetSpec::paper_trio(config.campaign.window_days);
-        let d1 = Dataset::assemble(&store, DatasetSpec {
-            min_support: config.characterize_support,
-            ..d1_spec
-        });
-        let d2 = Dataset::assemble(&store, d2_spec);
-        let d3 = Dataset::assemble(&store, d3_spec);
-        let history = GroupHistory::compute(&d1.store);
+        let (d1, d2, d3, history) = {
+            let _span = rv_obs::span("phase.datasets");
+            let [d1_spec, d2_spec, d3_spec] = DatasetSpec::paper_trio(config.campaign.window_days);
+            let d1 = Dataset::assemble(
+                &store,
+                DatasetSpec {
+                    min_support: config.characterize_support,
+                    ..d1_spec
+                },
+            );
+            let d2 = Dataset::assemble(&store, d2_spec);
+            let d3 = Dataset::assemble(&store, d3_spec);
+            let history = GroupHistory::compute(&d1.store);
+            rv_obs::counter("framework.d1_groups").add(d1.n_groups() as u64);
+            (d1, d2, d3, history)
+        };
 
-        let ratio =
-            Self::pipeline(Normalization::Ratio, &config, &store, &d1, &d2, &d3, &history);
-        let delta =
-            Self::pipeline(Normalization::Delta, &config, &store, &d1, &d2, &d3, &history);
+        let ratio = Self::pipeline(
+            Normalization::Ratio,
+            &config,
+            &store,
+            &d1,
+            &d2,
+            &d3,
+            &history,
+        );
+        let delta = Self::pipeline(
+            Normalization::Delta,
+            &config,
+            &store,
+            &d1,
+            &d2,
+            &d3,
+            &history,
+        );
 
         Self {
             config,
@@ -194,7 +224,10 @@ impl Framework {
             min_support: config.characterize_support,
             ..CharacterizeConfig::paper(normalization)
         };
-        let characterization = characterize(&d1.store, &ch_config);
+        let characterization = {
+            let _span = rv_obs::span("phase.characterize");
+            characterize(&d1.store, &ch_config)
+        };
         let catalog = &characterization.catalog;
 
         // Labels are anchored to *long-interval* observations (§2, C2/C4:
@@ -204,6 +237,7 @@ impl Framework {
         // truth uses the group's full observed history. Short-window
         // re-labeling would make the target itself noisy for groups near a
         // shape boundary.
+        let _label_span = rv_obs::span("phase.label");
         let upto_train_end: rv_telemetry::TelemetryStore = full
             .rows_in_window(0.0, d2.spec.to_days * 86_400.0)
             .into_iter()
@@ -222,15 +256,21 @@ impl Framework {
             .filter_map(|k| test_labels_all.get(k).map(|&l| (k.clone(), l)))
             .collect();
 
-        let (predictor, _n_train) = ShapePredictor::train(
-            &d2.store,
-            &train_labels,
-            FeatureExtractor::new(history.clone()),
-            config.k,
-            &config.predictor,
-        );
+        drop(_label_span);
+
+        let (predictor, _n_train) = {
+            let _span = rv_obs::span("phase.train");
+            ShapePredictor::train(
+                &d2.store,
+                &train_labels,
+                FeatureExtractor::new(history.clone()),
+                config.k,
+                &config.predictor,
+            )
+        };
 
         // Instance-level evaluation on D3.
+        let _eval_span = rv_obs::span("phase.evaluate");
         let mut truth = Vec::new();
         let mut predicted = Vec::new();
         for row in d3.store.rows() {
@@ -242,6 +282,24 @@ impl Framework {
         assert!(!truth.is_empty(), "no labeled test instances");
         let test_accuracy = accuracy(&truth, &predicted);
         let confusion = confusion_matrix(&truth, &predicted, config.k);
+        drop(_eval_span);
+        rv_obs::counter("framework.pipelines").inc();
+        rv_obs::gauge(&format!(
+            "framework.accuracy.{}",
+            normalization.name().to_ascii_lowercase()
+        ))
+        .set(test_accuracy);
+        rv_obs::emit(
+            "framework.pipeline",
+            &[
+                (
+                    "normalization",
+                    rv_obs::FieldValue::from(normalization.name()),
+                ),
+                ("test_accuracy", rv_obs::FieldValue::from(test_accuracy)),
+                ("test_instances", rv_obs::FieldValue::from(truth.len())),
+            ],
+        );
 
         NormalizationPipeline {
             normalization,

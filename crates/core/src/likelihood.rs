@@ -41,7 +41,11 @@ fn mixed_log_probs(catalog: &ShapeCatalog, i: usize) -> Vec<f64> {
         .pmf(i)
         .probs()
         .iter()
-        .map(|&p| ((1.0 - SMOOTHING_ALPHA) * p + SMOOTHING_ALPHA / h).max(EPSILON).ln())
+        .map(|&p| {
+            ((1.0 - SMOOTHING_ALPHA) * p + SMOOTHING_ALPHA / h)
+                .max(EPSILON)
+                .ln()
+        })
         .collect()
 }
 

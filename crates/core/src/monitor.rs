@@ -72,15 +72,16 @@ impl DriftMonitor {
     /// more than `2 × threshold` nats below the shape's expected fit.
     pub fn new(catalog: ShapeCatalog, window: usize, min_obs: usize, threshold: f64) -> Self {
         assert!(window >= 1, "window must hold at least one observation");
-        assert!(min_obs >= 1 && min_obs <= window, "min_obs must fit the window");
+        assert!(
+            min_obs >= 1 && min_obs <= window,
+            "min_obs must fit the window"
+        );
         assert!(threshold >= 0.0, "threshold must be non-negative");
         // Expected per-observation log-likelihood of samples from shape i
         // scored against shape i: Σ_h θ_h · log θ'_h, exactly the Eq. 9
         // machinery evaluated on the shape's own PMF.
         let expected_fit: Vec<f64> = (0..catalog.n_shapes())
-            .map(|i| {
-                crate::likelihood::log_likelihoods_pmf(&catalog, catalog.pmf(i))[i]
-            })
+            .map(|i| crate::likelihood::log_likelihoods_pmf(&catalog, catalog.pmf(i))[i])
             .collect();
         Self {
             catalog,
@@ -105,7 +106,8 @@ impl DriftMonitor {
             "shape out of range"
         );
         assert!(historic_median_s > 0.0, "median must be positive");
-        self.groups.insert(group.clone(), (assigned_shape, historic_median_s));
+        self.groups
+            .insert(group.clone(), (assigned_shape, historic_median_s));
         self.windows.entry(group).or_default();
     }
 
@@ -125,7 +127,10 @@ impl DriftMonitor {
             .get(group)
             .expect("observe() on an untracked group");
         let normalized = normalize(self.catalog.normalization, runtime_s, median);
-        let w = self.windows.get_mut(group).expect("tracked group has window");
+        let w = self
+            .windows
+            .get_mut(group)
+            .expect("tracked group has window");
         if w.len() == self.window {
             w.pop_front();
         }

@@ -131,10 +131,7 @@ pub fn read_catalog<R: BufRead>(input: R) -> Result<ShapeCatalog, CatalogParseEr
         )));
     }
     stats.sort_by_key(|&(i, _)| i);
-    let pmfs: Vec<Pmf> = weights
-        .iter()
-        .map(|w| Pmf::from_weights(spec, w))
-        .collect();
+    let pmfs: Vec<Pmf> = weights.iter().map(|w| Pmf::from_weights(spec, w)).collect();
     Ok(ShapeCatalog::new(
         normalization,
         spec,
@@ -200,10 +197,7 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_catalog(std::io::BufReader::new("nonsense,1,2\n".as_bytes())).is_err());
         assert!(read_catalog(std::io::BufReader::new("".as_bytes())).is_err());
-        assert!(read_catalog(std::io::BufReader::new(
-            "pmf,0,5,0.5\n".as_bytes()
-        ))
-        .is_err());
+        assert!(read_catalog(std::io::BufReader::new("pmf,0,5,0.5\n".as_bytes())).is_err());
         // Bin out of range.
         let bad = "catalog,Ratio,0,10,200\nstats,0,0,0,0,0,0,1,1\npmf,0,999,1.0\n";
         assert!(read_catalog(std::io::BufReader::new(bad.as_bytes())).is_err());

@@ -21,8 +21,8 @@ use rv_learn::{RandomForestConfig, RandomForestRegressor, Regressor};
 use rv_stats::{ks_distance, qq_mae, qq_tail_mae};
 use rv_telemetry::{FeatureExtractor, JobTelemetry, TelemetryStore};
 
-use crate::shapes::ShapeCatalog;
 use crate::predictor::ShapePredictor;
+use crate::shapes::ShapeCatalog;
 
 /// A random-forest runtime regressor over the same feature schema as the
 /// shape predictor (log-runtime target for numeric stability, as is
@@ -48,7 +48,10 @@ impl RuntimeRegressor {
 
     /// Predicted runtime (seconds) for one row.
     pub fn predict_row(&self, row: &JobTelemetry) -> f64 {
-        self.model.predict(&self.extractor.extract(row)).exp_m1().max(0.0)
+        self.model
+            .predict(&self.extractor.extract(row))
+            .exp_m1()
+            .max(0.0)
     }
 }
 
@@ -121,8 +124,7 @@ pub fn compare_distribution_fidelity(
         qq_mae_regression: qq_mae(&actual, &reg_pred, n_points).expect("non-empty"),
         qq_mae_classification: qq_mae(&actual, &cls_pred, n_points).expect("non-empty"),
         tail_mae_regression: qq_tail_mae(&actual, &reg_pred, n_points, 0.9).expect("non-empty"),
-        tail_mae_classification: qq_tail_mae(&actual, &cls_pred, n_points, 0.9)
-            .expect("non-empty"),
+        tail_mae_classification: qq_tail_mae(&actual, &cls_pred, n_points, 0.9).expect("non-empty"),
         ks_regression: ks_distance(&actual, &reg_pred).expect("non-empty"),
         ks_classification: ks_distance(&actual, &cls_pred).expect("non-empty"),
     }

@@ -62,7 +62,11 @@ pub fn stalagmite_stats(scatter: &[(f64, f64)], threshold: f64) -> StalagmiteSta
 /// the group's history vs the COV over its rows in `test`. Groups lacking
 /// history, with fewer than `min_runs` test rows, or with undefined COV are
 /// skipped.
-pub fn cov_pairs(test: &TelemetryStore, history: &GroupHistory, min_runs: usize) -> Vec<(f64, f64)> {
+pub fn cov_pairs(
+    test: &TelemetryStore,
+    history: &GroupHistory,
+    min_runs: usize,
+) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
     for key in test.group_keys() {
         let runtimes = test.group_runtimes(key);
@@ -159,7 +163,9 @@ mod tests {
     #[test]
     fn cov_pairs_computed_per_group() {
         let history = GroupHistory::compute(&history_store());
-        let test: TelemetryStore = (0..5).map(|s| row("g", 20 + s, 100.0 + s as f64 * 10.0)).collect();
+        let test: TelemetryStore = (0..5)
+            .map(|s| row("g", 20 + s, 100.0 + s as f64 * 10.0))
+            .collect();
         let pairs = cov_pairs(&test, &history, 3);
         assert_eq!(pairs.len(), 1);
         let (hist_cov, obs_cov) = pairs[0];

@@ -232,7 +232,9 @@ mod tests {
     fn sampling_matches_shape() {
         let c = catalog();
         let mut rng = SmallRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..2000).map(|_| c.sample_normalized(0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| c.sample_normalized(0, &mut rng))
+            .collect();
         let s = Summary::compute(&samples).expect("non-empty");
         // The tight shape concentrates near 1.0.
         assert!((s.median - 1.0).abs() < 0.1, "median {}", s.median);

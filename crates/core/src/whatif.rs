@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn scenario_names() {
-        assert_eq!(
-            Scenario::DisableSpareTokens.name(),
-            "disable-spare-tokens"
-        );
+        assert_eq!(Scenario::DisableSpareTokens.name(), "disable-spare-tokens");
         assert_eq!(
             Scenario::ShiftSku {
                 from: SkuGeneration::Gen3_5,

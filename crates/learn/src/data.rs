@@ -214,12 +214,7 @@ mod tests {
         assert_eq!(test.len(), 25);
         assert_eq!(train.len(), 75);
         // Disjoint and exhaustive.
-        let mut all: Vec<f64> = train
-            .x
-            .iter()
-            .chain(test.x.iter())
-            .map(|r| r[0])
-            .collect();
+        let mut all: Vec<f64> = train.x.iter().chain(test.x.iter()).map(|r| r[0]).collect();
         all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
     }

@@ -58,11 +58,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// Features are visited in decreasing importance; a feature is dropped when
 /// `|corr|` with any kept feature exceeds `max_abs_corr`. Zero-importance
 /// features are dropped outright (they never split a tree).
-pub fn select_features(
-    x: &[Vec<f64>],
-    importance: &[f64],
-    max_abs_corr: f64,
-) -> FeatureSelection {
+pub fn select_features(x: &[Vec<f64>], importance: &[f64], max_abs_corr: f64) -> FeatureSelection {
     assert!(!x.is_empty(), "need data");
     let d = x[0].len();
     assert_eq!(importance.len(), d, "importance width mismatch");
@@ -72,9 +68,7 @@ pub fn select_features(
     );
 
     // Column views.
-    let cols: Vec<Vec<f64>> = (0..d)
-        .map(|f| x.iter().map(|r| r[f]).collect())
-        .collect();
+    let cols: Vec<Vec<f64>> = (0..d).map(|f| x.iter().map(|r| r[f]).collect()).collect();
 
     let mut order: Vec<usize> = (0..d).collect();
     order.sort_by(|&a, &b| {

@@ -79,7 +79,9 @@ fn parallel_fit<T: Send>(
             });
         }
     });
-    out.into_iter().map(|o| o.expect("all items fitted")).collect()
+    out.into_iter()
+        .map(|o| o.expect("all items fitted"))
+        .collect()
 }
 
 /// A bagged ensemble of Gini classification trees.
@@ -321,7 +323,10 @@ mod tests {
     #[test]
     fn regressor_fits_step_function() {
         let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 10.0 { 5.0 } else { 25.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 10.0 { 5.0 } else { 25.0 })
+            .collect();
         let rf = RandomForestRegressor::fit(
             &x,
             &y,
@@ -331,7 +336,12 @@ mod tests {
             },
         );
         for (xi, yi) in x.iter().zip(&y).take(40) {
-            assert!((rf.predict(xi) - yi).abs() < 2.0, "pred {} vs {}", rf.predict(xi), yi);
+            assert!(
+                (rf.predict(xi) - yi).abs() < 2.0,
+                "pred {} vs {}",
+                rf.predict(xi),
+                yi
+            );
         }
     }
 

@@ -65,10 +65,7 @@ impl GbdtClassifier {
         assert_eq!(x.len(), y.len(), "row/label count mismatch");
         assert!(!x.is_empty(), "need training data");
         assert!(n_classes >= 2, "need at least two classes");
-        assert!(
-            y.iter().all(|&c| c < n_classes),
-            "label out of range"
-        );
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
         assert!(
             (0.0..=1.0).contains(&config.subsample) && config.subsample > 0.0,
             "subsample must be in (0, 1]"
@@ -99,11 +96,13 @@ impl GbdtClassifier {
             let rows: Vec<usize> = if config.subsample >= 1.0 {
                 (0..n).collect()
             } else {
-                (0..n)
-                    .filter(|_| rng.gen_bool(config.subsample))
-                    .collect()
+                (0..n).filter(|_| rng.gen_bool(config.subsample)).collect()
             };
-            let rows = if rows.is_empty() { (0..n).collect() } else { rows };
+            let rows = if rows.is_empty() {
+                (0..n).collect()
+            } else {
+                rows
+            };
 
             let mut round_trees = Vec::with_capacity(n_classes);
             // Precompute softmax probabilities once per round.
@@ -125,6 +124,22 @@ impl GbdtClassifier {
                 round_trees.push(tree);
             }
             trees.push(round_trees);
+        }
+
+        if rv_obs::enabled() {
+            let n_trees: usize = trees.iter().map(|r| r.len()).sum();
+            rv_obs::counter("learn.boosting.fits").inc();
+            rv_obs::counter("learn.boosting.rounds").add(trees.len() as u64);
+            rv_obs::counter("learn.trees_built").add(n_trees as u64);
+            rv_obs::emit(
+                "learn.boosting",
+                &[
+                    ("rows", rv_obs::FieldValue::from(n)),
+                    ("classes", rv_obs::FieldValue::from(n_classes)),
+                    ("rounds", rv_obs::FieldValue::from(trees.len())),
+                    ("trees", rv_obs::FieldValue::from(n_trees)),
+                ],
+            );
         }
 
         Self {

@@ -7,12 +7,7 @@
 pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "length mismatch");
     assert!(!truth.is_empty(), "need at least one prediction");
-    truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / truth.len() as f64
+    truth.iter().zip(predicted).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
 }
 
 /// A row-normalizable confusion matrix: `counts[actual][predicted]`.

@@ -49,9 +49,7 @@ impl GaussianNb {
                 .map(|f| x.iter().map(|r| r[f]).sum::<f64>() / x.len() as f64)
                 .collect();
             (0..d)
-                .map(|f| {
-                    x.iter().map(|r| (r[f] - gm[f]).powi(2)).sum::<f64>() / x.len() as f64
-                })
+                .map(|f| x.iter().map(|r| (r[f] - gm[f]).powi(2)).sum::<f64>() / x.len() as f64)
                 .sum::<f64>()
                 / d as f64
         };

@@ -84,22 +84,15 @@ mod tests {
         let r = sweep_gbdt(&task(), &[5, 10], &[2, 4], &[0.1, 0.3], 1);
         assert_eq!(r.trials.len(), 8);
         assert!(r.best_accuracy > 0.9, "best {}", r.best_accuracy);
-        assert!(r
-            .trials
-            .iter()
-            .any(|&(rr, d, lr, _)| rr == r.best.n_rounds
-                && d == r.best.tree.max_depth
-                && lr == r.best.learning_rate));
+        assert!(r.trials.iter().any(|&(rr, d, lr, _)| rr == r.best.n_rounds
+            && d == r.best.tree.max_depth
+            && lr == r.best.learning_rate));
     }
 
     #[test]
     fn best_is_max_of_trials() {
         let r = sweep_gbdt(&task(), &[3, 8], &[3], &[0.2], 2);
-        let max = r
-            .trials
-            .iter()
-            .map(|t| t.3)
-            .fold(f64::MIN, f64::max);
+        let max = r.trials.iter().map(|t| t.3).fold(f64::MIN, f64::max);
         assert!((r.best_accuracy - max).abs() < 1e-12);
     }
 

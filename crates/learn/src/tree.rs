@@ -85,7 +85,11 @@ impl Tree {
                     right,
                     ..
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -171,7 +175,10 @@ fn gini(counts: &[f64], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -199,10 +206,7 @@ fn build_classification(
         nodes.len() - 1
     };
 
-    if depth >= config.max_depth
-        || rows.len() < 2 * config.min_samples_leaf
-        || node_gini <= 1e-12
-    {
+    if depth >= config.max_depth || rows.len() < 2 * config.min_samples_leaf || node_gini <= 1e-12 {
         return make_leaf(&counts, nodes);
     }
 
@@ -231,8 +235,7 @@ fn build_classification(
             }
             left_n = left.iter().sum();
             let right_n = n - left_n;
-            if left_n < config.min_samples_leaf as f64 || right_n < config.min_samples_leaf as f64
-            {
+            if left_n < config.min_samples_leaf as f64 || right_n < config.min_samples_leaf as f64 {
                 continue;
             }
             let right: Vec<f64> = (0..n_classes).map(|c| counts[c] - left[c]).collect();
@@ -256,10 +259,26 @@ fn build_classification(
     let idx = nodes.len();
     nodes.push(Node::Leaf(Vec::new())); // placeholder
     let left = build_classification(
-        binned, y, n_classes, &left_rows, config, rng, depth + 1, nodes, total_rows,
+        binned,
+        y,
+        n_classes,
+        &left_rows,
+        config,
+        rng,
+        depth + 1,
+        nodes,
+        total_rows,
     );
     let right = build_classification(
-        binned, y, n_classes, &right_rows, config, rng, depth + 1, nodes, total_rows,
+        binned,
+        y,
+        n_classes,
+        &right_rows,
+        config,
+        rng,
+        depth + 1,
+        nodes,
+        total_rows,
     );
     nodes[idx] = Node::Split {
         feature,
@@ -376,8 +395,7 @@ fn build_gradient(
             hl += hist_h[b];
             nl += hist_n[b];
             let nr = rows.len() as u32 - nl;
-            if (nl as usize) < config.min_samples_leaf || (nr as usize) < config.min_samples_leaf
-            {
+            if (nl as usize) < config.min_samples_leaf || (nr as usize) < config.min_samples_leaf {
                 continue;
             }
             let gain = 0.5
@@ -399,10 +417,26 @@ fn build_gradient(
     let idx = nodes.len();
     nodes.push(Node::Leaf(Vec::new()));
     let left = build_gradient(
-        binned, grad, hess, &left_rows, config, rng, depth + 1, nodes, total_rows,
+        binned,
+        grad,
+        hess,
+        &left_rows,
+        config,
+        rng,
+        depth + 1,
+        nodes,
+        total_rows,
     );
     let right = build_gradient(
-        binned, grad, hess, &right_rows, config, rng, depth + 1, nodes, total_rows,
+        binned,
+        grad,
+        hess,
+        &right_rows,
+        config,
+        rng,
+        depth + 1,
+        nodes,
+        total_rows,
     );
     nodes[idx] = Node::Split {
         feature,
@@ -449,7 +483,9 @@ mod tests {
 
     /// y = x0 > 5 (clean threshold task).
     fn threshold_task() -> (Vec<Vec<f64>>, Vec<usize>) {
-        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 11) as f64, (i % 7) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 11) as f64, (i % 7) as f64])
+            .collect();
         let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 5.0)).collect();
         (x, y)
     }
@@ -516,7 +552,10 @@ mod tests {
         // Target: y = 3 if x0 <= 4 else -2. With squared loss, grad = -y
         // (starting from 0 prediction), hess = 1 → leaves recover means.
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64]).collect();
-        let target: Vec<f64> = x.iter().map(|r| if r[0] <= 4.0 { 3.0 } else { -2.0 }).collect();
+        let target: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] <= 4.0 { 3.0 } else { -2.0 })
+            .collect();
         let grad: Vec<f64> = target.iter().map(|t| -t).collect();
         let hess = vec![1.0; x.len()];
         let binned = BinnedMatrix::from_rows(&x, 16);

@@ -31,8 +31,16 @@ pub fn classification_report(matrix: &ConfusionMatrix) -> Vec<ClassReport> {
             let tp = counts[c][c] as f64;
             let support: u64 = counts[c].iter().sum();
             let predicted: u64 = (0..k).map(|r| counts[r][c]).sum();
-            let precision = if predicted == 0 { 0.0 } else { tp / predicted as f64 };
-            let recall = if support == 0 { 0.0 } else { tp / support as f64 };
+            let precision = if predicted == 0 {
+                0.0
+            } else {
+                tp / predicted as f64
+            };
+            let recall = if support == 0 {
+                0.0
+            } else {
+                tp / support as f64
+            };
             let f1 = if precision + recall == 0.0 {
                 0.0
             } else {
@@ -51,8 +59,7 @@ pub fn classification_report(matrix: &ConfusionMatrix) -> Vec<ClassReport> {
 /// Macro-averaged F1 (unweighted mean over classes with support).
 pub fn macro_f1(matrix: &ConfusionMatrix) -> f64 {
     let reports = classification_report(matrix);
-    let with_support: Vec<&ClassReport> =
-        reports.iter().filter(|r| r.support > 0).collect();
+    let with_support: Vec<&ClassReport> = reports.iter().filter(|r| r.support > 0).collect();
     if with_support.is_empty() {
         return 0.0;
     }

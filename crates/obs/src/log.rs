@@ -1,0 +1,144 @@
+//! Leveled structured logging, filtered by the `RUNVAR_LOG` env var
+//! (`error` / `warn` / `info` / `debug`, default `info`).
+//!
+//! Messages go to stderr; when a trace sink is active each message is also
+//! mirrored into the trace as a `log` event.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 0,
+    /// Suspicious conditions the run survives.
+    Warn = 1,
+    /// Progress milestones (default).
+    Info = 2,
+    /// High-volume diagnostic detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Display tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parses `error|warn|info|debug` (case-insensitive); also accepts
+    /// `off`/`none` as "errors only".
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "off" | "none" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 255 = "not yet resolved from the environment".
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn resolve_level() -> u8 {
+    let level = std::env::var("RUNVAR_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s))
+        .unwrap_or(Level::Info) as u8;
+    MAX_LEVEL.store(level, Ordering::Relaxed);
+    level
+}
+
+/// The current maximum level that will be printed.
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == u8::MAX { resolve_level() } else { raw };
+    match raw {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the level filter (e.g. from a CLI flag).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether `level` currently passes the filter.
+pub fn level_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Logs a message (used via the [`crate::error!`] / [`crate::warn!`] /
+/// [`crate::info!`] / [`crate::debug!`] macros).
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    let message = args.to_string();
+    eprintln!("[{:<5} {target}] {message}", level.as_str());
+    crate::mirror_log_to_trace(level, target, &message);
+}
+
+/// Logs at error level.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at warn level.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at info level.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at debug level.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_filters() {
+        set_max_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        set_max_level(Level::Debug);
+        assert!(level_enabled(Level::Debug));
+    }
+}

@@ -1,0 +1,493 @@
+//! Metrics: counters, gauges, and log-binned histograms behind a registry.
+//!
+//! All metric cells are lock-free atomics shared via `Arc`, so handles can
+//! be cached by instrumented code while `reset` zeroes values in place
+//! (handles never dangle across resets — important for same-seed
+//! determinism tests that compare two instrumented runs).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic event counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Geometry of a [`Histogram`]: logarithmic bins with `SUB_BINS` bins per
+/// octave (factor-of-two range) spanning `2^MIN_EXP ..= 2^MAX_EXP`.
+///
+/// Values at or below zero land in a dedicated underflow bin; values beyond
+/// the top edge land in an overflow bin — `record` never drops a sample.
+pub mod geometry {
+    /// Smallest resolvable exponent: values below `2^MIN_EXP` underflow.
+    pub const MIN_EXP: i32 = -20;
+    /// Largest resolvable exponent: values at or above `2^MAX_EXP` overflow.
+    pub const MAX_EXP: i32 = 40;
+    /// Log-bins per octave.
+    pub const SUB_BINS: usize = 4;
+    /// Number of regular (non-under/overflow) bins.
+    pub const N_BINS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BINS;
+
+    /// Regular-bin index for a strictly positive, in-range value.
+    ///
+    /// Returns `None` for values that belong in the underflow or overflow
+    /// bins (non-positive, non-finite, or out of range).
+    pub fn bin_index(v: f64) -> Option<usize> {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        let pos = (v.log2() - MIN_EXP as f64) * SUB_BINS as f64;
+        if pos < 0.0 {
+            return None;
+        }
+        let idx = pos.floor() as usize;
+        // log2 rounding can land exactly on the upper edge; clamp inward so
+        // `bin_lower(idx) <= v < bin_upper(idx)` holds for in-range values.
+        let idx = idx.min(N_BINS.saturating_sub(1));
+        if v >= bin_upper(idx) {
+            return if idx + 1 < N_BINS {
+                Some(idx + 1)
+            } else {
+                None
+            };
+        }
+        if v < bin_lower(idx) {
+            return Some(idx.saturating_sub(1));
+        }
+        Some(idx)
+    }
+
+    /// Inclusive lower edge of regular bin `idx`.
+    pub fn bin_lower(idx: usize) -> f64 {
+        2f64.powf(MIN_EXP as f64 + idx as f64 / SUB_BINS as f64)
+    }
+
+    /// Exclusive upper edge of regular bin `idx`.
+    pub fn bin_upper(idx: usize) -> f64 {
+        bin_lower(idx + 1)
+    }
+
+    /// Representative value of a bin (geometric midpoint).
+    pub fn bin_mid(idx: usize) -> f64 {
+        (bin_lower(idx) * bin_upper(idx)).sqrt()
+    }
+}
+
+/// Lock-free log-binned histogram of positive values.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCells>,
+}
+
+struct HistogramCells {
+    bins: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// Running sum, stored as f64 bits (CAS loop on update).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(HistogramCells {
+                bins: (0..geometry::N_BINS).map(|_| AtomicU64::new(0)).collect(),
+                underflow: AtomicU64::new(0),
+                overflow: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let cells = &*self.inner;
+        match geometry::bin_index(v) {
+            Some(idx) => cells.bins[idx].fetch_add(1, Ordering::Relaxed),
+            None if v > 0.0 && v >= geometry::bin_lower(geometry::N_BINS) => {
+                cells.overflow.fetch_add(1, Ordering::Relaxed)
+            }
+            None => cells.underflow.fetch_add(1, Ordering::Relaxed),
+        };
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        let mut old = cells.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match cells.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => old = current,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)) / n as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bin structure
+    /// (geometric bin midpoints; 0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let cells = &*self.inner;
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = cells.underflow.load(Ordering::Relaxed);
+        if seen >= target {
+            return 0.0;
+        }
+        for (idx, bin) in cells.bins.iter().enumerate() {
+            seen += bin.load(Ordering::Relaxed);
+            if seen >= target {
+                return geometry::bin_mid(idx);
+            }
+        }
+        geometry::bin_lower(geometry::N_BINS)
+    }
+
+    /// Non-empty `(bin_lower, bin_upper, count)` triples, in order.
+    pub fn nonzero_bins(&self) -> Vec<(f64, f64, u64)> {
+        let mut out = Vec::new();
+        let cells = &*self.inner;
+        let under = cells.underflow.load(Ordering::Relaxed);
+        if under > 0 {
+            out.push((0.0, geometry::bin_lower(0), under));
+        }
+        for (idx, bin) in cells.bins.iter().enumerate() {
+            let c = bin.load(Ordering::Relaxed);
+            if c > 0 {
+                out.push((geometry::bin_lower(idx), geometry::bin_upper(idx), c));
+            }
+        }
+        let over = cells.overflow.load(Ordering::Relaxed);
+        if over > 0 {
+            out.push((geometry::bin_lower(geometry::N_BINS), f64::INFINITY, over));
+        }
+        out
+    }
+
+    fn reset(&self) {
+        let cells = &*self.inner;
+        for bin in &cells.bins {
+            bin.store(0, Ordering::Relaxed);
+        }
+        cells.underflow.store(0, Ordering::Relaxed);
+        cells.overflow.store(0, Ordering::Relaxed);
+        cells.count.store(0, Ordering::Relaxed);
+        cells.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A named collection of metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary: `(count, mean, p50, p95, p99)`.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Arithmetic mean.
+        mean: f64,
+        /// Median (approximate, from bins).
+        p50: f64,
+        /// 95th percentile (approximate).
+        p95: f64,
+        /// 99th percentile (approximate).
+        p99: f64,
+    },
+}
+
+impl MetricsRegistry {
+    /// Returns (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Returns (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Returns (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::default();
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    /// Zeroes every metric in place (existing handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Sorted `(name, value)` snapshot of every registered metric.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let mut out = Vec::new();
+        for (name, c) in self
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+        {
+            out.push((name.clone(), MetricValue::Counter(c.get())));
+        }
+        for (name, g) in self.gauges.lock().expect("gauge registry poisoned").iter() {
+            out.push((name.clone(), MetricValue::Gauge(g.get())));
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+        {
+            out.push((
+                name.clone(),
+                MetricValue::Histogram {
+                    count: h.count(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                },
+            ));
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Histogram handles by name (for report rendering).
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::default();
+        let c = reg.counter("a");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("a").get(), 5);
+        let g = reg.gauge("b");
+        g.set(2.5);
+        assert_eq!(reg.gauge("b").get(), 2.5);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn bin_edges_are_contiguous_and_monotone() {
+        for idx in 0..geometry::N_BINS {
+            let lo = geometry::bin_lower(idx);
+            let hi = geometry::bin_upper(idx);
+            assert!(lo < hi, "bin {idx}: {lo} >= {hi}");
+            assert!(
+                (hi / lo - 2f64.powf(1.0 / geometry::SUB_BINS as f64)).abs() < 1e-9,
+                "bin {idx} ratio off"
+            );
+            if idx + 1 < geometry::N_BINS {
+                assert_eq!(hi.to_bits(), geometry::bin_lower(idx + 1).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bin_index_brackets_its_value() {
+        // Sweep many magnitudes; every in-range value must land in a bin
+        // whose edges bracket it.
+        let mut v = 1.1e-6;
+        while v < 9e11 {
+            let idx = geometry::bin_index(v).unwrap_or_else(|| panic!("{v} out of range"));
+            assert!(
+                geometry::bin_lower(idx) <= v && v < geometry::bin_upper(idx),
+                "v {v} not in bin {idx} [{}, {})",
+                geometry::bin_lower(idx),
+                geometry::bin_upper(idx)
+            );
+            v *= 1.37;
+        }
+    }
+
+    #[test]
+    fn bin_index_rejects_out_of_domain() {
+        assert_eq!(geometry::bin_index(0.0), None);
+        assert_eq!(geometry::bin_index(-1.0), None);
+        assert_eq!(geometry::bin_index(f64::NAN), None);
+        assert_eq!(geometry::bin_index(f64::INFINITY), None);
+        assert_eq!(
+            geometry::bin_index(2f64.powi(geometry::MIN_EXP) / 2.0),
+            None
+        );
+        assert_eq!(
+            geometry::bin_index(2f64.powi(geometry::MAX_EXP) * 2.0),
+            None
+        );
+    }
+
+    #[test]
+    fn histogram_conserves_count_and_tracks_quantiles() {
+        let h = Histogram::default();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let mean = h.mean();
+        assert!((400.0..600.0).contains(&mean), "mean {mean}");
+        h.record(0.0); // underflow
+        h.record(1e13); // overflow
+        assert_eq!(h.count(), 1002);
+        let total: u64 = h.nonzero_bins().iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 1002);
+        let p50 = h.quantile(0.5);
+        assert!((400.0..700.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn histogram_reset_keeps_handles_valid() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("x");
+        h.record(3.0);
+        reg.reset();
+        assert_eq!(h.count(), 0);
+        h.record(5.0);
+        assert_eq!(reg.histogram("x").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::default();
+        reg.counter("z").inc();
+        reg.counter("a").inc();
+        reg.histogram("m").record(1.0);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Human-readable end-of-run summary rendering.
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::span::SpanRegistry;
+
+/// Renders the end-of-run report: phase wall times from span aggregates,
+/// then counters, gauges, and histogram summaries.
+pub fn render(spans: &SpanRegistry, metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("==== run summary ====\n");
+
+    let span_snap = spans.snapshot();
+    if !span_snap.is_empty() {
+        let total: f64 = span_snap
+            .iter()
+            .filter(|(name, _)| name.starts_with("phase."))
+            .map(|(_, s)| s.total_s)
+            .sum();
+        out.push_str("\n-- phases (wall time) --\n");
+        for (name, stat) in &span_snap {
+            let share = if total > 0.0 && name.starts_with("phase.") {
+                format!("{:5.1}%", 100.0 * stat.total_s / total)
+            } else {
+                "     -".to_string()
+            };
+            out.push_str(&format!(
+                "{name:<32} {:>9} {share}  ({} call{}, max {})\n",
+                format_secs(stat.total_s),
+                stat.calls,
+                if stat.calls == 1 { "" } else { "s" },
+                format_secs(stat.max_s),
+            ));
+        }
+    }
+
+    let snapshot = metrics.snapshot();
+    let counters: Vec<_> = snapshot
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Counter(c) => Some((n.as_str(), *c)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        out.push_str("\n-- counters --\n");
+        for (name, value) in counters {
+            out.push_str(&format!("{name:<40} {value:>12}\n"));
+        }
+    }
+
+    let gauges: Vec<_> = snapshot
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Gauge(g) => Some((n.as_str(), *g)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        out.push_str("\n-- gauges --\n");
+        for (name, value) in gauges {
+            out.push_str(&format!("{name:<40} {value:>12.4}\n"));
+        }
+    }
+
+    let histograms: Vec<_> = snapshot
+        .iter()
+        .filter_map(|(n, v)| match v {
+            MetricValue::Histogram {
+                count,
+                mean,
+                p50,
+                p95,
+                p99,
+            } => Some((n.as_str(), *count, *mean, *p50, *p95, *p99)),
+            _ => None,
+        })
+        .collect();
+    if !histograms.is_empty() {
+        out.push_str("\n-- histograms (log-binned; quantiles approximate) --\n");
+        out.push_str(&format!(
+            "{:<40} {:>10} {:>11} {:>11} {:>11} {:>11}\n",
+            "name", "count", "mean", "p50", "p95", "p99"
+        ));
+        for (name, count, mean, p50, p95, p99) in histograms {
+            out.push_str(&format!(
+                "{name:<40} {count:>10} {mean:>11.4} {p50:>11.4} {p95:>11.4} {p99:>11.4}\n"
+            ));
+        }
+    }
+
+    out
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.0} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sections_render() {
+        let spans = SpanRegistry::default();
+        spans.record("phase.simulate", 1.25);
+        spans.record("phase.train", 0.75);
+        let metrics = MetricsRegistry::default();
+        metrics.counter("sim.jobs").add(100);
+        metrics.gauge("model.accuracy").set(0.97);
+        metrics.histogram("sim.queue_wait_s").record(2.0);
+
+        let report = render(&spans, &metrics);
+        assert!(report.contains("phase.simulate"));
+        assert!(report.contains("62.5%"), "{report}");
+        assert!(report.contains("sim.jobs"));
+        assert!(report.contains("model.accuracy"));
+        assert!(report.contains("sim.queue_wait_s"));
+    }
+}

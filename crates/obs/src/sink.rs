@@ -1,0 +1,180 @@
+//! Trace events and sinks.
+//!
+//! A sink receives [`Event`]s — small typed key/value records. The
+//! [`JsonlSink`] serializes one JSON object per line (std-only writer, no
+//! serde); the no-op case is handled upstream by never building the event
+//! at all when tracing is off.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One field value inside an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized as `null` when non-finite).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! field_from {
+    ($ty:ty, $variant:ident $(, $cast:ty)?) => {
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> Self {
+                FieldValue::$variant(v $(as $cast)?)
+            }
+        }
+    };
+}
+
+field_from!(u64, U64);
+field_from!(u32, U64, u64);
+field_from!(usize, U64, u64);
+field_from!(i64, I64);
+field_from!(i32, I64, i64);
+field_from!(f64, F64);
+field_from!(bool, Bool);
+field_from!(String, Str);
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// A structured trace record: a type tag, a timestamp, and fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event type tag (e.g. `"span"`, `"sim.summary"`).
+    pub kind: &'static str,
+    /// Milliseconds since trace start (wall clock — *never* sim time; sim
+    /// quantities travel as explicit fields).
+    pub ts_ms: u64,
+    /// Key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 24);
+        out.push_str("{\"type\":");
+        write_json_str(&mut out, self.kind);
+        let _ = write!(out, ",\"ts_ms\":{}", self.ts_ms);
+        for (key, value) in &self.fields {
+            out.push(',');
+            write_json_str(&mut out, key);
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) if v.is_finite() => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(_) => out.push_str("null"),
+                FieldValue::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::Str(s) => write_json_str(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Writes `s` as a JSON string literal (with escaping) onto `out`.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON-lines file sink.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends one event as a JSON line.
+    pub fn write(&self, event: &Event) {
+        let mut w = self.writer.lock().expect("trace writer poisoned");
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_serialization_escapes_and_types() {
+        let e = Event {
+            kind: "log",
+            ts_ms: 12,
+            fields: vec![
+                ("msg", FieldValue::from("a \"b\"\n\tc\\")),
+                ("n", FieldValue::from(3u64)),
+                ("neg", FieldValue::from(-4i64)),
+                ("x", FieldValue::from(1.5)),
+                ("bad", FieldValue::F64(f64::NAN)),
+                ("ok", FieldValue::from(true)),
+            ],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"log\",\"ts_ms\":12,\"msg\":\"a \\\"b\\\"\\n\\tc\\\\\",\
+             \"n\":3,\"neg\":-4,\"x\":1.5,\"bad\":null,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut s = String::new();
+        write_json_str(&mut s, "a\u{1}b");
+        assert_eq!(s, "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,187 @@
+//! RAII span timers with nesting.
+//!
+//! A [`SpanGuard`] measures monotonic wall-clock time from construction to
+//! drop and folds the duration into per-span aggregate stats; when a trace
+//! sink is active it also emits a `span` event on close. Nesting is tracked
+//! per thread: each guard knows its depth and its parent's name.
+//!
+//! Span durations are *wall-clock observations about the pipeline* — they
+//! are never fed back into simulated results, so instrumented runs stay
+//! bit-identical to uninstrumented ones.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total time across calls, seconds.
+    pub total_s: f64,
+    /// Longest single call, seconds.
+    pub max_s: f64,
+}
+
+/// Aggregated span timings, keyed by span name.
+#[derive(Default)]
+pub struct SpanRegistry {
+    stats: Mutex<BTreeMap<&'static str, SpanStat>>,
+}
+
+impl SpanRegistry {
+    /// Folds one completed span into the aggregate.
+    pub fn record(&self, name: &'static str, seconds: f64) {
+        let mut map = self.stats.lock().expect("span registry poisoned");
+        let stat = map.entry(name).or_default();
+        stat.calls += 1;
+        stat.total_s += seconds;
+        stat.max_s = stat.max_s.max(seconds);
+    }
+
+    /// Snapshot of all spans in name order.
+    pub fn snapshot(&self) -> Vec<(&'static str, SpanStat)> {
+        self.stats
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Clears all aggregates.
+    pub fn reset(&self) {
+        self.stats.lock().expect("span registry poisoned").clear();
+    }
+}
+
+/// Where a completed span reports to.
+pub(crate) type SpanCloseHook =
+    fn(name: &'static str, parent: Option<&'static str>, depth: usize, seconds: f64);
+
+/// An open span; closing (dropping) it records the elapsed time.
+pub struct SpanGuard {
+    name: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    start: Instant,
+    on_close: SpanCloseHook,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`; `on_close` receives the measurement.
+    pub(crate) fn open(name: &'static str, on_close: SpanCloseHook) -> Self {
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(name);
+            (parent, depth)
+        });
+        Self {
+            name,
+            parent,
+            depth,
+            start: Instant::now(),
+            on_close,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The enclosing span's name, if nested.
+    pub fn parent(&self) -> Option<&'static str> {
+        self.parent
+    }
+
+    /// Nesting depth (0 = top level) at open time.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let seconds = self.start.elapsed().as_secs_f64();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop LIFO; tolerate out-of-order drops by
+            // removing this span's deepest occurrence.
+            if let Some(pos) = stack.iter().rposition(|&n| n == self.name) {
+                stack.remove(pos);
+            }
+        });
+        (self.on_close)(self.name, self.parent, self.depth, seconds);
+    }
+}
+
+/// Current nesting depth on this thread (0 outside all spans).
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_hook(_: &'static str, _: Option<&'static str>, _: usize, _: f64) {}
+
+    #[test]
+    fn nesting_tracks_depth_and_parent() {
+        assert_eq!(current_depth(), 0);
+        let outer = SpanGuard::open("outer", noop_hook);
+        assert_eq!(outer.depth(), 0);
+        assert_eq!(outer.parent(), None);
+        {
+            let inner = SpanGuard::open("inner", noop_hook);
+            assert_eq!(inner.depth(), 1);
+            assert_eq!(inner.parent(), Some("outer"));
+            assert_eq!(current_depth(), 2);
+            let innermost = SpanGuard::open("innermost", noop_hook);
+            assert_eq!(innermost.parent(), Some("inner"));
+            assert_eq!(innermost.depth(), 2);
+        }
+        assert_eq!(current_depth(), 1);
+        drop(outer);
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn registry_aggregates_calls() {
+        let reg = SpanRegistry::default();
+        reg.record("phase", 0.5);
+        reg.record("phase", 1.5);
+        reg.record("other", 0.25);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        let phase = snap.iter().find(|(n, _)| *n == "phase").expect("phase");
+        assert_eq!(phase.1.calls, 2);
+        assert!((phase.1.total_s - 2.0).abs() < 1e-12);
+        assert!((phase.1.max_s - 1.5).abs() < 1e-12);
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn sibling_spans_reuse_depth() {
+        let _outer = SpanGuard::open("a", noop_hook);
+        {
+            let first = SpanGuard::open("b", noop_hook);
+            assert_eq!(first.depth(), 1);
+        }
+        {
+            let second = SpanGuard::open("c", noop_hook);
+            assert_eq!(second.depth(), 1);
+            assert_eq!(second.parent(), Some("a"));
+        }
+    }
+}

@@ -220,7 +220,10 @@ mod tests {
 
     #[test]
     fn bimodal_has_second_mode() {
-        assert!(Archetype::BimodalInput.profile().input_second_mode.is_some());
+        assert!(Archetype::BimodalInput
+            .profile()
+            .input_second_mode
+            .is_some());
         assert!(Archetype::StableShort.profile().input_second_mode.is_none());
     }
 

@@ -40,7 +40,11 @@ fn render(plan: &Plan, idx: usize, depth: usize, printed: &mut [bool], out: &mut
         return;
     }
     printed[idx] = true;
-    let jitter = if stage.is_jittery() { "  [jittery]" } else { "" };
+    let jitter = if stage.is_jittery() {
+        "  [jittery]"
+    } else {
+        ""
+    };
     out.push_str(&format!(
         "{indent}stage {idx}: {} (x{} vertices){jitter}\n",
         ops.join(" -> "),

@@ -12,7 +12,9 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::archetype::Archetype;
-use crate::job::{sample_standard_normal, stream_rng, JobInstance, JobTemplate, SubmissionSchedule};
+use crate::job::{
+    sample_standard_normal, stream_rng, JobInstance, JobTemplate, SubmissionSchedule,
+};
 use crate::operator::{Operator, OperatorKind};
 use crate::plan::{Plan, PlanBuilder};
 use crate::signature::PlanSignature;
@@ -402,7 +404,10 @@ mod tests {
             .filter(|t| t.raw_name.contains("-twin"))
             .count();
         assert_eq!(g.templates().len(), 50 + twins);
-        assert!(twins > 5, "expected a meaningful twin population, got {twins}");
+        assert!(
+            twins > 5,
+            "expected a meaningful twin population, got {twins}"
+        );
         // Ids stay dense and unique.
         for (i, t) in g.templates().iter().enumerate() {
             assert_eq!(t.id as usize, i);
@@ -412,7 +417,11 @@ mod tests {
     #[test]
     fn twins_share_plan_but_not_group() {
         let g = generator(80, 2);
-        for twin in g.templates().iter().filter(|t| t.raw_name.contains("-twin")) {
+        for twin in g
+            .templates()
+            .iter()
+            .filter(|t| t.raw_name.contains("-twin"))
+        {
             let base_name = twin.raw_name.replace("-twin", "");
             let primary = g
                 .templates()

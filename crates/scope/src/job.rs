@@ -150,8 +150,8 @@ pub fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
 /// entities get decorrelated deterministic streams.
 pub fn stream_rng(master_seed: u64, stream: u64) -> SmallRng {
     // SplitMix64 over (seed, stream) — standard seed-derivation trick.
-    let mut z = master_seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z =
+        master_seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;

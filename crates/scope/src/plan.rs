@@ -89,12 +89,7 @@ impl Plan {
     pub fn critical_path_len(&self) -> usize {
         let mut depth = vec![0usize; self.stages.len()];
         for (i, s) in self.stages.iter().enumerate() {
-            depth[i] = 1 + s
-                .inputs
-                .iter()
-                .map(|&j| depth[j])
-                .max()
-                .unwrap_or(0);
+            depth[i] = 1 + s.inputs.iter().map(|&j| depth[j]).max().unwrap_or(0);
         }
         depth.into_iter().max().unwrap_or(0)
     }

@@ -28,7 +28,10 @@ pub fn exact_shapley_values(
     background: &[Vec<f64>],
 ) -> Vec<f64> {
     let d = x.len();
-    assert!(d <= 20, "exact Shapley is exponential; d = {d} is too large");
+    assert!(
+        d <= 20,
+        "exact Shapley is exponential; d = {d} is too large"
+    );
     assert!(!background.is_empty(), "background must be non-empty");
     assert!(
         background.iter().all(|z| z.len() == d),
@@ -127,8 +130,8 @@ mod tests {
         let bg = background();
         let phi = exact_shapley_values(&model, &x, 1, &bg);
         let fx = model.predict_proba(&x)[1];
-        let mean_fz: f64 = bg.iter().map(|z| model.predict_proba(z)[1]).sum::<f64>()
-            / bg.len() as f64;
+        let mean_fz: f64 =
+            bg.iter().map(|z| model.predict_proba(z)[1]).sum::<f64>() / bg.len() as f64;
         let total: f64 = phi.iter().sum();
         assert!(
             (total - (fx - mean_fz)).abs() < 1e-12,

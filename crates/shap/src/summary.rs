@@ -79,11 +79,14 @@ mod tests {
         // Feature 0: φ follows value (positive direction, large magnitude).
         // Feature 1: φ is tiny noise.
         let n = 50;
-        let feature_rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![i as f64, (i % 5) as f64])
-            .collect();
+        let feature_rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 5) as f64]).collect();
         let shap_rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i as f64 - 25.0) * 0.1, if i % 2 == 0 { 0.001 } else { -0.001 }])
+            .map(|i| {
+                vec![
+                    (i as f64 - 25.0) * 0.1,
+                    if i % 2 == 0 { 0.001 } else { -0.001 },
+                ]
+            })
             .collect();
         let summary = shap_summary(&shap_rows, &feature_rows);
         assert_eq!(summary[0].feature, 0);

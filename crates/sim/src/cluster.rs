@@ -149,8 +149,8 @@ impl Cluster {
             } else {
                 let utils: Vec<f64> = ms.iter().map(|m| m.utilization(t, d)).collect();
                 let mean = utils.iter().sum::<f64>() / utils.len() as f64;
-                let var = utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>()
-                    / utils.len() as f64;
+                let var =
+                    utils.iter().map(|u| (u - mean) * (u - mean)).sum::<f64>() / utils.len() as f64;
                 (mean, var.sqrt())
             };
             out[g.index()] = SkuUtilization {

@@ -80,7 +80,9 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        SimConfig::default().validate().expect("default config valid");
+        SimConfig::default()
+            .validate()
+            .expect("default config valid");
     }
 
     #[test]

@@ -126,8 +126,7 @@ pub fn simulate_job(
     // draw happens unconditionally (common random numbers for replays).
     let preempt_roll: f64 = rng.gen_range(0.0..1.0);
     let spare_preempted = spare_tokens > 0
-        && preempt_roll
-            < config.spare.preemption_prob_at_full_load * placement.effective_load;
+        && preempt_roll < config.spare.preemption_prob_at_full_load * placement.effective_load;
     let effective_spare = if spare_preempted {
         spare_tokens / 2
     } else {
@@ -141,8 +140,7 @@ pub fn simulate_job(
 
     // --- Stage-by-stage execution ----------------------------------------
     let scale = instance.input_scale(template).max(1e-3);
-    let contention =
-        1.0 + config.contention_coeff * profile.load_sensitivity * load * load;
+    let contention = 1.0 + config.contention_coeff * profile.load_sensitivity * load * load;
     let sigma = config.straggler_sigma
         * placement.effective_jitter_factor
         * (1.0 + profile.udf_jitter * 4.0)
@@ -152,6 +150,11 @@ pub fn simulate_job(
     let mut finish = vec![0.0f64; stages.len()];
     let mut intervals: Vec<(f64, f64, u32)> = Vec::with_capacity(stages.len());
     let mut total_vertices = 0u64;
+    // Observability is read-only: it samples the run's virtual-time
+    // quantities but never touches `rng`, so instrumented and plain runs
+    // stay bit-identical.
+    let obs_on = rv_obs::enabled();
+    let mut wave_counts: Vec<f64> = Vec::new();
 
     let vertex_scale = scale.powf(config.vertex_scale_exponent);
     let mut cpu_seconds = 0.0f64;
@@ -165,17 +168,23 @@ pub fn simulate_job(
         // with n / p. The straggler factor below accounts for the tail of
         // the last running vertices.
         let waves = (n_vertices as f64 / p_used).max(1.0);
+        if obs_on {
+            wave_counts.push(waves);
+        }
 
         // Work per vertex in GB: stage's share of the input scaled by its
         // per-row cost, split across vertices.
         let stage_work_gb = instance.input_gb * stage.cost_per_row();
         let per_vertex_gb = stage_work_gb / n_vertices as f64;
-        let base_service =
-            per_vertex_gb / (config.gb_per_token_second * placement.effective_speed);
+        let base_service = per_vertex_gb / (config.gb_per_token_second * placement.effective_speed);
 
         // Extreme-value straggler factor for the max of ~p_used parallel
         // log-normal service times, plus stage-level jitter.
-        let stage_sigma = if stage.is_jittery() { sigma + 0.15 } else { sigma };
+        let stage_sigma = if stage.is_jittery() {
+            sigma + 0.15
+        } else {
+            sigma
+        };
         let straggler = (stage_sigma * (2.0 * p_used.ln().max(0.0)).sqrt()).exp();
         let wave_noise = (stage_sigma * sample_standard_normal(&mut rng)).exp();
         let wave_time = base_service * contention * straggler * wave_noise;
@@ -198,8 +207,7 @@ pub fn simulate_job(
     let nominal_s = finish.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-3);
 
     // --- Rare disruptions --------------------------------------------------
-    let sensitivity =
-        profile.disruption_sensitivity * placement.effective_disruption_factor;
+    let sensitivity = profile.disruption_sensitivity * placement.effective_disruption_factor;
     let disruption_factor = config
         .disruption
         .sample_penalty(total_vertices, sensitivity, &mut rng);
@@ -228,7 +236,7 @@ pub fn simulate_job(
         vertex_counts[max_i] += total_vertices - assigned;
     }
 
-    JobRunResult {
+    let result = JobRunResult {
         runtime_s,
         queue_delay_s,
         nominal_s,
@@ -245,6 +253,41 @@ pub fn simulate_job(
         peak_memory_gb,
         total_vertices,
         skyline,
+    };
+    if obs_on {
+        record_run_metrics(&result, &wave_counts);
+    }
+    result
+}
+
+/// Folds one completed run into the global sim metrics. Every recorded
+/// quantity is *virtual sim-time* (queue delays, waves, token grants taken
+/// from the simulation result) — never wall clock.
+fn record_run_metrics(run: &JobRunResult, wave_counts: &[f64]) {
+    rv_obs::counter("sim.jobs").inc();
+    rv_obs::counter("sim.vertices").add(run.total_vertices);
+    rv_obs::histogram("sim.queue_wait_s").record(run.queue_delay_s);
+    for &w in wave_counts {
+        rv_obs::histogram("sim.waves_per_stage").record(w);
+    }
+    if run.spare_tokens > 0 {
+        rv_obs::counter("sim.spare.grants").inc();
+        rv_obs::counter("sim.spare.tokens_granted").add(run.spare_tokens as u64);
+    }
+    if run.spare_preempted {
+        rv_obs::counter("sim.spare.preemptions").inc();
+    }
+    if run.disruption_factor.is_some() {
+        rv_obs::counter("sim.disruptions").inc();
+        // Attribute the disruption to the run's dominant SKU generation.
+        if let Some(max_i) = (0..SkuGeneration::COUNT).max_by(|&a, &b| {
+            run.sku_usage.fractions[a]
+                .partial_cmp(&run.sku_usage.fractions[b])
+                .expect("fractions finite")
+        }) {
+            let sku = SkuGeneration::ALL[max_i];
+            rv_obs::counter(&format!("sim.disruptions.sku.{}", sku.name())).inc();
+        }
     }
 }
 
@@ -252,10 +295,7 @@ pub fn simulate_job(
 /// piecewise-constant skyline, capping concurrent usage at `p_total`.
 fn build_skyline(allocated: u32, p_total: u32, intervals: &[(f64, f64, u32)]) -> TokenSkyline {
     let mut sky = TokenSkyline::new(allocated);
-    let mut bounds: Vec<f64> = intervals
-        .iter()
-        .flat_map(|&(s, e, _)| [s, e])
-        .collect();
+    let mut bounds: Vec<f64> = intervals.iter().flat_map(|&(s, e, _)| [s, e]).collect();
     bounds.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
     bounds.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     for w in bounds.windows(2) {
@@ -276,7 +316,10 @@ fn build_skyline(allocated: u32, p_total: u32, intervals: &[(f64, f64, u32)]) ->
 
 /// Per-run RNG stream: decorrelated across (template, recurrence).
 fn run_rng(seed: u64, template_id: u32, seq: u32) -> SmallRng {
-    stream_rng(seed, ((template_id as u64) << 32) | seq as u64 | 0x8000_0000_0000_0000)
+    stream_rng(
+        seed,
+        ((template_id as u64) << 32) | seq as u64 | 0x8000_0000_0000_0000,
+    )
 }
 
 /// Unit-mean exponential deviate.
@@ -318,7 +361,13 @@ mod tests {
             submit_time_s: t,
             input_gb: template.sample_input_gb(t, &mut rng),
         };
-        simulate_job(template, &instance, cluster, config, ExecOverrides::default())
+        simulate_job(
+            template,
+            &instance,
+            cluster,
+            config,
+            ExecOverrides::default(),
+        )
     }
 
     #[test]
@@ -360,10 +409,18 @@ mod tests {
                 submit_time_s: 10_000.0,
                 input_gb: gb,
             };
-            simulate_job(template, &instance, &cluster, &config, ExecOverrides::default())
+            simulate_job(
+                template,
+                &instance,
+                &cluster,
+                &config,
+                ExecOverrides::default(),
+            )
         };
         // Average over several recurrence seeds to wash out noise.
-        let small: f64 = (0..10).map(|s| mk(template.base_input_gb, s).nominal_s).sum();
+        let small: f64 = (0..10)
+            .map(|s| mk(template.base_input_gb, s).nominal_s)
+            .sum();
         let large: f64 = (0..10)
             .map(|s| mk(template.base_input_gb * 8.0, s).nominal_s)
             .sum();
@@ -405,7 +462,13 @@ mod tests {
             submit_time_s: 0.0, // trough of the diurnal cycle → spares available
             input_gb: template.base_input_gb,
         };
-        let with = simulate_job(template, &instance, &cluster, &config, ExecOverrides::default());
+        let with = simulate_job(
+            template,
+            &instance,
+            &cluster,
+            &config,
+            ExecOverrides::default(),
+        );
         let without = simulate_job(
             template,
             &instance,
@@ -417,7 +480,9 @@ mod tests {
             },
         );
         assert_eq!(without.spare_tokens, 0);
-        assert!(with.spare_tokens > 0 || with.allocated_tokens as f64 >= with.total_vertices as f64);
+        assert!(
+            with.spare_tokens > 0 || with.allocated_tokens as f64 >= with.total_vertices as f64
+        );
     }
 
     #[test]

@@ -135,11 +135,15 @@ mod tests {
         };
         let a: Vec<Option<f64>> = {
             let mut r = rng(3);
-            (0..100).map(|_| m.sample_penalty(50, 1.0, &mut r)).collect()
+            (0..100)
+                .map(|_| m.sample_penalty(50, 1.0, &mut r))
+                .collect()
         };
         let b: Vec<Option<f64>> = {
             let mut r = rng(3);
-            (0..100).map(|_| m.sample_penalty(50, 1.0, &mut r)).collect()
+            (0..100)
+                .map(|_| m.sample_penalty(50, 1.0, &mut r))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -120,7 +120,9 @@ pub fn placement_from_fractions(
         let spec = catalog.spec(g);
         let machines = cluster.machines_of(g);
         // Sample a handful of representative hosting machines per SKU.
-        let n_samples = ((frac * 24.0).ceil() as usize).clamp(1, 8).min(machines.len());
+        let n_samples = ((frac * 24.0).ceil() as usize)
+            .clamp(1, 8)
+            .min(machines.len());
         let mut load_sum = 0.0;
         for _ in 0..n_samples {
             let m = &machines[rng.gen_range(0..machines.len())];
@@ -188,7 +190,13 @@ mod tests {
         let mut new_frac_pref = 0.0;
         let mut new_frac_cap = 0.0;
         for seed in 0..40 {
-            let pp = place(&c, SchedulingPolicy::PreferNewest, 1000.0, None, &mut rng(seed));
+            let pp = place(
+                &c,
+                SchedulingPolicy::PreferNewest,
+                1000.0,
+                None,
+                &mut rng(seed),
+            );
             let pc = place(
                 &c,
                 SchedulingPolicy::CapacityProportional,
@@ -213,8 +221,20 @@ mod tests {
     #[test]
     fn placement_varies_run_to_run() {
         let c = cluster();
-        let a = place(&c, SchedulingPolicy::CapacityProportional, 0.0, None, &mut rng(1));
-        let b = place(&c, SchedulingPolicy::CapacityProportional, 0.0, None, &mut rng(2));
+        let a = place(
+            &c,
+            SchedulingPolicy::CapacityProportional,
+            0.0,
+            None,
+            &mut rng(1),
+        );
+        let b = place(
+            &c,
+            SchedulingPolicy::CapacityProportional,
+            0.0,
+            None,
+            &mut rng(2),
+        );
         assert_ne!(a.sku_fractions, b.sku_fractions);
     }
 
@@ -237,7 +257,13 @@ mod tests {
     fn load_fields_in_range() {
         let c = cluster();
         for seed in 0..20 {
-            let p = place(&c, SchedulingPolicy::LeastLoaded, 7200.0, None, &mut rng(seed));
+            let p = place(
+                &c,
+                SchedulingPolicy::LeastLoaded,
+                7200.0,
+                None,
+                &mut rng(seed),
+            );
             assert!((0.0..=1.0).contains(&p.effective_load));
             assert!(p.load_std >= 0.0 && p.load_std < 0.6);
         }

@@ -100,13 +100,14 @@ impl SkuCatalog {
     /// each generation is ~15–25% faster than the previous, with more token
     /// slots and better reliability.
     pub fn cosmos_like() -> Self {
-        let mk = |generation, speed, tokens_per_machine, disruption_factor, jitter_factor| SkuSpec {
-            generation,
-            speed,
-            tokens_per_machine,
-            disruption_factor,
-            jitter_factor,
-        };
+        let mk =
+            |generation, speed, tokens_per_machine, disruption_factor, jitter_factor| SkuSpec {
+                generation,
+                speed,
+                tokens_per_machine,
+                disruption_factor,
+                jitter_factor,
+            };
         Self {
             specs: [
                 mk(SkuGeneration::Gen3, 0.70, 8, 2.2, 1.8),

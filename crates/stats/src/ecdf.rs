@@ -67,12 +67,7 @@ pub fn wasserstein_distance(a: &[f64], b: &[f64]) -> Option<f64> {
     let eb = Ecdf::new(b)?;
     // Merge all sample points; between consecutive points both CDFs are
     // constant, so the integral is a sum of |Fa - Fb| * width terms.
-    let mut grid: Vec<f64> = ea
-        .samples()
-        .iter()
-        .chain(eb.samples())
-        .copied()
-        .collect();
+    let mut grid: Vec<f64> = ea.samples().iter().chain(eb.samples()).copied().collect();
     grid.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
     grid.dedup();
     let mut total = 0.0;

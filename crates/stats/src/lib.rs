@@ -37,8 +37,8 @@ pub mod summary;
 
 pub use distance::{dot, ks_distance, l2_distance, mae};
 pub use ecdf::{wasserstein_distance, Ecdf};
-pub use moments::{excess_kurtosis, skewness};
 pub use histogram::{BinSpec, Histogram, Pmf};
+pub use moments::{excess_kurtosis, skewness};
 pub use normalize::{normalize, normalize_all, Normalization};
 pub use qq::{qq_mae, qq_points, qq_tail_mae};
 pub use quantile::{median, quantile, quantiles};

@@ -51,7 +51,10 @@ pub fn qq_tail_mae(
     n_points: usize,
     tail_from: f64,
 ) -> Option<f64> {
-    assert!((0.0..1.0).contains(&tail_from), "tail_from must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&tail_from),
+        "tail_from must be in [0, 1)"
+    );
     let pts = qq_points(actual, predicted, n_points)?;
     let tail: Vec<(f64, f64)> = pts
         .into_iter()

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn gaussian_is_symmetric_and_peaked() {
-        let s = smooth_pmf(&point_mass(5), SmoothingKernel::Gaussian { sigma_bins: 1.0 });
+        let s = smooth_pmf(
+            &point_mass(5),
+            SmoothingKernel::Gaussian { sigma_bins: 1.0 },
+        );
         assert!((s.probs()[4] - s.probs()[6]).abs() < 1e-12);
         assert!(s.probs()[5] > s.probs()[4]);
         assert!(s.probs()[4] > s.probs()[3]);
@@ -163,6 +166,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma_bins must be positive")]
     fn bad_sigma_panics() {
-        smooth_pmf(&point_mass(0), SmoothingKernel::Gaussian { sigma_bins: 0.0 });
+        smooth_pmf(
+            &point_mass(0),
+            SmoothingKernel::Gaussian { sigma_bins: 0.0 },
+        );
     }
 }

@@ -102,6 +102,20 @@ pub fn collect_telemetry(
         );
         store.push(row);
     }
+    if rv_obs::enabled() {
+        rv_obs::gauge("sim.campaign.rows").set(store.len() as f64);
+        rv_obs::emit(
+            "sim.campaign",
+            &[
+                ("rows", rv_obs::FieldValue::from(store.len())),
+                ("groups", rv_obs::FieldValue::from(store.n_groups())),
+                (
+                    "window_days",
+                    rv_obs::FieldValue::from(campaign.window_days),
+                ),
+            ],
+        );
+    }
     store
 }
 

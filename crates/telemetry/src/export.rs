@@ -293,8 +293,7 @@ mod tests {
         let cut = text.trim_end().rfind(',').expect("has commas");
         text.truncate(cut);
         text.push('\n');
-        let err = read_store(std::io::BufReader::new(text.as_bytes()))
-            .expect_err("must fail");
+        let err = read_store(std::io::BufReader::new(text.as_bytes())).expect_err("must fail");
         assert!(err.message.contains("expected"), "{err}");
     }
 

@@ -362,10 +362,9 @@ mod tests {
 
     #[test]
     fn extraction_with_history() {
-        let store: TelemetryStore =
-            vec![row("a", 100.0), row("a", 110.0), row("a", 120.0)]
-                .into_iter()
-                .collect();
+        let store: TelemetryStore = vec![row("a", 100.0), row("a", 110.0), row("a", 120.0)]
+            .into_iter()
+            .collect();
         let extractor = FeatureExtractor::new(GroupHistory::compute(&store));
         let x = extractor.extract(&row("a", 105.0));
         assert_eq!(x.len(), FeatureSchema::WIDTH);

@@ -34,7 +34,10 @@ impl TelemetryStore {
     /// Appends a row.
     pub fn push(&mut self, row: JobTelemetry) {
         let idx = self.rows.len();
-        self.by_group.entry(row.group.clone()).or_default().push(idx);
+        self.by_group
+            .entry(row.group.clone())
+            .or_default()
+            .push(idx);
         self.rows.push(row);
     }
 
@@ -160,9 +163,7 @@ mod tests {
 
     #[test]
     fn window_filter() {
-        let store: TelemetryStore = (0..10)
-            .map(|i| row("a", i, i as f64, 1.0))
-            .collect();
+        let store: TelemetryStore = (0..10).map(|i| row("a", i, i as f64, 1.0)).collect();
         assert_eq!(store.rows_in_window(2.0, 5.0).len(), 3);
         assert_eq!(store.rows_in_window(0.0, 100.0).len(), 10);
         assert_eq!(store.rows_in_window(50.0, 60.0).len(), 0);

@@ -13,9 +13,9 @@ use std::collections::BTreeMap;
 use rv_core::characterize::{characterize, group_distributions, CharacterizeConfig};
 use rv_core::framework::FrameworkConfig;
 use rv_core::rv_cluster::{elbow_point, inertia_curve, KMeansConfig};
-use rv_core::rv_stats::Normalization;
 use rv_core::rv_scope::WorkloadGenerator;
 use rv_core::rv_sim::{Cluster, SimConfig};
+use rv_core::rv_stats::Normalization;
 use rv_core::rv_telemetry::{collect_telemetry, Dataset, DatasetSpec};
 
 fn main() {

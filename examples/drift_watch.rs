@@ -54,12 +54,7 @@ fn main() {
     println!("organic drifts in the test window: {drifts}\n");
 
     // Inject a regression into one healthy group.
-    let victim = pipe
-        .test_labels
-        .keys()
-        .next()
-        .expect("has groups")
-        .clone();
+    let victim = pipe.test_labels.keys().next().expect("has groups").clone();
     let median = f
         .history
         .median_or(&victim, &f.d3.store.group_runtimes(&victim))

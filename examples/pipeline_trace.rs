@@ -1,0 +1,52 @@
+//! Pipeline tracing: run the full study with observability on and inspect
+//! both outputs — the JSON-lines trace and the end-of-run summary.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+//!
+//! Initializes `rv-obs` with a trace sink, runs the scaled-down study, then
+//! prints the per-phase wall times, simulator counters (all in virtual
+//! sim-time), and a breakdown of the trace file's event types.
+
+use std::collections::BTreeMap;
+
+use rv_core::framework::{Framework, FrameworkConfig};
+
+fn main() {
+    let trace_path = std::env::temp_dir().join("runvar_pipeline_trace.jsonl");
+    rv_obs::init(rv_obs::ObsConfig {
+        trace_path: Some(trace_path.clone()),
+        log_level: None,
+    })
+    .expect("create trace file");
+
+    rv_obs::info!("tracing the scaled-down study to {}", trace_path.display());
+    let f = Framework::run(FrameworkConfig::small());
+    rv_obs::flush();
+
+    println!(
+        "study finished: Ratio accuracy {:.3}, Delta accuracy {:.3}\n",
+        f.ratio.test_accuracy, f.delta.test_accuracy
+    );
+
+    // The human-readable report: phase wall times + sim counters.
+    print!("{}", rv_obs::render_summary());
+
+    // The machine-readable trace: one JSON object per line.
+    let text = std::fs::read_to_string(&trace_path).expect("read trace");
+    let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+    for line in text.lines() {
+        // `"type"` is always the first key of a well-formed trace line.
+        let kind = line
+            .split('"')
+            .nth(3)
+            .expect("trace line has a type field")
+            .to_string();
+        *kinds.entry(kind).or_default() += 1;
+    }
+    println!("\ntrace event types ({}):", trace_path.display());
+    for (kind, count) in &kinds {
+        println!("  {kind:<24} x{count}");
+    }
+}

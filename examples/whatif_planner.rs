@@ -17,20 +17,21 @@ use rv_core::whatif::Scenario;
 fn main() {
     // Lever sensitivity needs the full-scale study (the small demo config
     // has too few groups near shape boundaries); expect ~a minute.
-    println!("running the full-scale study; this takes a moment ...
-");
+    println!(
+        "running the full-scale study; this takes a moment ...
+"
+    );
     let f = Framework::run(FrameworkConfig::default());
     let pipe = &f.ratio;
     let catalog = &pipe.characterization.catalog;
 
-    let level = f
-        .d3
-        .store
-        .rows()
-        .iter()
-        .map(|r| r.cluster_load)
-        .sum::<f64>()
-        / f.d3.store.len().max(1) as f64;
+    let level =
+        f.d3.store
+            .rows()
+            .iter()
+            .map(|r| r.cluster_load)
+            .sum::<f64>()
+            / f.d3.store.len().max(1) as f64;
     let scenarios = [
         Scenario::DisableSpareTokens,
         Scenario::ShiftSku {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 build/test suite.
+#
+# Usage: scripts/check.sh
+#
+# Runs, in order:
+#   1. cargo fmt --check                        (no formatting drift)
+#   2. cargo clippy --workspace -D warnings     (lint-clean, all targets)
+#   3. cargo build --release && cargo test -q   (tier-1)
+#
+# Fails fast on the first broken gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "All checks passed."

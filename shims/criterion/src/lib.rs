@@ -1,0 +1,344 @@
+//! Offline stand-in for the Criterion benchmarking API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small wall-clock benchmark harness that is source-compatible with the
+//! Criterion constructs its benches rely on: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up for ~0.5 s, then timed
+//! over adaptively-sized batches for ~2 s; the report prints the mean,
+//! min and max per-iteration time plus optional throughput. Passing
+//! `--test` (as `cargo test --benches` does) runs each body once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self {
+            test_mode: args.iter().any(|a| a == "--test")
+                || std::env::var_os("CRITERION_TEST_MODE").is_some(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Override the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepts (and ignores) a sample-size hint, for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, &id.into().0, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration work.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepts (and ignores) a sample-size hint, for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, self.throughput, &label, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion, self.throughput, &label, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (`name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing handle passed to benchmark bodies.
+pub struct Bencher {
+    mode: BencherMode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+enum BencherMode {
+    /// Run the body once, untimed (`--test`).
+    Test,
+    /// Calibrate iterations-per-sample against a time budget.
+    Calibrate(Duration),
+    /// Collect timed samples for the measurement window.
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Test => {
+                black_box(f());
+            }
+            BencherMode::Calibrate(budget) => {
+                // Double the batch size until one batch costs >= budget/8;
+                // that batch size is reused for every measured sample.
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= budget / 8 || iters >= 1 << 40 {
+                        self.iters_per_sample = iters;
+                        break;
+                    }
+                    iters *= 2;
+                }
+            }
+            BencherMode::Measure(budget) => {
+                let deadline = Instant::now() + budget;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(f());
+                    }
+                    self.samples.push(start.elapsed());
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_one(
+    criterion: &Criterion,
+    throughput: Option<Throughput>,
+    label: &str,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if criterion.test_mode {
+        let mut b = Bencher {
+            mode: BencherMode::Test,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        println!("test {label} ... ok (bench smoke run)");
+        return;
+    }
+
+    let mut calibrate = Bencher {
+        mode: BencherMode::Calibrate(criterion.warm_up),
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut calibrate);
+
+    let mut measure = Bencher {
+        mode: BencherMode::Measure(criterion.measurement),
+        samples: Vec::new(),
+        iters_per_sample: calibrate.iters_per_sample,
+    };
+    f(&mut measure);
+
+    let iters = measure.iters_per_sample.max(1);
+    let per_iter: Vec<f64> = measure
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{label:<50} (no samples — body never called iter)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12}/s", format_count(n as f64 / mean))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10}/s", format_bytes(n as f64 / mean))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<50} time: [{} {} {}]{extra}  ({} samples x {iters} iters)",
+        format_time(min),
+        format_time(mean),
+        format_time(max),
+        per_iter.len(),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+fn format_count(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} Gelem", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} Melem", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} Kelem", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} elem")
+    }
+}
+
+fn format_bytes(per_s: f64) -> String {
+    if per_s >= 1e9 {
+        format!("{:.2} GB", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} MB", per_s / 1e6)
+    } else {
+        format!("{:.2} KB", per_s / 1e3)
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing harness that is source-compatible with the
+//! constructs its tests rely on: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), [`prop_assert!`] /
+//! [`prop_assert_eq!`], range and collection strategies, tuple strategies,
+//! `prop_map`, and regex-lite string strategies (`"[abc]{1,40}"`,
+//! `"\\PC{0,400}"`).
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed per test (derived from the test name), and failing
+//! inputs are reported but **not shrunk**.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// `proptest::prelude` equivalent.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// `proptest::prop` namespace equivalent.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Error type carried by `prop_assert!` failures.
+pub type TestCaseError = String;
+
+/// One generated test case's verdict.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic per-test stream: seeded from the test's name so runs
+    /// are reproducible without any global state.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    pub fn uniform_f64(&mut self, low: f64, high: f64) -> f64 {
+        if low >= high {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform `u64` in `[low, high)`.
+    pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
+        if low >= high {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform `usize` in `[low, high]`.
+    pub fn uniform_usize_inclusive(&mut self, low: usize, high: usize) -> usize {
+        if low >= high {
+            return low;
+        }
+        self.inner.gen_range(low..=high)
+    }
+}
+
+macro_rules! range_strategy {
+    ($ty:ty, $via:ident) => {
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.$via(self.start as _, self.end as _) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo >= hi {
+                    return lo;
+                }
+                rng.uniform_usize_inclusive(lo as usize, hi as usize) as $ty
+            }
+        }
+    };
+}
+
+range_strategy!(u8, uniform_u64);
+range_strategy!(u16, uniform_u64);
+range_strategy!(u32, uniform_u64);
+range_strategy!(u64, uniform_u64);
+range_strategy!(usize, uniform_u64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn new_value(&self, rng: &mut TestRng) -> i32 {
+        (rng.uniform_u64(0, (self.end - self.start) as u64) as i64 + self.start as i64) as i32
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+    fn new_value(&self, rng: &mut TestRng) -> i64 {
+        rng.uniform_u64(0, (self.end - self.start) as u64) as i64 + self.start
+    }
+}
+
+/// String literals are regex-lite string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Constant strategy (`Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `proptest!` macro: a deterministic generate-and-check loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr;
+     $( #[test] fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let __values = ( $( $crate::Strategy::new_value(&$strat, &mut rng), )+ );
+                    // Render inputs up front: the body may consume them.
+                    let inputs = format!(
+                        concat!(stringify!(($($arg),+)), " = {:?}"),
+                        __values,
+                    );
+                    #[allow(unused_parens, irrefutable_let_patterns)]
+                    let ( $( $arg, )+ ) = __values;
+                    let verdict: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    if let Err(message) = verdict {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name), case + 1, cfg.cases, message, inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion: fails the current case (with a message) instead of
+/// panicking, mirroring proptest's control flow.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: {:?} == {:?}", lhs, rhs
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(lhs == rhs, $($fmt)*);
+    }};
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        $crate::prop_assert!(lhs != rhs, "assertion failed: {:?} != {:?}", lhs, rhs);
+    }};
+}

@@ -1,0 +1,137 @@
+//! Regex-lite string generation.
+//!
+//! Supports the pattern shapes this workspace's tests use:
+//!
+//! * `[chars]{m,n}` — a character class (with `a-z` ranges) repeated;
+//! * `\PC{m,n}` — "any printable char" repeated (sampled from ASCII plus a
+//!   few multi-byte code points so UTF-8 handling gets exercised);
+//! * anything else — emitted literally.
+
+use crate::TestRng;
+
+/// Printable non-ASCII code points mixed into `\PC` draws.
+const EXOTIC: &[char] = &['é', 'ß', 'Ж', '中', '日', '→', '√', '🦀', '¤', 'ø'];
+
+/// Generates one string for `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .expect("unterminated character class");
+                let class = expand_class(&chars[i + 1..close]);
+                let (lo, hi, next) = parse_repeat(&chars, close + 1);
+                emit(&class, lo, hi, rng, &mut out);
+                i = next;
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                let mut class: Vec<char> = (' '..='~').collect();
+                class.extend_from_slice(EXOTIC);
+                let (lo, hi, next) = parse_repeat(&chars, i + 3);
+                emit(&class, lo, hi, rng, &mut out);
+                i = next;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Expands `a-z0-9_` style class bodies into the concrete character set.
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut class = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j], body[j + 2]);
+            for c in lo..=hi {
+                class.push(c);
+            }
+            j += 3;
+        } else {
+            class.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(!class.is_empty(), "empty character class");
+    class
+}
+
+/// Parses a trailing `{m,n}` (or `{n}`) starting at `at`; defaults to one
+/// repetition when absent. Returns `(lo, hi, next_index)`.
+fn parse_repeat(chars: &[char], at: usize) -> (usize, usize, usize) {
+    if chars.get(at) != Some(&'{') {
+        return (1, 1, at);
+    }
+    let close = chars[at..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|p| at + p)
+        .expect("unterminated repetition");
+    let body: String = chars[at + 1..close].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (
+            a.trim().parse().expect("bad repetition lower bound"),
+            b.trim().parse().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    };
+    (lo, hi, close + 1)
+}
+
+fn emit(class: &[char], lo: usize, hi: usize, rng: &mut TestRng, out: &mut String) {
+    let len = rng.uniform_usize_inclusive(lo, hi);
+    for _ in 0..len {
+        out.push(class[rng.uniform_u64(0, class.len() as u64) as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..200 {
+            let s = generate("[A-Za-z0-9_ @#./-]{1,40}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=40).contains(&n), "len {n}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_ @#./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut rng = TestRng::for_test("pc");
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = generate("\\PC{0,400}", &mut rng);
+            let n = s.chars().count();
+            assert!(n <= 400);
+            max_len = max_len.max(n);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+        assert!(max_len > 100, "repetitions should spread, max {max_len}");
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(generate("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,147 @@
+//! Uniform range sampling, mirroring rand 0.8.5's algorithms:
+//! widening-multiply rejection (Lemire) for integers and the `[1, 2)`
+//! mantissa trick for floats.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply helpers: `(hi, lo)` halves of the double-width product.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = self as u64 * other as u64;
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let wide = self as u128 * other as u128;
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $next:ident) => {
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range = (high as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // The full integer domain: every draw is acceptable.
+                    return rng.$next() as $ty;
+                }
+                // Lemire rejection zone, computed per-call like rand 0.8's
+                // `sample_single_inclusive`.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32, next_u32 }
+uniform_int_impl! { i8, u8, u32, next_u32 }
+uniform_int_impl! { u16, u16, u32, next_u32 }
+uniform_int_impl! { i16, u16, u32, next_u32 }
+uniform_int_impl! { u32, u32, u32, next_u32 }
+uniform_int_impl! { i32, u32, u32, next_u32 }
+uniform_int_impl! { u64, u64, u64, next_u64 }
+uniform_int_impl! { i64, u64, u64, next_u64 }
+uniform_int_impl! { usize, usize, u64, next_u64 }
+uniform_int_impl! { isize, usize, u64, next_u64 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(
+                    low.is_finite() && high.is_finite(),
+                    "gen_range: non-finite bound"
+                );
+                let scale = high - low;
+                loop {
+                    // Uniform in [1, 2): random mantissa, fixed exponent.
+                    let value1_2 =
+                        <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_bits);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let scale = high - low;
+                loop {
+                    let value1_2 =
+                        <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exponent_bits);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 11, 1023u64 << 52, next_u64 }
+uniform_float_impl! { f32, u32, 9, 127u32 << 23, next_u32 }

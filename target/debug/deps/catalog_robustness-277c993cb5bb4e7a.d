@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_robustness-277c993cb5bb4e7a.d: crates/core/tests/catalog_robustness.rs
+
+/root/repo/target/debug/deps/catalog_robustness-277c993cb5bb4e7a: crates/core/tests/catalog_robustness.rs
+
+crates/core/tests/catalog_robustness.rs:

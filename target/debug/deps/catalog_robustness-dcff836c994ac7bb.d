@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_robustness-dcff836c994ac7bb.d: crates/core/tests/catalog_robustness.rs
+
+/root/repo/target/debug/deps/catalog_robustness-dcff836c994ac7bb: crates/core/tests/catalog_robustness.rs
+
+crates/core/tests/catalog_robustness.rs:

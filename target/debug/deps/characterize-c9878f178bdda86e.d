@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterize-c9878f178bdda86e.d: crates/bench/benches/characterize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterize-c9878f178bdda86e.rmeta: crates/bench/benches/characterize.rs Cargo.toml
+
+crates/bench/benches/characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_properties-a30bd87c60740580.d: crates/core/../../tests/dataset_properties.rs
+
+/root/repo/target/debug/deps/dataset_properties-a30bd87c60740580: crates/core/../../tests/dataset_properties.rs
+
+crates/core/../../tests/dataset_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_properties-e20947805785bc6f.d: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_properties-e20947805785bc6f.rmeta: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+crates/core/../../tests/dataset_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_properties-fb69106d6db066cf.d: crates/core/../../tests/dataset_properties.rs
+
+/root/repo/target/debug/deps/dataset_properties-fb69106d6db066cf: crates/core/../../tests/dataset_properties.rs
+
+crates/core/../../tests/dataset_properties.rs:

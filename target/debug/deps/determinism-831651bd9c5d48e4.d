@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-831651bd9c5d48e4.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-831651bd9c5d48e4: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

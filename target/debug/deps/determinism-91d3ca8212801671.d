@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-91d3ca8212801671.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-91d3ca8212801671: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

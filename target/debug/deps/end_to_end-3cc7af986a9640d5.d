@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3cc7af986a9640d5.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3cc7af986a9640d5: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-81b4f8ae82b84b15.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-81b4f8ae82b84b15: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9baa7ac5beced01c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-9baa7ac5beced01c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a1ae4a5b16d6df7a.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a1ae4a5b16d6df7a: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

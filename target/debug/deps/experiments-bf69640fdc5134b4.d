@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bf69640fdc5134b4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bf69640fdc5134b4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

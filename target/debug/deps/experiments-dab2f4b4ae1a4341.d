@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-dab2f4b4ae1a4341.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-dab2f4b4ae1a4341: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

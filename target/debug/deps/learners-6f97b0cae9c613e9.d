@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learners-6f97b0cae9c613e9.d: crates/bench/benches/learners.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearners-6f97b0cae9c613e9.rmeta: crates/bench/benches/learners.rs Cargo.toml
+
+crates/bench/benches/learners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

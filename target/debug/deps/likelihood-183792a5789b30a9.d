@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/likelihood-183792a5789b30a9.d: crates/bench/benches/likelihood.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblikelihood-183792a5789b30a9.rmeta: crates/bench/benches/likelihood.rs Cargo.toml
+
+crates/bench/benches/likelihood.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

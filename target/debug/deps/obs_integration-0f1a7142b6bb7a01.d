@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-0f1a7142b6bb7a01.d: crates/core/../../tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-0f1a7142b6bb7a01: crates/core/../../tests/obs_integration.rs
+
+crates/core/../../tests/obs_integration.rs:

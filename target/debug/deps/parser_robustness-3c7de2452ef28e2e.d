@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-3c7de2452ef28e2e.d: crates/telemetry/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-3c7de2452ef28e2e: crates/telemetry/tests/parser_robustness.rs
+
+crates/telemetry/tests/parser_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-42c20ae7edd53813.d: crates/telemetry/tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-42c20ae7edd53813.rmeta: crates/telemetry/tests/parser_robustness.rs Cargo.toml
+
+crates/telemetry/tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

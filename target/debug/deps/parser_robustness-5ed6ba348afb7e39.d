@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-5ed6ba348afb7e39.d: crates/telemetry/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-5ed6ba348afb7e39: crates/telemetry/tests/parser_robustness.rs
+
+crates/telemetry/tests/parser_robustness.rs:

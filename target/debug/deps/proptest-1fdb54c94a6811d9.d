@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-1fdb54c94a6811d9.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-1fdb54c94a6811d9.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-1fdb54c94a6811d9.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-3383cb647fce9b80.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-3383cb647fce9b80: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/test_runner.rs:

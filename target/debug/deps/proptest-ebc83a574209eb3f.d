@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-ebc83a574209eb3f.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ebc83a574209eb3f.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

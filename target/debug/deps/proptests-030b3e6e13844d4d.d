@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-030b3e6e13844d4d.d: crates/stats/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-030b3e6e13844d4d.rmeta: crates/stats/tests/proptests.rs Cargo.toml
+
+crates/stats/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-23f606c70c14b286.d: crates/scope/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-23f606c70c14b286: crates/scope/tests/proptests.rs
+
+crates/scope/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-819c2fa2801bb0a9.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-819c2fa2801bb0a9: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

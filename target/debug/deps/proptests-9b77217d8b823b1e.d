@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9b77217d8b823b1e.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9b77217d8b823b1e: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a8766dcb24565bd0.d: crates/stats/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a8766dcb24565bd0: crates/stats/tests/proptests.rs
+
+crates/stats/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aadf66da04517fa0.d: crates/learn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aadf66da04517fa0: crates/learn/tests/proptests.rs
+
+crates/learn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b22fbb9038dcdcc8.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b22fbb9038dcdcc8: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

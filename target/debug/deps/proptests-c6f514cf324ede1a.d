@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c6f514cf324ede1a.d: crates/learn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c6f514cf324ede1a: crates/learn/tests/proptests.rs
+
+crates/learn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d1adf9fc3d8c14e1.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d1adf9fc3d8c14e1: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d246b6bb01e82f27.d: crates/scope/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d246b6bb01e82f27.rmeta: crates/scope/tests/proptests.rs Cargo.toml
+
+crates/scope/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rand-b7104cf1f93918e0.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-b7104cf1f93918e0.rmeta: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:
+shims/rand/src/uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-bf32ab2726ff08a5.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/rand-bf32ab2726ff08a5: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:
+shims/rand/src/uniform.rs:

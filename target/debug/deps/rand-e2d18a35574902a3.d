@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-e2d18a35574902a3.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-e2d18a35574902a3.rlib: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+/root/repo/target/debug/deps/librand-e2d18a35574902a3.rmeta: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:
+shims/rand/src/uniform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-095dd5fd6c27df31.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-095dd5fd6c27df31: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

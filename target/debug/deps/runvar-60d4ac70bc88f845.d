@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-60d4ac70bc88f845.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-60d4ac70bc88f845: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

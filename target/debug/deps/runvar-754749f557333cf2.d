@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-754749f557333cf2.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-754749f557333cf2: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-a583c37570bfca78.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-a583c37570bfca78: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

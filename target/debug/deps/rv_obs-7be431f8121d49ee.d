@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rv_obs-7be431f8121d49ee.d: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/rv_obs-7be431f8121d49ee: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:

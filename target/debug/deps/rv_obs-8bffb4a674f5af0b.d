@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rv_obs-8bffb4a674f5af0b.d: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_obs-8bffb4a674f5af0b.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

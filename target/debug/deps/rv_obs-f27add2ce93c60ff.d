@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rv_obs-f27add2ce93c60ff.d: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_obs-f27add2ce93c60ff.rmeta: crates/obs/src/lib.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/sink.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

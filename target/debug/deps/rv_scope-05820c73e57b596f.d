@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rv_scope-05820c73e57b596f.d: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_scope-05820c73e57b596f.rmeta: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs Cargo.toml
+
+crates/scope/src/lib.rs:
+crates/scope/src/archetype.rs:
+crates/scope/src/explain_plan.rs:
+crates/scope/src/generator.rs:
+crates/scope/src/group.rs:
+crates/scope/src/job.rs:
+crates/scope/src/operator.rs:
+crates/scope/src/optimizer.rs:
+crates/scope/src/plan.rs:
+crates/scope/src/signature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

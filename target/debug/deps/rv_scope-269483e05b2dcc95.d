@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rv_scope-269483e05b2dcc95.d: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+/root/repo/target/debug/deps/librv_scope-269483e05b2dcc95.rlib: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+/root/repo/target/debug/deps/librv_scope-269483e05b2dcc95.rmeta: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+crates/scope/src/lib.rs:
+crates/scope/src/archetype.rs:
+crates/scope/src/explain_plan.rs:
+crates/scope/src/generator.rs:
+crates/scope/src/group.rs:
+crates/scope/src/job.rs:
+crates/scope/src/operator.rs:
+crates/scope/src/optimizer.rs:
+crates/scope/src/plan.rs:
+crates/scope/src/signature.rs:

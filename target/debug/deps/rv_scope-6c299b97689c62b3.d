@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rv_scope-6c299b97689c62b3.d: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+/root/repo/target/debug/deps/rv_scope-6c299b97689c62b3: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+crates/scope/src/lib.rs:
+crates/scope/src/archetype.rs:
+crates/scope/src/explain_plan.rs:
+crates/scope/src/generator.rs:
+crates/scope/src/group.rs:
+crates/scope/src/job.rs:
+crates/scope/src/operator.rs:
+crates/scope/src/optimizer.rs:
+crates/scope/src/plan.rs:
+crates/scope/src/signature.rs:

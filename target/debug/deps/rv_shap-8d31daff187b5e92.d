@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rv_shap-8d31daff187b5e92.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/debug/deps/librv_shap-8d31daff187b5e92.rlib: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/debug/deps/librv_shap-8d31daff187b5e92.rmeta: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rv_sim-712f9a022e95e751.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs
+
+/root/repo/target/debug/deps/rv_sim-712f9a022e95e751: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/config.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/sku.rs:
+crates/sim/src/tokens.rs:

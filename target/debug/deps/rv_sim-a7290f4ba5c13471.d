@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rv_sim-a7290f4ba5c13471.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_sim-a7290f4ba5c13471.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/config.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/sku.rs:
+crates/sim/src/tokens.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rv_stats-83caf85eb11a25d9.d: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_stats-83caf85eb11a25d9.rmeta: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/moments.rs:
+crates/stats/src/normalize.rs:
+crates/stats/src/qq.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/smooth.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

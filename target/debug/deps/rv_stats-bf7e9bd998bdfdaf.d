@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rv_stats-bf7e9bd998bdfdaf.d: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/librv_stats-bf7e9bd998bdfdaf.rlib: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/librv_stats-bf7e9bd998bdfdaf.rmeta: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/moments.rs:
+crates/stats/src/normalize.rs:
+crates/stats/src/qq.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/smooth.rs:
+crates/stats/src/summary.rs:

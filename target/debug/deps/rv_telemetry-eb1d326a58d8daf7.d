@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rv_telemetry-eb1d326a58d8daf7.d: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/debug/deps/librv_telemetry-eb1d326a58d8daf7.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/debug/deps/librv_telemetry-eb1d326a58d8daf7.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collect.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_integration-f0bba9d24e0a2163.d: crates/core/../../tests/whatif_integration.rs
+
+/root/repo/target/debug/deps/whatif_integration-f0bba9d24e0a2163: crates/core/../../tests/whatif_integration.rs
+
+crates/core/../../tests/whatif_integration.rs:

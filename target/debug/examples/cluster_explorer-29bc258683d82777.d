@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_explorer-29bc258683d82777.d: crates/core/../../examples/cluster_explorer.rs
+
+/root/repo/target/debug/examples/cluster_explorer-29bc258683d82777: crates/core/../../examples/cluster_explorer.rs
+
+crates/core/../../examples/cluster_explorer.rs:

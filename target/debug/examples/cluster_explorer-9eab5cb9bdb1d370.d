@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_explorer-9eab5cb9bdb1d370.d: crates/core/../../examples/cluster_explorer.rs
+
+/root/repo/target/debug/examples/cluster_explorer-9eab5cb9bdb1d370: crates/core/../../examples/cluster_explorer.rs
+
+crates/core/../../examples/cluster_explorer.rs:

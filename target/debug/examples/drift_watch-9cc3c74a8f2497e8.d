@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_watch-9cc3c74a8f2497e8.d: crates/core/../../examples/drift_watch.rs
+
+/root/repo/target/debug/examples/drift_watch-9cc3c74a8f2497e8: crates/core/../../examples/drift_watch.rs
+
+crates/core/../../examples/drift_watch.rs:

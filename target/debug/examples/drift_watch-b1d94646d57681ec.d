@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_watch-b1d94646d57681ec.d: crates/core/../../examples/drift_watch.rs
+
+/root/repo/target/debug/examples/drift_watch-b1d94646d57681ec: crates/core/../../examples/drift_watch.rs
+
+crates/core/../../examples/drift_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-7627bc055aee97ba.d: crates/core/../../examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-7627bc055aee97ba: crates/core/../../examples/pipeline_trace.rs
+
+crates/core/../../examples/pipeline_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-20c1e58d936459ec.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-20c1e58d936459ec: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

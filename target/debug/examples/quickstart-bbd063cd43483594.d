@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bbd063cd43483594.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bbd063cd43483594: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

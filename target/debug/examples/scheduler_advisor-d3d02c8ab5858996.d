@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_advisor-d3d02c8ab5858996.d: crates/core/../../examples/scheduler_advisor.rs
+
+/root/repo/target/debug/examples/scheduler_advisor-d3d02c8ab5858996: crates/core/../../examples/scheduler_advisor.rs
+
+crates/core/../../examples/scheduler_advisor.rs:

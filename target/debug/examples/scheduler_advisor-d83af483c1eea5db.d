@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_advisor-d83af483c1eea5db.d: crates/core/../../examples/scheduler_advisor.rs
+
+/root/repo/target/debug/examples/scheduler_advisor-d83af483c1eea5db: crates/core/../../examples/scheduler_advisor.rs
+
+crates/core/../../examples/scheduler_advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_advisor-fb7bb8926fdc6e56.d: crates/core/../../examples/scheduler_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_advisor-fb7bb8926fdc6e56.rmeta: crates/core/../../examples/scheduler_advisor.rs Cargo.toml
+
+crates/core/../../examples/scheduler_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_monitor-33e6bdcda819da06.d: crates/core/../../examples/sla_monitor.rs
+
+/root/repo/target/debug/examples/sla_monitor-33e6bdcda819da06: crates/core/../../examples/sla_monitor.rs
+
+crates/core/../../examples/sla_monitor.rs:

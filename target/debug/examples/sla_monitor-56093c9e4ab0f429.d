@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_monitor-56093c9e4ab0f429.d: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_monitor-56093c9e4ab0f429.rmeta: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+crates/core/../../examples/sla_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_monitor-e196c2fab7251f9f.d: crates/core/../../examples/sla_monitor.rs
+
+/root/repo/target/debug/examples/sla_monitor-e196c2fab7251f9f: crates/core/../../examples/sla_monitor.rs
+
+crates/core/../../examples/sla_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_planner-8c84fa99330c8c47.d: crates/core/../../examples/whatif_planner.rs
+
+/root/repo/target/debug/examples/whatif_planner-8c84fa99330c8c47: crates/core/../../examples/whatif_planner.rs
+
+crates/core/../../examples/whatif_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_planner-95ae00c4b1a9cab9.d: crates/core/../../examples/whatif_planner.rs
+
+/root/repo/target/debug/examples/whatif_planner-95ae00c4b1a9cab9: crates/core/../../examples/whatif_planner.rs
+
+crates/core/../../examples/whatif_planner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-32cad7f91809d73c.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32cad7f91809d73c.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32cad7f91809d73c.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

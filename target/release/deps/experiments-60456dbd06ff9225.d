@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-60456dbd06ff9225.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-60456dbd06ff9225: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-c1079408bc10910d.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c1079408bc10910d.rlib: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-c1079408bc10910d.rmeta: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs shims/proptest/src/string.rs shims/proptest/src/test_runner.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:
+shims/proptest/src/string.rs:
+shims/proptest/src/test_runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rand-9e1109693fec6c7f.d: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-9e1109693fec6c7f.rlib: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+/root/repo/target/release/deps/librand-9e1109693fec6c7f.rmeta: shims/rand/src/lib.rs shims/rand/src/rngs.rs shims/rand/src/seq.rs shims/rand/src/uniform.rs
+
+shims/rand/src/lib.rs:
+shims/rand/src/rngs.rs:
+shims/rand/src/seq.rs:
+shims/rand/src/uniform.rs:

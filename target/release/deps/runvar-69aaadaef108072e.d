@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runvar-69aaadaef108072e.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/release/deps/runvar-69aaadaef108072e: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rv_cluster-4d6f9071220c277e.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/librv_cluster-4d6f9071220c277e.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/librv_cluster-4d6f9071220c277e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/assign.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/elbow.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/minibatch.rs:
+crates/cluster/src/silhouette.rs:

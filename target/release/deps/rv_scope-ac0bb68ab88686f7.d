@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rv_scope-ac0bb68ab88686f7.d: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+/root/repo/target/release/deps/librv_scope-ac0bb68ab88686f7.rlib: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+/root/repo/target/release/deps/librv_scope-ac0bb68ab88686f7.rmeta: crates/scope/src/lib.rs crates/scope/src/archetype.rs crates/scope/src/explain_plan.rs crates/scope/src/generator.rs crates/scope/src/group.rs crates/scope/src/job.rs crates/scope/src/operator.rs crates/scope/src/optimizer.rs crates/scope/src/plan.rs crates/scope/src/signature.rs
+
+crates/scope/src/lib.rs:
+crates/scope/src/archetype.rs:
+crates/scope/src/explain_plan.rs:
+crates/scope/src/generator.rs:
+crates/scope/src/group.rs:
+crates/scope/src/job.rs:
+crates/scope/src/operator.rs:
+crates/scope/src/optimizer.rs:
+crates/scope/src/plan.rs:
+crates/scope/src/signature.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rv_shap-849a7d47fb86bbf4.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/release/deps/librv_shap-849a7d47fb86bbf4.rlib: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/release/deps/librv_shap-849a7d47fb86bbf4.rmeta: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:

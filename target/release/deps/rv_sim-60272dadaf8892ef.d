@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rv_sim-60272dadaf8892ef.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs
+
+/root/repo/target/release/deps/librv_sim-60272dadaf8892ef.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs
+
+/root/repo/target/release/deps/librv_sim-60272dadaf8892ef.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/config.rs crates/sim/src/exec.rs crates/sim/src/machine.rs crates/sim/src/rare.rs crates/sim/src/scheduler.rs crates/sim/src/sku.rs crates/sim/src/tokens.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/config.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/rare.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/sku.rs:
+crates/sim/src/tokens.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rv_stats-9d366634badf46e3.d: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/librv_stats-9d366634badf46e3.rlib: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/librv_stats-9d366634badf46e3.rmeta: crates/stats/src/lib.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/moments.rs crates/stats/src/normalize.rs crates/stats/src/qq.rs crates/stats/src/quantile.rs crates/stats/src/smooth.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/moments.rs:
+crates/stats/src/normalize.rs:
+crates/stats/src/qq.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/smooth.rs:
+crates/stats/src/summary.rs:

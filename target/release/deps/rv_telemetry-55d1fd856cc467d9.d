@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rv_telemetry-55d1fd856cc467d9.d: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/release/deps/librv_telemetry-55d1fd856cc467d9.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/release/deps/librv_telemetry-55d1fd856cc467d9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collect.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pipeline_trace-fb5002d57cc6b23a.d: crates/core/../../examples/pipeline_trace.rs
+
+/root/repo/target/release/examples/pipeline_trace-fb5002d57cc6b23a: crates/core/../../examples/pipeline_trace.rs
+
+crates/core/../../examples/pipeline_trace.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand/src/rngs.rs /root/repo/shims/rand/src/seq.rs /root/repo/shims/rand/src/uniform.rs

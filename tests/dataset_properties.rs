@@ -2,8 +2,8 @@
 //! the Table 1 machinery and the §3.2 sources of variation.
 
 use rv_core::framework::{Framework, FrameworkConfig};
-use rv_core::rv_telemetry::{FeatureExtractor, FeatureSchema, GroupHistory};
 use rv_core::rv_stats::Summary;
+use rv_core::rv_telemetry::{FeatureExtractor, FeatureSchema, GroupHistory};
 
 use std::sync::OnceLock;
 
@@ -116,9 +116,6 @@ fn token_accounting_is_consistent() {
         );
         let frac_sum: f64 = r.sku_fractions.iter().sum();
         assert!((frac_sum - 1.0).abs() < 1e-6);
-        assert_eq!(
-            r.sku_vertex_counts.iter().sum::<u64>(),
-            r.total_vertices
-        );
+        assert_eq!(r.sku_vertex_counts.iter().sum::<u64>(), r.total_vertices);
     }
 }

@@ -188,8 +188,7 @@ fn catalog_round_trips_through_persistence() {
     let catalog = &f.ratio.characterization.catalog;
     let mut buf = Vec::new();
     rv_core::persist::write_catalog(catalog, &mut buf).expect("write");
-    let restored =
-        rv_core::persist::read_catalog(std::io::BufReader::new(&buf[..])).expect("read");
+    let restored = rv_core::persist::read_catalog(std::io::BufReader::new(&buf[..])).expect("read");
     // The restored catalog must assign every D3 group identically.
     for key in f.d3.store.group_keys() {
         let runtimes = f.d3.store.group_runtimes(key);
@@ -203,12 +202,8 @@ fn catalog_round_trips_through_persistence() {
 #[test]
 fn drift_monitor_accepts_the_whole_test_window() {
     let f = framework();
-    let mut monitor = rv_core::monitor::DriftMonitor::new(
-        f.ratio.characterization.catalog.clone(),
-        16,
-        6,
-        0.4,
-    );
+    let mut monitor =
+        rv_core::monitor::DriftMonitor::new(f.ratio.characterization.catalog.clone(), 16, 6, 0.4);
     for (key, &shape) in &f.ratio.test_labels {
         let median = f
             .history

@@ -1,0 +1,223 @@
+//! Integration tests for the observability layer (rv-obs) wired through the
+//! full framework:
+//!
+//! * a traced run produces a JSON-lines file where every line parses as a
+//!   JSON object, with event types spanning the simulator and the analysis
+//!   pipeline;
+//! * two same-seed runs emit bit-identical metric values (instrumentation
+//!   observes the pipeline without perturbing it);
+//! * span aggregates track call counts deterministically.
+//!
+//! Everything lives in one `#[test]` because the obs hub is process-global:
+//! parallel test threads would interleave their metric updates.
+
+use rv_core::framework::{Framework, FrameworkConfig};
+
+/// Minimal recursive-descent JSON validator (std-only; values are not
+/// materialized, just checked against the grammar).
+mod json {
+    pub fn validate(s: &str) -> Result<(), String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        skip_ws(bytes, &mut pos);
+        value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => string(b, pos),
+            Some(b't') => literal(b, pos, b"true"),
+            Some(b'f') => literal(b, pos, b"false"),
+            Some(b'n') => literal(b, pos, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+            other => Err(format!("unexpected {other:?} at byte {pos}")),
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // consume '{'
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, pos);
+            string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}"));
+            }
+            *pos += 1;
+            skip_ws(b, pos);
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // consume '['
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(b, pos);
+            value(b, pos)?;
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {pos}"));
+        }
+        *pos += 1;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                b'\\' => *pos += 2,
+                _ => *pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        while let Some(&c) = b.get(*pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|_| ())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+        if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+}
+
+#[test]
+fn traced_run_is_valid_jsonl_and_metrics_are_deterministic() {
+    let trace_path =
+        std::env::temp_dir().join(format!("rv_obs_integration_{}.jsonl", std::process::id()));
+
+    // --- Traced run: every line must parse, event types must span layers ---
+    rv_obs::init(rv_obs::ObsConfig {
+        trace_path: Some(trace_path.clone()),
+        log_level: None,
+    })
+    .expect("init with trace");
+    let run_a = Framework::run(FrameworkConfig::small());
+    rv_obs::flush();
+
+    let text = std::fs::read_to_string(&trace_path).expect("read trace");
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut n_lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        json::validate(line).unwrap_or_else(|e| panic!("line {}: {e}\n{line}", i + 1));
+        assert!(
+            line.starts_with("{\"type\":\""),
+            "line {} lacks type: {line}",
+            i + 1
+        );
+        let kind = line["{\"type\":\"".len()..]
+            .split('"')
+            .next()
+            .expect("type value");
+        kinds.insert(kind.to_string());
+        n_lines += 1;
+    }
+    assert!(n_lines >= 10, "only {n_lines} trace lines");
+    for required in [
+        "trace.start",
+        "span",
+        "sim.campaign",
+        "cluster.kmeans",
+        "learn.boosting",
+        "framework.pipeline",
+    ] {
+        assert!(
+            kinds.contains(required),
+            "missing event type {required}: {kinds:?}"
+        );
+    }
+    assert!(kinds.len() >= 6, "too few event types: {kinds:?}");
+    let _ = std::fs::remove_file(&trace_path);
+
+    // --- Same-seed metric determinism (no trace; metrics only) -------------
+    rv_obs::init(rv_obs::ObsConfig::default()).expect("re-init without trace");
+    let snapshot_of_run = || {
+        rv_obs::reset_metrics();
+        let f = Framework::run(FrameworkConfig::small());
+        let spans: Vec<(&'static str, u64)> = rv_obs::span_snapshot()
+            .into_iter()
+            .map(|(name, stat)| (name, stat.calls))
+            .collect();
+        (f.ratio.test_accuracy, rv_obs::metrics_snapshot(), spans)
+    };
+    let (acc_b, metrics_b, spans_b) = snapshot_of_run();
+    let (acc_c, metrics_c, spans_c) = snapshot_of_run();
+
+    // The framework result itself is unchanged by instrumentation...
+    assert_eq!(run_a.ratio.test_accuracy, acc_b);
+    assert_eq!(acc_b, acc_c);
+    // ...and every metric (counters, gauges, histogram summaries — all
+    // recorded from virtual sim-time quantities) is bit-identical.
+    assert_eq!(metrics_b, metrics_c);
+    // Span *wall times* differ run to run, but call counts are exact.
+    assert_eq!(spans_b, spans_c);
+    assert!(
+        spans_b
+            .iter()
+            .any(|&(name, calls)| name == "phase.train" && calls == 2),
+        "expected two phase.train calls (ratio + delta): {spans_b:?}"
+    );
+
+    rv_obs::disable();
+}

@@ -70,13 +70,7 @@ fn replay_disabling_spares_slows_spare_users() {
     let mut total = 0;
     // Search the whole campaign: the 1-day test window alone has too few
     // runs of the (daily) spare-riding groups.
-    for r in f
-        .store
-        .rows()
-        .iter()
-        .filter(|r| r.spare_avg > 1.0)
-        .take(80)
-    {
+    for r in f.store.rows().iter().filter(|r| r.spare_avg > 1.0).take(80) {
         let template = &generator.templates()[r.template_id as usize];
         let instance = JobInstance {
             template_id: r.template_id,
