@@ -15,7 +15,7 @@ fn framework() -> &'static Framework {
         let mut cfg = FrameworkConfig::small();
         cfg.generator.n_templates = 24;
         cfg.characterize_support = 8;
-        Framework::run(cfg)
+        Framework::run(cfg).expect("valid bench config")
     })
 }
 

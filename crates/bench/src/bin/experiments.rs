@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scale small|full] [--out DIR] [--trace T]
+//! experiments [--scale small|full] [--out DIR] [--threads N] [--trace T]
 //!             [--metrics-summary] [EXPERIMENT...]
 //! ```
 //!
@@ -80,10 +80,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => rv_par::set_global_threads(n),
+                None => {
+                    rv_obs::error!("--threads requires a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--metrics-summary" => want_summary = true,
             "--help" | "-h" => {
                 println!(
-                    "experiments [--scale small|full] [--out DIR] [--trace T] \
+                    "experiments [--scale small|full] [--out DIR] [--threads N] [--trace T] \
                      [--metrics-summary] [EXPERIMENT...]"
                 );
                 println!("experiments: {}", ALL.join(", "));

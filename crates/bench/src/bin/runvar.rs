@@ -3,6 +3,7 @@
 //! ```text
 //! runvar run       [--scale small|paper] [--trace T] [--metrics-summary]
 //! runvar simulate  --out telemetry.csv [--templates N] [--days D] [--seed S]
+//!                  (both also take --threads N)
 //! runvar characterize --telemetry telemetry.csv --out catalog.txt
 //!                     [--normalization ratio|delta] [--k K] [--support N]
 //! runvar assess    --telemetry telemetry.csv --catalog catalog.txt
@@ -20,6 +21,10 @@
 //! `--metrics-summary` prints per-phase wall times and simulator counters at
 //! exit. Log verbosity follows the `RUNVAR_LOG` env var
 //! (`error|warn|info|debug`).
+//!
+//! `--threads N` (or `RUNVAR_THREADS=N`) sets the worker-pool width for the
+//! parallel hot paths; `1` forces serial execution and `0`/unset picks the
+//! CPU count. Output is byte-identical at every setting.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -53,6 +58,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let trace_path = flags.get("trace").map(std::path::PathBuf::from);
+    if let Some(threads) = flags.get("threads") {
+        match threads.parse::<usize>() {
+            Ok(n) => rv_par::set_global_threads(n),
+            Err(_) => {
+                eprintln!("error: --threads must be a non-negative integer, got {threads:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if want_summary || trace_path.is_some() {
         if let Err(e) = rv_obs::init(rv_obs::ObsConfig {
             trace_path,
@@ -72,6 +86,7 @@ fn main() -> ExitCode {
         "--help" | "-h" | "help" => {
             println!("subcommands: run, simulate, characterize, assess, explain-plan");
             println!("observability: --trace <path>, --metrics-summary, RUNVAR_LOG=level");
+            println!("parallelism: --threads <n> (0 = auto; default RUNVAR_THREADS or CPU count)");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -152,7 +167,7 @@ fn run_framework(flags: &Flags) -> Result<(), String> {
         config.generator.n_templates,
         config.campaign.window_days
     );
-    let fw = Framework::run(config);
+    let fw = Framework::run(config).map_err(|e| e.to_string())?;
     println!(
         "{:<6} {:>8} {:>10} {:>9}",
         "set", "groups", "instances", "support"
@@ -210,7 +225,8 @@ fn simulate(flags: &Flags) -> Result<(), String> {
             window_days: days,
             ..Default::default()
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
     let mut w = BufWriter::new(file);
     write_store(&store, &mut w).map_err(|e| e.to_string())?;

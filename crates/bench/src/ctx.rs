@@ -42,7 +42,8 @@ impl Ctx {
     pub fn new(scale: Scale, out_dir: &Path) -> Result<Self, String> {
         std::fs::create_dir_all(out_dir)
             .map_err(|e| format!("cannot create output directory {}: {e}", out_dir.display()))?;
-        let framework = Framework::run(scale.config());
+        let framework =
+            Framework::run(scale.config()).map_err(|e| format!("invalid configuration: {e}"))?;
         Ok(Self {
             framework,
             out_dir: out_dir.to_path_buf(),

@@ -21,6 +21,10 @@ pub struct KMeansConfig {
     pub n_init: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads (`0` = auto via `rv-par`, `1` = serial). Restarts
+    /// fan out first; a lone restart parallelizes its assignment loop
+    /// instead. Thread count never changes the clustering.
+    pub n_threads: usize,
 }
 
 impl Default for KMeansConfig {
@@ -31,9 +35,15 @@ impl Default for KMeansConfig {
             tol: 1e-10,
             n_init: 4,
             seed: 0x5eed,
+            n_threads: 0,
         }
     }
 }
+
+/// Minimum `points × centroids` before the assignment loop fans out;
+/// below this the scan is cheaper than spawning workers. Data-size only,
+/// so the serial/parallel decision is deterministic.
+const PAR_ASSIGN_MIN_WORK: usize = 1 << 12;
 
 /// The outcome of a k-means run.
 #[derive(Debug, Clone)]
@@ -97,10 +107,23 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
         "all points must share a dimension"
     );
 
-    let mut best: Option<KMeansResult> = None;
-    for init in 0..config.n_init.max(1) {
+    // Restarts are independent (each derives its own RNG from the seed and
+    // restart index), so they fan out across workers; when they do, each
+    // restart runs its inner loops serially rather than nesting pools.
+    let n_init = config.n_init.max(1);
+    let inner_threads = if rv_par::resolve_threads(config.n_threads).min(n_init) > 1 {
+        1
+    } else {
+        config.n_threads
+    };
+    let results = rv_par::par_map(n_init, config.n_threads, |init| {
         let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(init as u64));
-        let result = kmeans_once(points, config, &mut rng);
+        kmeans_once(points, config, &mut rng, inner_threads)
+    });
+    // Strict `<` over restart-index order replicates the serial pick
+    // exactly (first of equals wins).
+    let mut best: Option<KMeansResult> = None;
+    for result in results {
         if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
             best = Some(result);
         }
@@ -126,16 +149,32 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
     best
 }
 
-fn kmeans_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut SmallRng) -> KMeansResult {
+fn kmeans_once(
+    points: &[Vec<f64>],
+    config: &KMeansConfig,
+    rng: &mut SmallRng,
+    threads: usize,
+) -> KMeansResult {
     let mut centroids = plus_plus_init(points, config.k, rng);
     let mut assignments = vec![0usize; points.len()];
     let mut iterations = 0;
+    let assign_threads = if points.len() * config.k < PAR_ASSIGN_MIN_WORK {
+        1
+    } else {
+        threads
+    };
 
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
-            assignments[i] = nearest(p, &centroids).0;
+        // Assignment step: each point's nearest centroid is independent, so
+        // the loop fans out over contiguous chunks of the assignment slice.
+        {
+            let centroids = &centroids;
+            rv_par::par_chunks(&mut assignments, assign_threads, |start, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = nearest(&points[start + j], centroids).0;
+                }
+            });
         }
         // Update step.
         let dim = points[0].len();
@@ -152,13 +191,15 @@ fn kmeans_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut SmallRng) -
             if counts[c] == 0 {
                 // Re-seed an empty cluster at the point farthest from its
                 // centroid (standard remedy; keeps k clusters alive).
+                // `total_cmp` keeps the comparison total if a NaN feature
+                // slips through (NaN ranks farthest) instead of panicking
+                // mid-clustering.
                 let far = points
                     .iter()
                     .enumerate()
                     .max_by(|(_, a), (_, b)| {
                         dist_sq(a, &centroids[assignments[0]])
-                            .partial_cmp(&dist_sq(b, &centroids[assignments[0]]))
-                            .expect("finite distances")
+                            .total_cmp(&dist_sq(b, &centroids[assignments[0]]))
                     })
                     .map(|(i, _)| i)
                     .unwrap_or(rng.gen_range(0..points.len()));
@@ -174,11 +215,15 @@ fn kmeans_once(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut SmallRng) -
             break;
         }
     }
-    // Final assignment + inertia.
+    // Final assignment + inertia: distances in parallel, then a serial
+    // index-order fold — float addition is order-sensitive, so the sum
+    // must associate exactly like the serial loop.
+    let nearest_all = rv_par::par_map(points.len(), assign_threads, |i| {
+        nearest(&points[i], &centroids)
+    });
     let mut inertia = 0.0;
-    for (i, p) in points.iter().enumerate() {
-        let (a, d) = nearest(p, &centroids);
-        assignments[i] = a;
+    for (slot, (a, d)) in assignments.iter_mut().zip(nearest_all) {
+        *slot = a;
         inertia += d;
     }
     KMeansResult {
@@ -295,6 +340,57 @@ mod tests {
         let b = kmeans(&pts, &cfg);
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial() {
+        let pts = blobs();
+        let run = |n_threads: usize| {
+            kmeans(
+                &pts,
+                &KMeansConfig {
+                    k: 3,
+                    n_threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.assignments, parallel.assignments);
+        assert_eq!(serial.centroids, parallel.centroids);
+        assert_eq!(serial.inertia.to_bits(), parallel.inertia.to_bits());
+        assert_eq!(serial.iterations, parallel.iterations);
+    }
+
+    #[test]
+    fn parallel_assignment_matches_serial() {
+        // One restart, enough points × k to clear the assignment work
+        // gate, so the Lloyd loop itself runs on the pool.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pts: Vec<Vec<f64>> = (0..2000)
+            .map(|i| {
+                let c = (i % 4) as f64 * 8.0;
+                vec![c + rng.gen_range(-1.0..1.0), c + rng.gen_range(-1.0..1.0)]
+            })
+            .collect();
+        assert!(pts.len() * 4 >= PAR_ASSIGN_MIN_WORK);
+        let run = |n_threads: usize| {
+            kmeans(
+                &pts,
+                &KMeansConfig {
+                    k: 4,
+                    n_init: 1,
+                    n_threads,
+                    ..Default::default()
+                },
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.assignments, parallel.assignments);
+        assert_eq!(serial.centroids, parallel.centroids);
+        assert_eq!(serial.inertia.to_bits(), parallel.inertia.to_bits());
     }
 
     #[test]

@@ -14,8 +14,8 @@ use rv_scope::{GeneratorConfig, JobGroupKey, WorkloadGenerator};
 use rv_sim::{Cluster, ClusterConfig, SimConfig};
 use rv_stats::Normalization;
 use rv_telemetry::{
-    collect_telemetry, CampaignConfig, Dataset, DatasetSpec, FeatureExtractor, GroupHistory,
-    TelemetryStore,
+    collect_telemetry, CampaignConfig, CampaignError, Dataset, DatasetSpec, FeatureExtractor,
+    GroupHistory, TelemetryStore,
 };
 
 use crate::characterize::{characterize, Characterization, CharacterizeConfig};
@@ -146,7 +146,11 @@ pub struct Framework {
 
 impl Framework {
     /// Runs the full study.
-    pub fn run(config: FrameworkConfig) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`CampaignError`] if the simulator or campaign configuration
+    /// is invalid (see [`collect_telemetry`]).
+    pub fn run(config: FrameworkConfig) -> Result<Self, CampaignError> {
         // Not a `phase.` span: it encloses the phases below, and the report's
         // share column assumes `phase.*` spans are disjoint.
         let _run_span = rv_obs::span("framework.run");
@@ -157,7 +161,7 @@ impl Framework {
             generator_config.window_days_hint = config.campaign.window_days;
             let generator = WorkloadGenerator::new(generator_config);
             let cluster = Cluster::new(config.cluster.clone());
-            let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign);
+            let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign)?;
             rv_obs::counter("framework.telemetry_rows").add(store.len() as u64);
             store
         };
@@ -198,7 +202,7 @@ impl Framework {
             &history,
         );
 
-        Self {
+        Ok(Self {
             config,
             store,
             d1,
@@ -207,7 +211,7 @@ impl Framework {
             history,
             ratio,
             delta,
-        }
+        })
     }
 
     fn pipeline(
@@ -345,7 +349,9 @@ mod tests {
     fn framework() -> &'static Framework {
         use std::sync::OnceLock;
         static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
-        FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+        FRAMEWORK.get_or_init(|| {
+            Framework::run(FrameworkConfig::small()).expect("small config is valid")
+        })
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn quantile_edges(col: &[f64], max_bins: usize) -> Vec<f64> {
     if sorted.is_empty() {
         return vec![0.0];
     }
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
     let mut edges: Vec<f64> = Vec::with_capacity(max_bins);
     for b in 0..max_bins {
@@ -180,7 +180,7 @@ fn code_of(edges: &[f64], v: f64) -> u8 {
         return (edges.len() - 1) as u8;
     }
     // Binary search for the first edge >= v.
-    match edges.binary_search_by(|e| e.partial_cmp(&v).expect("finite edges")) {
+    match edges.binary_search_by(|e| e.total_cmp(&v)) {
         Ok(i) => i as u8,
         Err(i) => i.min(edges.len() - 1) as u8,
     }
@@ -215,7 +215,7 @@ mod tests {
         assert_eq!(train.len(), 75);
         // Disjoint and exhaustive.
         let mut all: Vec<f64> = train.x.iter().chain(test.x.iter()).map(|r| r[0]).collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.sort_by(f64::total_cmp);
         assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
     }
 

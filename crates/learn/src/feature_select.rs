@@ -71,12 +71,7 @@ pub fn select_features(x: &[Vec<f64>], importance: &[f64], max_abs_corr: f64) ->
     let cols: Vec<Vec<f64>> = (0..d).map(|f| x.iter().map(|r| r[f]).collect()).collect();
 
     let mut order: Vec<usize> = (0..d).collect();
-    order.sort_by(|&a, &b| {
-        importance[b]
-            .partial_cmp(&importance[a])
-            .expect("finite importances")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| importance[b].total_cmp(&importance[a]).then(a.cmp(&b)));
 
     let mut kept: Vec<usize> = Vec::new();
     let mut dropped: Vec<(usize, usize)> = Vec::new();

@@ -3,7 +3,8 @@
 //! `RandomForestClassifier` is one of the §5.2 model family;
 //! `RandomForestRegressor` is the Griffon-style \[65\] baseline that predicts
 //! the raw runtime directly (extended, as in the paper, with optimizer and
-//! machine-status features). Trees train in parallel with `std::thread`.
+//! machine-status features). Trees train in parallel through `rv-par`
+//! (which this module's original ad-hoc pool was generalized into).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +26,8 @@ pub struct RandomForestConfig {
     pub sample_fraction: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Worker threads for tree fitting (1 = sequential).
+    /// Worker threads for tree fitting (`0` = auto via `rv-par`,
+    /// `1` = sequential). Thread count never changes the fitted forest.
     pub n_threads: usize,
 }
 
@@ -40,7 +42,7 @@ impl Default for RandomForestConfig {
             },
             sample_fraction: 1.0,
             seed: 0xf0e5,
-            n_threads: 4,
+            n_threads: 0,
         }
     }
 }
@@ -56,32 +58,6 @@ fn default_mtry_classification(n_features: usize) -> usize {
 
 fn default_mtry_regression(n_features: usize) -> usize {
     (n_features / 3).max(1)
-}
-
-/// Fits items in parallel across `n_threads` workers, preserving order.
-fn parallel_fit<T: Send>(
-    n_items: usize,
-    n_threads: usize,
-    fit: impl Fn(usize) -> T + Sync,
-) -> Vec<T> {
-    if n_threads <= 1 || n_items <= 1 {
-        return (0..n_items).map(fit).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
-    let chunk = n_items.div_ceil(n_threads);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in out.chunks_mut(chunk).enumerate() {
-            let fit = &fit;
-            scope.spawn(move || {
-                for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                    *slot = Some(fit(t * chunk + j));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("all items fitted"))
-        .collect()
 }
 
 /// A bagged ensemble of Gini classification trees.
@@ -104,7 +80,10 @@ impl RandomForestClassifier {
         if tree_cfg.features_per_split.is_none() {
             tree_cfg.features_per_split = Some(default_mtry_classification(n_features));
         }
-        let trees = parallel_fit(config.n_trees, config.n_threads, |i| {
+        // Trees already saturate the pool; keep each tree's own split
+        // search serial rather than nesting worker pools.
+        tree_cfg.n_threads = 1;
+        let trees = rv_par::par_map(config.n_trees, config.n_threads, |i| {
             let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(i as u64 * 7919));
             let rows = bootstrap_rows(x.len(), config.sample_fraction, &mut rng);
             ClassificationTree::fit(&binned, y, n_classes, &rows, &tree_cfg, &mut rng)
@@ -180,7 +159,8 @@ impl RandomForestRegressor {
         if tree_cfg.features_per_split.is_none() {
             tree_cfg.features_per_split = Some(default_mtry_regression(binned.n_features()));
         }
-        let trees = parallel_fit(config.n_trees, config.n_threads, |i| {
+        tree_cfg.n_threads = 1;
+        let trees = rv_par::par_map(config.n_trees, config.n_threads, |i| {
             let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_add(i as u64 * 6271));
             let rows = bootstrap_rows(x.len(), config.sample_fraction, &mut rng);
             GradientTree::fit(&binned, &grad, &hess, &rows, &tree_cfg, &mut rng)

@@ -21,7 +21,10 @@ pub struct GbdtConfig {
     pub n_rounds: usize,
     /// Shrinkage (learning rate).
     pub learning_rate: f64,
-    /// Per-tree hyper-parameters.
+    /// Per-tree hyper-parameters. Boosting itself is sequential (each
+    /// round consumes the previous round's scores), so parallelism comes
+    /// from the per-feature split search inside each tree, controlled by
+    /// `tree.n_threads` (`0` = auto via `rv-par`).
     pub tree: TreeConfig,
     /// Fraction of rows sampled (without replacement) per round.
     pub subsample: f64,

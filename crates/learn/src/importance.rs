@@ -25,7 +25,7 @@ fn rank<'a>(importances: Vec<f64>, names: &'a [&'a str]) -> Vec<(&'a str, f64)> 
         "importance/name width mismatch"
     );
     let mut pairs: Vec<(&str, f64)> = names.iter().copied().zip(importances).collect();
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite importances"));
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
     pairs
 }
 

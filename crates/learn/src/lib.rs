@@ -62,7 +62,7 @@ pub trait Classifier: Send + Sync {
         let p = self.predict_proba(x);
         p.iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite probabilities"))
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .expect("at least one class")
     }

@@ -30,6 +30,10 @@ pub struct TreeConfig {
     /// L2 regularization on gradient-tree leaf weights (ignored by
     /// classification trees).
     pub lambda: f64,
+    /// Worker threads for per-feature split search (`0` = auto via
+    /// `rv-par`, `1` = serial). Parallel and serial search pick
+    /// bit-identical splits, so this only changes wall-clock time.
+    pub n_threads: usize,
 }
 
 impl Default for TreeConfig {
@@ -40,7 +44,24 @@ impl Default for TreeConfig {
             min_gain: 1e-7,
             features_per_split: None,
             lambda: 1.0,
+            n_threads: 0,
         }
+    }
+}
+
+/// Minimum `rows × candidate features` in a node before the split search
+/// fans out across workers; smaller nodes search serially (thread spawn
+/// would cost more than the scan). Depends only on data size, so the
+/// serial/parallel decision is itself deterministic.
+const PAR_SPLIT_MIN_WORK: usize = 1 << 16;
+
+/// Resolved split-search worker request for a node: serial below the work
+/// gate, the configured request otherwise.
+fn split_threads(n_rows: usize, n_candidates: usize, config: &TreeConfig) -> usize {
+    if n_rows.saturating_mul(n_candidates) < PAR_SPLIT_MIN_WORK {
+        1
+    } else {
+        config.n_threads
     }
 }
 
@@ -213,40 +234,30 @@ fn build_classification(
     // Candidate features.
     let candidates = candidate_features(binned.n_features(), config.features_per_split, rng);
 
-    // Best split search over per-bin class histograms.
+    // Best split search over per-bin class histograms. Features are
+    // independent (each scans its own histogram), so candidates fan out
+    // across workers; the strict-`>` reduction below consumes the
+    // index-ordered results exactly like the serial loop would.
+    let threads = split_threads(rows.len(), candidates.len(), config);
+    let per_feature = rv_par::par_map(candidates.len(), threads, |ci| {
+        best_classification_split(
+            binned,
+            y,
+            n_classes,
+            rows,
+            config,
+            &counts,
+            node_gini,
+            candidates[ci],
+        )
+    });
     let mut best: Option<(usize, u8, f64)> = None; // (feature, bin, gain)
-    let mut hist = vec![0.0f64; BinnedMatrix::MAX_BINS * n_classes];
-    for &f in &candidates {
-        let n_bins = binned.n_bins(f);
-        if n_bins < 2 {
-            continue;
-        }
-        hist[..n_bins * n_classes].iter_mut().for_each(|v| *v = 0.0);
-        for &r in rows {
-            let b = binned.code(f, r) as usize;
-            hist[b * n_classes + y[r]] += 1.0;
-        }
-        // Prefix scan over bins.
-        let mut left = vec![0.0f64; n_classes];
-        let mut left_n = 0.0;
-        for b in 0..n_bins - 1 {
-            for c in 0..n_classes {
-                left[c] += hist[b * n_classes + c];
-            }
-            left_n = left.iter().sum();
-            let right_n = n - left_n;
-            if left_n < config.min_samples_leaf as f64 || right_n < config.min_samples_leaf as f64 {
-                continue;
-            }
-            let right: Vec<f64> = (0..n_classes).map(|c| counts[c] - left[c]).collect();
-            let child_gini =
-                (left_n / n) * gini(&left, left_n) + (right_n / n) * gini(&right, right_n);
-            let gain = node_gini - child_gini;
-            if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
-                best = Some((f, b as u8, gain));
+    for (&f, cand) in candidates.iter().zip(&per_feature) {
+        if let Some((bin, gain)) = *cand {
+            if best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((f, bin, gain));
             }
         }
-        let _ = left_n;
     }
 
     let Some((feature, bin, gain)) = best else {
@@ -288,6 +299,52 @@ fn build_classification(
         gain: gain * n / total_rows,
     };
     idx
+}
+
+/// Best `(bin, gain)` split of `rows` on feature `f`, or `None` when no
+/// bin clears the leaf-size and minimum-gain constraints. Pure in its
+/// inputs, so features can be searched in any order or concurrently.
+#[allow(clippy::too_many_arguments)]
+fn best_classification_split(
+    binned: &BinnedMatrix,
+    y: &[usize],
+    n_classes: usize,
+    rows: &[usize],
+    config: &TreeConfig,
+    counts: &[f64],
+    node_gini: f64,
+    f: usize,
+) -> Option<(u8, f64)> {
+    let n_bins = binned.n_bins(f);
+    if n_bins < 2 {
+        return None;
+    }
+    let n = rows.len() as f64;
+    let mut hist = vec![0.0f64; n_bins * n_classes];
+    for &r in rows {
+        let b = binned.code(f, r) as usize;
+        hist[b * n_classes + y[r]] += 1.0;
+    }
+    // Prefix scan over bins.
+    let mut best: Option<(u8, f64)> = None;
+    let mut left = vec![0.0f64; n_classes];
+    for b in 0..n_bins - 1 {
+        for c in 0..n_classes {
+            left[c] += hist[b * n_classes + c];
+        }
+        let left_n: f64 = left.iter().sum();
+        let right_n = n - left_n;
+        if left_n < config.min_samples_leaf as f64 || right_n < config.min_samples_leaf as f64 {
+            continue;
+        }
+        let right: Vec<f64> = (0..n_classes).map(|c| counts[c] - left[c]).collect();
+        let child_gini = (left_n / n) * gini(&left, left_n) + (right_n / n) * gini(&right, right_n);
+        let gain = node_gini - child_gini;
+        if gain > config.min_gain && best.map_or(true, |(_, bg)| gain > bg) {
+            best = Some((b as u8, gain));
+        }
+    }
+    best
 }
 
 // ---------------------------------------------------------------------------
@@ -371,39 +428,28 @@ fn build_gradient(
     let parent_obj = leaf_objective(g_sum, h_sum, config.lambda);
     let candidates = candidate_features(binned.n_features(), config.features_per_split, rng);
 
+    // Same fan-out/reduce structure as the classification search: one
+    // independent task per candidate feature, strict-`>` reduction in
+    // candidate order.
+    let threads = split_threads(rows.len(), candidates.len(), config);
+    let per_feature = rv_par::par_map(candidates.len(), threads, |ci| {
+        best_gradient_split(
+            binned,
+            grad,
+            hess,
+            rows,
+            config,
+            g_sum,
+            h_sum,
+            parent_obj,
+            candidates[ci],
+        )
+    });
     let mut best: Option<(usize, u8, f64)> = None;
-    let mut hist_g = vec![0.0f64; BinnedMatrix::MAX_BINS];
-    let mut hist_h = vec![0.0f64; BinnedMatrix::MAX_BINS];
-    let mut hist_n = vec![0u32; BinnedMatrix::MAX_BINS];
-    for &f in &candidates {
-        let n_bins = binned.n_bins(f);
-        if n_bins < 2 {
-            continue;
-        }
-        hist_g[..n_bins].iter_mut().for_each(|v| *v = 0.0);
-        hist_h[..n_bins].iter_mut().for_each(|v| *v = 0.0);
-        hist_n[..n_bins].iter_mut().for_each(|v| *v = 0);
-        for &r in rows {
-            let b = binned.code(f, r) as usize;
-            hist_g[b] += grad[r];
-            hist_h[b] += hess[r];
-            hist_n[b] += 1;
-        }
-        let (mut gl, mut hl, mut nl) = (0.0f64, 0.0f64, 0u32);
-        for b in 0..n_bins - 1 {
-            gl += hist_g[b];
-            hl += hist_h[b];
-            nl += hist_n[b];
-            let nr = rows.len() as u32 - nl;
-            if (nl as usize) < config.min_samples_leaf || (nr as usize) < config.min_samples_leaf {
-                continue;
-            }
-            let gain = 0.5
-                * (leaf_objective(gl, hl, config.lambda)
-                    + leaf_objective(g_sum - gl, h_sum - hl, config.lambda)
-                    - parent_obj);
-            if gain > config.min_gain && best.map_or(true, |(_, _, bg)| gain > bg) {
-                best = Some((f, b as u8, gain));
+    for (&f, cand) in candidates.iter().zip(&per_feature) {
+        if let Some((bin, gain)) = *cand {
+            if best.map_or(true, |(_, _, bg)| gain > bg) {
+                best = Some((f, bin, gain));
             }
         }
     }
@@ -448,6 +494,54 @@ fn build_gradient(
     idx
 }
 
+/// Best `(bin, gain)` split of `rows` on feature `f` for the gradient
+/// tree, or `None` when no bin clears the constraints.
+#[allow(clippy::too_many_arguments)]
+fn best_gradient_split(
+    binned: &BinnedMatrix,
+    grad: &[f64],
+    hess: &[f64],
+    rows: &[usize],
+    config: &TreeConfig,
+    g_sum: f64,
+    h_sum: f64,
+    parent_obj: f64,
+    f: usize,
+) -> Option<(u8, f64)> {
+    let n_bins = binned.n_bins(f);
+    if n_bins < 2 {
+        return None;
+    }
+    let mut hist_g = vec![0.0f64; n_bins];
+    let mut hist_h = vec![0.0f64; n_bins];
+    let mut hist_n = vec![0u32; n_bins];
+    for &r in rows {
+        let b = binned.code(f, r) as usize;
+        hist_g[b] += grad[r];
+        hist_h[b] += hess[r];
+        hist_n[b] += 1;
+    }
+    let mut best: Option<(u8, f64)> = None;
+    let (mut gl, mut hl, mut nl) = (0.0f64, 0.0f64, 0u32);
+    for b in 0..n_bins - 1 {
+        gl += hist_g[b];
+        hl += hist_h[b];
+        nl += hist_n[b];
+        let nr = rows.len() as u32 - nl;
+        if (nl as usize) < config.min_samples_leaf || (nr as usize) < config.min_samples_leaf {
+            continue;
+        }
+        let gain = 0.5
+            * (leaf_objective(gl, hl, config.lambda)
+                + leaf_objective(g_sum - gl, h_sum - hl, config.lambda)
+                - parent_obj);
+        if gain > config.min_gain && best.map_or(true, |(_, bg)| gain > bg) {
+            best = Some((b as u8, gain));
+        }
+    }
+    best
+}
+
 fn candidate_features(
     n_features: usize,
     features_per_split: Option<usize>,
@@ -465,9 +559,11 @@ fn candidate_features(
 }
 
 pub(crate) fn argmax(v: &[f64]) -> usize {
+    // `total_cmp` keeps the comparison total under NaN scores (a NaN ranks
+    // highest and wins the argmax) instead of panicking mid-prediction.
     v.iter()
         .enumerate()
-        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .expect("non-empty")
 }
@@ -599,6 +695,73 @@ mod tests {
         t.tree().accumulate_importance(&mut imp);
         assert!(imp[0] > 0.0, "informative feature should gain importance");
         assert!(imp[0] > imp[1]);
+    }
+
+    /// A task wide/tall enough that `rows × candidates` clears
+    /// [`PAR_SPLIT_MIN_WORK`] at the root, so the parallel path actually
+    /// runs.
+    fn wide_task() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let n_features = 50;
+        let x: Vec<Vec<f64>> = (0..1500)
+            .map(|i| {
+                (0..n_features)
+                    .map(|f| ((i * (f + 3) + f * f) % 23) as f64)
+                    .collect()
+            })
+            .collect();
+        let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] > 11.0)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn parallel_split_search_matches_serial_classification() {
+        let (x, y) = wide_task();
+        assert!(x.len() * x[0].len() >= PAR_SPLIT_MIN_WORK);
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let fit = |n_threads: usize| {
+            let cfg = TreeConfig {
+                n_threads,
+                ..Default::default()
+            };
+            ClassificationTree::fit(&binned, &y, 2, &rows, &cfg, &mut rng())
+        };
+        let serial = fit(1);
+        let parallel = fit(4);
+        assert_eq!(serial.tree().n_nodes(), parallel.tree().n_nodes());
+        for xi in x.iter().take(100) {
+            assert_eq!(serial.predict_proba(xi), parallel.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn parallel_split_search_matches_serial_gradient() {
+        let (x, y) = wide_task();
+        let grad: Vec<f64> = y.iter().map(|&v| if v == 1 { -1.0 } else { 1.0 }).collect();
+        let hess = vec![1.0; x.len()];
+        let binned = BinnedMatrix::from_rows(&x, 32);
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let fit = |n_threads: usize| {
+            let cfg = TreeConfig {
+                n_threads,
+                ..Default::default()
+            };
+            GradientTree::fit(&binned, &grad, &hess, &rows, &cfg, &mut rng())
+        };
+        let serial = fit(1);
+        let parallel = fit(4);
+        assert_eq!(serial.tree().n_nodes(), parallel.tree().n_nodes());
+        for xi in x.iter().take(100) {
+            assert_eq!(serial.predict(xi).to_bits(), parallel.predict(xi).to_bits());
+        }
+    }
+
+    #[test]
+    fn argmax_tolerates_nan_scores() {
+        // A NaN score must not panic the prediction path; under total
+        // ordering NaN ranks above every finite value.
+        assert_eq!(argmax(&[0.1, f64::NAN, 0.9]), 1);
+        assert_eq!(argmax(&[0.2, 0.7, 0.1]), 1);
     }
 
     #[test]

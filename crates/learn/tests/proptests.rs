@@ -36,7 +36,7 @@ proptest! {
         let m = BinnedMatrix::from_rows(&x, 16);
         for f in 0..3 {
             let mut order: Vec<usize> = (0..x.len()).collect();
-            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             for w in order.windows(2) {
                 prop_assert!(m.code(f, w[0]) <= m.code(f, w[1]));
             }

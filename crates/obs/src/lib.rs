@@ -203,6 +203,16 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard::open(name, span_close_hook)
 }
 
+/// Folds a manually measured duration into the span aggregates, for
+/// timings that do not wrap a lexical scope (worker-pool busy/idle times,
+/// durations reconstructed after a join). No trace event is emitted.
+pub fn record_span_seconds(name: &'static str, seconds: f64) {
+    if !enabled() {
+        return;
+    }
+    hub().spans.record(name, seconds);
+}
+
 /// Emits a trace event (no-op without an attached sink).
 pub fn emit(kind: &'static str, fields: &[(&'static str, FieldValue)]) {
     if !trace_enabled() {
@@ -254,6 +264,20 @@ mod tests {
         let c = counter("lib.test.disabled");
         c.inc();
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn record_span_seconds_folds_into_aggregates() {
+        init(ObsConfig::default()).expect("init");
+        record_span_seconds("phase.manual_record", 0.25);
+        let snap = span_snapshot();
+        let stat = snap
+            .iter()
+            .find(|(name, _)| *name == "phase.manual_record")
+            .map(|(_, stat)| stat)
+            .expect("manually recorded span present");
+        assert!(stat.calls >= 1);
+        assert!(stat.total_s >= 0.25);
     }
 
     #[test]

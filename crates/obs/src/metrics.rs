@@ -124,13 +124,32 @@ pub struct Histogram {
     inner: Arc<HistogramCells>,
 }
 
+/// Fixed-point resolution of the histogram running sum: values are
+/// accumulated in units of `2^-20` (~1e-6).
+const SUM_FP_SCALE: f64 = (1u64 << 20) as f64;
+
+/// A sample in fixed-point sum units. Non-finite samples contribute 0 to
+/// the sum (they are still counted, in the under/overflow bins); huge
+/// finite samples saturate the cast, which is fine for a diagnostic mean.
+fn sum_fp_units(v: f64) -> i64 {
+    if v.is_finite() {
+        (v * SUM_FP_SCALE).round() as i64
+    } else {
+        0
+    }
+}
+
 struct HistogramCells {
     bins: Vec<AtomicU64>,
     underflow: AtomicU64,
     overflow: AtomicU64,
     count: AtomicU64,
-    /// Running sum, stored as f64 bits (CAS loop on update).
-    sum_bits: AtomicU64,
+    /// Running sum in fixed-point units of `2^-20`, stored as a
+    /// two's-complement `i64` in a `u64` cell. Wrapping integer adds
+    /// commute exactly, so concurrent recorders (e.g. rv-par workers)
+    /// produce bit-identical totals under any interleaving — float
+    /// accumulation would depend on arrival order.
+    sum_fp: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -141,7 +160,7 @@ impl Default for Histogram {
                 underflow: AtomicU64::new(0),
                 overflow: AtomicU64::new(0),
                 count: AtomicU64::new(0),
-                sum_bits: AtomicU64::new(0f64.to_bits()),
+                sum_fp: AtomicU64::new(0),
             }),
         }
     }
@@ -159,19 +178,9 @@ impl Histogram {
             None => cells.underflow.fetch_add(1, Ordering::Relaxed),
         };
         cells.count.fetch_add(1, Ordering::Relaxed);
-        let mut old = cells.sum_bits.load(Ordering::Relaxed);
-        loop {
-            let new = (f64::from_bits(old) + v).to_bits();
-            match cells.sum_bits.compare_exchange_weak(
-                old,
-                new,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(current) => old = current,
-            }
-        }
+        cells
+            .sum_fp
+            .fetch_add(sum_fp_units(v) as u64, Ordering::Relaxed);
     }
 
     /// Total observations.
@@ -185,7 +194,8 @@ impl Histogram {
         if n == 0 {
             0.0
         } else {
-            f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed)) / n as f64
+            let sum_fp = self.inner.sum_fp.load(Ordering::Relaxed) as i64;
+            sum_fp as f64 / SUM_FP_SCALE / n as f64
         }
     }
 
@@ -240,7 +250,7 @@ impl Histogram {
         cells.underflow.store(0, Ordering::Relaxed);
         cells.overflow.store(0, Ordering::Relaxed);
         cells.count.store(0, Ordering::Relaxed);
-        cells.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        cells.sum_fp.store(0, Ordering::Relaxed);
     }
 }
 
@@ -467,6 +477,43 @@ mod tests {
         assert!((400.0..700.0).contains(&p50), "p50 {p50}");
         let p99 = h.quantile(0.99);
         assert!(p99 > p50);
+    }
+
+    #[test]
+    fn histogram_sum_handles_negative_and_non_finite() {
+        let h = Histogram::default();
+        for v in [1.5, -2.25, f64::NAN, f64::INFINITY] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        // Negative values subtract from the sum; non-finite ones contribute 0.
+        let expected = (1.5 - 2.25) / 4.0;
+        assert!((h.mean() - expected).abs() < 1e-5, "mean {}", h.mean());
+    }
+
+    #[test]
+    fn histogram_mean_is_bit_identical_across_recording_orders() {
+        let serial = Histogram::default();
+        for i in 1..=1000u32 {
+            serial.record(f64::from(i) * 0.1);
+        }
+        // Same multiset of samples recorded concurrently, interleaved by the
+        // scheduler: the fixed-point sum must still land on the same bits.
+        let threaded = Histogram::default();
+        std::thread::scope(|scope| {
+            for t in 1..=4u32 {
+                let h = threaded.clone();
+                scope.spawn(move || {
+                    let mut i = t;
+                    while i <= 1000 {
+                        h.record(f64::from(i) * 0.1);
+                        i += 4;
+                    }
+                });
+            }
+        });
+        assert_eq!(serial.count(), threaded.count());
+        assert_eq!(serial.mean().to_bits(), threaded.mean().to_bits());
     }
 
     #[test]

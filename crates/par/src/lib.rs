@@ -1,0 +1,310 @@
+//! # rv-par — deterministic data parallelism
+//!
+//! A std-only scoped worker pool for the pipeline's embarrassingly parallel
+//! sweeps: one simulated run per job instance, one restart per k-means
+//! seeding, one feature per split search, one coalition per Shapley value.
+//! Generalized from the ad-hoc `parallel_fit` that the random forest
+//! trainer started with.
+//!
+//! ## Determinism contract
+//!
+//! Parallelism here changes wall-clock time, never results:
+//!
+//! * [`par_map`] hands out work by an atomic ticket (dynamic load balance)
+//!   but returns results **in input-index order**, so a caller that reduces
+//!   over the returned vector associates floating-point operations exactly
+//!   as the serial loop would;
+//! * [`par_chunks`] splits a slice into contiguous, never-empty chunks —
+//!   each element is written by exactly one worker, and workers only
+//!   compute element-local values;
+//! * the serial path is the same code run by a one-worker pool
+//!   (`threads = 1`), not a separate implementation.
+//!
+//! Callers that fold floats across items must therefore reduce over the
+//! returned, index-ordered values — never accumulate across items inside
+//! workers, where completion order is scheduling-dependent.
+//!
+//! ## Thread-count resolution
+//!
+//! Every entry point takes `threads: usize` where `0` means *auto*,
+//! resolved by [`Threads`]: the process-wide override
+//! ([`set_global_threads`], wired to `--threads` on the binaries), else the
+//! `RUNVAR_THREADS` environment variable, else the machine's available
+//! parallelism.
+//!
+//! ## Observability
+//!
+//! When `rv-obs` is enabled, each parallel dispatch records pool counters
+//! (`par.dispatches`, `par.tasks`, `par.workers`) and folds per-worker busy
+//! and idle wall time into the span aggregates (`par.worker_busy`,
+//! `par.worker_idle`). The counters are exact and deterministic for a
+//! given configuration; busy/idle are wall-clock quantities and live in
+//! the span layer, where timings are expected to vary run to run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Process-wide thread-count override; `0` means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// A worker-count request.
+///
+/// `requested == 0` means *auto*; [`Threads::get`] resolves it through the
+/// override → `RUNVAR_THREADS` → CPU-count chain described in the crate
+/// docs. Non-zero requests are taken literally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threads {
+    /// Requested worker count; `0` resolves automatically.
+    pub requested: usize,
+}
+
+impl Threads {
+    /// Automatic resolution (override → env → CPU count).
+    pub const AUTO: Threads = Threads { requested: 0 };
+
+    /// A fixed worker count (`0` falls back to auto).
+    pub fn fixed(n: usize) -> Self {
+        Self { requested: n }
+    }
+
+    /// Resolves to a concrete worker count (always ≥ 1).
+    pub fn get(self) -> usize {
+        if self.requested > 0 {
+            return self.requested;
+        }
+        let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+        if global > 0 {
+            return global;
+        }
+        if let Some(n) = env_threads() {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Self::AUTO
+    }
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("RUNVAR_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// Sets the process-wide worker-count override (the `--threads` flag);
+/// `0` clears it back to `RUNVAR_THREADS`/CPU-count resolution.
+pub fn set_global_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Resolves `requested` (`0` = auto) to a concrete worker count, ≥ 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    Threads { requested }.get()
+}
+
+/// Maps `f` over `0..n_items` on up to `threads` workers (`0` = auto) and
+/// returns the results in **input-index order**.
+///
+/// Work is distributed by an atomic ticket, so a slow item does not stall
+/// the other workers; determinism comes from the reduction side — every
+/// result lands at its input index regardless of which worker computed it
+/// or when. With one resolved worker (or fewer than two items) this is a
+/// plain serial loop over the same closure.
+pub fn par_map<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_workers = resolve_threads(threads).min(n_items);
+    if n_workers <= 1 {
+        return (0..n_items).map(f).collect();
+    }
+    let obs = rv_obs::enabled();
+    let ticket = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_items).map(|_| None).collect();
+    let mut busy = vec![0.0f64; n_workers];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                let ticket = &ticket;
+                let f = &f;
+                scope.spawn(move || {
+                    let start = obs.then(Instant::now);
+                    let mut done: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = ticket.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_items {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    (done, start.map_or(0.0, |s| s.elapsed().as_secs_f64()))
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            let (done, secs) = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            busy[w] = secs;
+            for (i, v) in done {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(v);
+            }
+        }
+    });
+    if obs {
+        record_dispatch(n_items, &busy);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Splits `items` into contiguous chunks and runs `f(start_index, chunk)`
+/// on up to `threads` workers (`0` = auto).
+///
+/// Chunks are never empty: the worker count is clamped to `items.len()`,
+/// so `n_items < n_threads` simply spawns fewer workers. With one resolved
+/// worker (or an empty slice) the closure runs inline on the whole slice.
+pub fn par_chunks<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    let n_workers = resolve_threads(threads).min(n);
+    if n_workers <= 1 {
+        if n > 0 {
+            f(0, items);
+        }
+        return;
+    }
+    let obs = rv_obs::enabled();
+    let chunk = n.div_ceil(n_workers);
+    let busy: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let start = obs.then(Instant::now);
+                    f(ci * chunk, slice);
+                    start.map_or(0.0, |s| s.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    if obs {
+        record_dispatch(n, &busy);
+    }
+}
+
+/// Folds one dispatch's pool activity into the obs layer. Idle time is
+/// measured against the slowest worker of the dispatch — the time each
+/// other worker spent waiting at the scope join.
+fn record_dispatch(n_tasks: usize, busy: &[f64]) {
+    rv_obs::counter("par.dispatches").inc();
+    rv_obs::counter("par.tasks").add(n_tasks as u64);
+    rv_obs::counter("par.workers").add(busy.len() as u64);
+    let slowest = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+    for &b in busy {
+        rv_obs::record_span_seconds("par.worker_busy", b);
+        rv_obs::record_span_seconds("par.worker_idle", slowest - b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(i: usize) -> usize {
+        i * i
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let out: Vec<usize> = par_map(0, 4, square);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_item() {
+        assert_eq!(par_map(1, 4, square), vec![0]);
+    }
+
+    #[test]
+    fn par_map_fewer_items_than_threads() {
+        // n_items = n_threads - 1: the worker count clamps to the item
+        // count, so no worker ever sees an empty range.
+        assert_eq!(par_map(3, 4, square), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 3, 4, 7, 16] {
+            let out = par_map(257, threads, |i| i.wrapping_mul(0x9e37_79b9));
+            let expected: Vec<usize> = (0..257usize).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty_and_small() {
+        let mut empty: [usize; 0] = [];
+        par_chunks(&mut empty, 4, |_, _| panic!("no chunk for empty input"));
+
+        for n in [1usize, 3] {
+            let mut items = vec![0usize; n];
+            par_chunks(&mut items, 4, |start, chunk| {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = start + j;
+                }
+            });
+            let expected: Vec<usize> = (0..n).collect();
+            assert_eq!(items, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_element_once() {
+        let mut items = vec![0u32; 1000];
+        par_chunks(&mut items, 8, |_, chunk| {
+            for slot in chunk.iter_mut() {
+                *slot += 1;
+            }
+        });
+        assert!(items.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn explicit_request_wins_resolution() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(Threads::fixed(7).get(), 7);
+        assert!(Threads::AUTO.get() >= 1);
+    }
+
+    #[test]
+    fn global_override_applies_to_auto_only() {
+        set_global_threads(2);
+        assert_eq!(resolve_threads(0), 2);
+        assert_eq!(resolve_threads(5), 5);
+        set_global_threads(0);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

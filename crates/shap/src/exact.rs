@@ -43,19 +43,32 @@ pub fn exact_shapley_values(
     );
 
     // v(S) = E_z[ f(x_S, z_{\S}) ], cached for every subset bitmask.
+    // Coalitions are independent, so the cache fills in parallel chunks
+    // (one hybrid-row buffer per worker); each v[mask] is element-local,
+    // so chunking cannot reassociate any float sum. Small problems stay
+    // serial — the gate depends only on problem size, so the decision is
+    // deterministic.
     let n_subsets = 1usize << d;
+    let coalition_threads = if n_subsets * background.len() < PAR_MIN_EVALS {
+        1
+    } else {
+        0
+    };
     let mut v = vec![0.0f64; n_subsets];
-    let mut hybrid = vec![0.0f64; d];
-    for (mask, value) in v.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for z in background {
-            for j in 0..d {
-                hybrid[j] = if mask & (1 << j) != 0 { x[j] } else { z[j] };
+    rv_par::par_chunks(&mut v, coalition_threads, |start, chunk| {
+        let mut hybrid = vec![0.0f64; d];
+        for (offset, value) in chunk.iter_mut().enumerate() {
+            let mask = start + offset;
+            let mut acc = 0.0;
+            for z in background {
+                for j in 0..d {
+                    hybrid[j] = if mask & (1 << j) != 0 { x[j] } else { z[j] };
+                }
+                acc += model.predict_proba(&hybrid)[target_class];
             }
-            acc += model.predict_proba(&hybrid)[target_class];
+            *value = acc / background.len() as f64;
         }
-        *value = acc / background.len() as f64;
-    }
+    });
 
     // Precompute factorial weights w[s] = s! (d - s - 1)! / d!.
     let mut fact = vec![1.0f64; d + 1];
@@ -64,19 +77,27 @@ pub fn exact_shapley_values(
     }
     let weight = |s: usize| fact[s] * fact[d - s - 1] / fact[d];
 
-    let mut phi = vec![0.0f64; d];
-    for (j, slot) in phi.iter_mut().enumerate() {
+    // One task per feature; within a task the coalition scan keeps the
+    // serial mask order, so each phi[j] is bit-identical to the serial
+    // accumulation.
+    let feature_threads = if d * n_subsets < PAR_MIN_EVALS { 1 } else { 0 };
+    rv_par::par_map(d, feature_threads, |j| {
         let bit = 1usize << j;
+        let mut slot = 0.0f64;
         for mask in 0..n_subsets {
             if mask & bit != 0 {
                 continue;
             }
             let s = (mask as u32).count_ones() as usize;
-            *slot += weight(s) * (v[mask | bit] - v[mask]);
+            slot += weight(s) * (v[mask | bit] - v[mask]);
         }
-    }
-    phi
+        slot
+    })
 }
+
+/// Minimum evaluation count (`coalitions × background`, or
+/// `features × coalitions`) before a stage fans out across workers.
+const PAR_MIN_EVALS: usize = 1 << 12;
 
 #[cfg(test)]
 mod tests {
@@ -196,6 +217,28 @@ mod tests {
         for (e, m) in exact.iter().zip(&mc) {
             assert!((e - m).abs() < 0.01, "exact {e} vs MC {m}");
         }
+    }
+
+    #[test]
+    fn wide_model_clears_parallel_gate_and_stays_exact() {
+        // d = 13 → 8192 coalitions: both stages run on the pool, and the
+        // efficiency axiom must still hold to float precision.
+        let d = 13;
+        let w: Vec<f64> = (0..d).map(|j| 0.3 - 0.05 * j as f64).collect();
+        let model = Linear { w };
+        let x: Vec<f64> = (0..d).map(|j| (j % 3) as f64).collect();
+        let bg = vec![vec![0.0; d], vec![1.0; d]];
+        assert!((1usize << d) * bg.len() >= PAR_MIN_EVALS);
+        let phi = exact_shapley_values(&model, &x, 1, &bg);
+        let fx = model.predict_proba(&x)[1];
+        let mean_fz: f64 =
+            bg.iter().map(|z| model.predict_proba(z)[1]).sum::<f64>() / bg.len() as f64;
+        let total: f64 = phi.iter().sum();
+        assert!(
+            (total - (fx - mean_fz)).abs() < 1e-10,
+            "sum {total} vs {}",
+            fx - mean_fz
+        );
     }
 
     #[test]

@@ -35,26 +35,61 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Why a campaign configuration was rejected before any job was simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The simulator configuration failed [`SimConfig::validate`].
+    Sim(String),
+    /// `window_days` was not a positive finite number.
+    Window(f64),
+    /// `temp_data_fraction` was outside `[0, 1)`.
+    TempDataFraction(f64),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sim(msg) => write!(f, "invalid sim config: {msg}"),
+            Self::Window(v) => write!(f, "window must be positive, got {v}"),
+            Self::TempDataFraction(v) => {
+                write!(f, "temp_data_fraction must be in [0, 1), got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
 /// Runs every instance of `generator`'s templates over the campaign window
 /// on `cluster` and returns the captured telemetry.
+///
+/// Instances simulate on the shared `rv-par` pool (one task per job run —
+/// every run draws from its own seeded RNG streams, so tasks are
+/// independent) and rows are appended in instance order, making the store
+/// byte-identical at any thread count.
+///
+/// # Errors
+/// Returns [`CampaignError`] if `sim` fails validation, `window_days` is
+/// not positive and finite, or `temp_data_fraction` is outside `[0, 1)`.
 pub fn collect_telemetry(
     generator: &WorkloadGenerator,
     cluster: &Cluster,
     sim: &SimConfig,
     campaign: &CampaignConfig,
-) -> TelemetryStore {
-    sim.validate().expect("valid sim config");
-    assert!(campaign.window_days > 0.0, "window must be positive");
-    assert!(
-        (0.0..1.0).contains(&campaign.temp_data_fraction),
-        "temp_data_fraction must be in [0, 1)"
-    );
+) -> Result<TelemetryStore, CampaignError> {
+    sim.validate().map_err(CampaignError::Sim)?;
+    if !(campaign.window_days > 0.0 && campaign.window_days.is_finite()) {
+        return Err(CampaignError::Window(campaign.window_days));
+    }
+    if !(0.0..1.0).contains(&campaign.temp_data_fraction) {
+        return Err(CampaignError::TempDataFraction(campaign.temp_data_fraction));
+    }
 
     let window_s = campaign.window_days * 86_400.0;
     let instances = generator.instances_within(window_s);
-    let mut store = TelemetryStore::with_capacity(instances.len());
 
-    for instance in &instances {
+    let rows = rv_par::par_map(instances.len(), 0, |i| {
+        let instance = &instances[i];
         let template = &generator.templates()[instance.template_id as usize];
         // Optimizer estimates are drawn per run: parameters change between
         // recurrences, so so do the estimates.
@@ -80,7 +115,7 @@ pub fn collect_telemetry(
         let temp_data_gb =
             data_read_gb * campaign.temp_data_fraction / (1.0 - campaign.temp_data_fraction);
 
-        let row = JobTelemetry::from_run(
+        JobTelemetry::from_run(
             template.group_key(),
             template.id,
             instance.seq,
@@ -99,7 +134,11 @@ pub fn collect_telemetry(
             sku_util_std,
             cluster.diurnal_load(instance.submit_time_s),
             cluster.spare_fraction(instance.submit_time_s),
-        );
+        )
+    });
+
+    let mut store = TelemetryStore::with_capacity(rows.len());
+    for row in rows {
         store.push(row);
     }
     if rv_obs::enabled() {
@@ -116,7 +155,7 @@ pub fn collect_telemetry(
             ],
         );
     }
-    store
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -142,6 +181,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .expect("valid campaign config")
     }
 
     #[test]
@@ -194,14 +234,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be positive")]
     fn rejects_empty_window() {
         let generator = WorkloadGenerator::new(GeneratorConfig {
             n_templates: 1,
             ..Default::default()
         });
         let cluster = Cluster::new(ClusterConfig::default());
-        collect_telemetry(
+        let err = collect_telemetry(
             &generator,
             &cluster,
             &SimConfig::default(),
@@ -209,6 +248,29 @@ mod tests {
                 window_days: 0.0,
                 ..Default::default()
             },
-        );
+        )
+        .expect_err("zero-day window must be rejected");
+        assert_eq!(err, CampaignError::Window(0.0));
+        assert!(err.to_string().contains("window must be positive"));
+    }
+
+    #[test]
+    fn rejects_bad_temp_data_fraction() {
+        let generator = WorkloadGenerator::new(GeneratorConfig {
+            n_templates: 1,
+            ..Default::default()
+        });
+        let cluster = Cluster::new(ClusterConfig::default());
+        let err = collect_telemetry(
+            &generator,
+            &cluster,
+            &SimConfig::default(),
+            &CampaignConfig {
+                temp_data_fraction: 1.0,
+                ..Default::default()
+            },
+        )
+        .expect_err("fraction of 1.0 would divide by zero");
+        assert_eq!(err, CampaignError::TempDataFraction(1.0));
     }
 }

@@ -268,6 +268,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .expect("valid campaign config")
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod features;
 pub mod record;
 pub mod store;
 
-pub use collect::{collect_telemetry, CampaignConfig};
+pub use collect::{collect_telemetry, CampaignConfig, CampaignError};
 pub use dataset::{Dataset, DatasetSpec, GroupHistory};
 pub use export::{read_store, write_store};
 pub use features::{FeatureExtractor, FeatureSchema, FEATURE_NAMES};

@@ -26,7 +26,8 @@ fn main() {
     let generator = WorkloadGenerator::new(generator_config);
     let cluster = Cluster::new(config.cluster.clone());
     let sim = SimConfig::default();
-    let store = collect_telemetry(&generator, &cluster, &sim, &config.campaign);
+    let store = collect_telemetry(&generator, &cluster, &sim, &config.campaign)
+        .expect("valid campaign config");
     let d1 = Dataset::assemble(
         &store,
         DatasetSpec::new("D1", 0.0, config.campaign.window_days, 10),

@@ -14,7 +14,7 @@ use rv_core::framework::{Framework, FrameworkConfig};
 use rv_core::monitor::DriftMonitor;
 
 fn main() {
-    let f = Framework::run(FrameworkConfig::small());
+    let f = Framework::run(FrameworkConfig::small()).expect("valid config");
     let pipe = &f.ratio;
     let catalog = pipe.characterization.catalog.clone();
     let mut monitor = DriftMonitor::new(catalog, 16, 6, 0.4);

@@ -22,7 +22,7 @@ fn main() {
     .expect("create trace file");
 
     rv_obs::info!("tracing the scaled-down study to {}", trace_path.display());
-    let f = Framework::run(FrameworkConfig::small());
+    let f = Framework::run(FrameworkConfig::small()).expect("valid config");
     rv_obs::flush();
 
     println!(

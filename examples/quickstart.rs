@@ -12,7 +12,7 @@ use rv_core::framework::{Framework, FrameworkConfig};
 
 fn main() {
     println!("running the scaled-down study (FrameworkConfig::small) ...\n");
-    let f = Framework::run(FrameworkConfig::small());
+    let f = Framework::run(FrameworkConfig::small()).expect("valid config");
 
     // Table 1 analog: the datasets the study is built on.
     println!("datasets (Table 1 analog):");

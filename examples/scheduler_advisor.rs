@@ -15,7 +15,7 @@ use rv_core::framework::{Framework, FrameworkConfig};
 use rv_core::risk::breach_probability;
 
 fn main() {
-    let f = Framework::run(FrameworkConfig::small());
+    let f = Framework::run(FrameworkConfig::small()).expect("valid config");
     let pipe = &f.ratio;
     let catalog = &pipe.characterization.catalog;
 

@@ -15,7 +15,7 @@ use rv_core::framework::{Framework, FrameworkConfig};
 use rv_core::risk::{assess_store, RiskLevel};
 
 fn main() {
-    let f = Framework::run(FrameworkConfig::small());
+    let f = Framework::run(FrameworkConfig::small()).expect("valid config");
 
     // SLO policy: each job must finish within 2x its historic median.
     let slo_ratio = 2.0;

@@ -21,7 +21,7 @@ fn main() {
         "running the full-scale study; this takes a moment ...
 "
     );
-    let f = Framework::run(FrameworkConfig::default());
+    let f = Framework::run(FrameworkConfig::default()).expect("valid config");
     let pipe = &f.ratio;
     let catalog = &pipe.characterization.catalog;
 

@@ -6,7 +6,10 @@
 # Runs, in order:
 #   1. cargo fmt --check                        (no formatting drift)
 #   2. cargo clippy --workspace -D warnings     (lint-clean, all targets)
-#   3. cargo build --release && cargo test -q   (tier-1)
+#   3. cargo build --release && cargo test -q   (tier-1, serial + 4 threads)
+#
+# The test suite runs twice — RUNVAR_THREADS=1 and RUNVAR_THREADS=4 — so a
+# result that depends on worker-pool width fails the gate.
 #
 # Fails fast on the first broken gate.
 set -euo pipefail
@@ -21,7 +24,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
-echo "==> tier-1: cargo test -q"
-cargo test -q
+echo "==> tier-1: RUNVAR_THREADS=1 cargo test -q"
+RUNVAR_THREADS=1 cargo test -q
+
+echo "==> tier-1: RUNVAR_THREADS=4 cargo test -q"
+RUNVAR_THREADS=4 cargo test -q
 
 echo "All checks passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catalog_robustness-34a9b5c7088caa6a.d: crates/core/tests/catalog_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatalog_robustness-34a9b5c7088caa6a.rmeta: crates/core/tests/catalog_robustness.rs Cargo.toml
+
+crates/core/tests/catalog_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_robustness-c71b605ebdc74891.d: crates/core/tests/catalog_robustness.rs
+
+/root/repo/target/debug/deps/catalog_robustness-c71b605ebdc74891: crates/core/tests/catalog_robustness.rs
+
+crates/core/tests/catalog_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterize-206aec2a5cefdb15.d: crates/bench/benches/characterize.rs
+
+/root/repo/target/debug/deps/characterize-206aec2a5cefdb15: crates/bench/benches/characterize.rs
+
+crates/bench/benches/characterize.rs:

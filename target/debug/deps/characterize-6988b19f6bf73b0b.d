@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterize-6988b19f6bf73b0b.d: crates/bench/benches/characterize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterize-6988b19f6bf73b0b.rmeta: crates/bench/benches/characterize.rs Cargo.toml
+
+crates/bench/benches/characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_properties-2815ae29b2f2ebe7.d: crates/core/../../tests/dataset_properties.rs
+
+/root/repo/target/debug/deps/dataset_properties-2815ae29b2f2ebe7: crates/core/../../tests/dataset_properties.rs
+
+crates/core/../../tests/dataset_properties.rs:

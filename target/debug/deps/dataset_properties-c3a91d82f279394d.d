@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_properties-c3a91d82f279394d.d: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_properties-c3a91d82f279394d.rmeta: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+crates/core/../../tests/dataset_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

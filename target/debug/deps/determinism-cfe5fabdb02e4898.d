@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cfe5fabdb02e4898.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cfe5fabdb02e4898: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

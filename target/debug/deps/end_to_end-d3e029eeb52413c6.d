@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d3e029eeb52413c6.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d3e029eeb52413c6: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e02dfd07bb4db026.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-e02dfd07bb4db026: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

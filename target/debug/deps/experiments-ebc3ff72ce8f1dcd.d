@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-ebc3ff72ce8f1dcd.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-ebc3ff72ce8f1dcd: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

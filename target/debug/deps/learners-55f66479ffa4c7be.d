@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learners-55f66479ffa4c7be.d: crates/bench/benches/learners.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearners-55f66479ffa4c7be.rmeta: crates/bench/benches/learners.rs Cargo.toml
+
+crates/bench/benches/learners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/learners-ad8fa01ee1e993ba.d: crates/bench/benches/learners.rs
+
+/root/repo/target/debug/deps/learners-ad8fa01ee1e993ba: crates/bench/benches/learners.rs
+
+crates/bench/benches/learners.rs:

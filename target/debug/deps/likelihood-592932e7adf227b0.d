@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/likelihood-592932e7adf227b0.d: crates/bench/benches/likelihood.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblikelihood-592932e7adf227b0.rmeta: crates/bench/benches/likelihood.rs Cargo.toml
+
+crates/bench/benches/likelihood.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

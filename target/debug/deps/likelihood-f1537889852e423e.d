@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/likelihood-f1537889852e423e.d: crates/bench/benches/likelihood.rs
+
+/root/repo/target/debug/deps/likelihood-f1537889852e423e: crates/bench/benches/likelihood.rs
+
+crates/bench/benches/likelihood.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_integration-7f318499137229d9.d: crates/core/../../tests/obs_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_integration-7f318499137229d9.rmeta: crates/core/../../tests/obs_integration.rs Cargo.toml
+
+crates/core/../../tests/obs_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

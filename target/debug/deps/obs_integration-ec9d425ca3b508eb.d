@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-ec9d425ca3b508eb.d: crates/core/../../tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-ec9d425ca3b508eb: crates/core/../../tests/obs_integration.rs
+
+crates/core/../../tests/obs_integration.rs:

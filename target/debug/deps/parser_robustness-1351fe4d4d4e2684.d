@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-1351fe4d4d4e2684.d: crates/telemetry/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-1351fe4d4d4e2684: crates/telemetry/tests/parser_robustness.rs
+
+crates/telemetry/tests/parser_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-acc29411c5b91c80.d: crates/telemetry/tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-acc29411c5b91c80.rmeta: crates/telemetry/tests/parser_robustness.rs Cargo.toml
+
+crates/telemetry/tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

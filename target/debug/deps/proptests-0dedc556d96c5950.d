@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0dedc556d96c5950.d: crates/learn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0dedc556d96c5950.rmeta: crates/learn/tests/proptests.rs Cargo.toml
+
+crates/learn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-af44105c4ce9ceac.d: crates/cluster/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-af44105c4ce9ceac.rmeta: crates/cluster/tests/proptests.rs Cargo.toml
+
+crates/cluster/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

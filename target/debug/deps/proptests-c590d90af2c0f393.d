@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c590d90af2c0f393.d: crates/learn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c590d90af2c0f393: crates/learn/tests/proptests.rs
+
+crates/learn/tests/proptests.rs:

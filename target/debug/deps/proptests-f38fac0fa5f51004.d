@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f38fac0fa5f51004.d: crates/cluster/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f38fac0fa5f51004: crates/cluster/tests/proptests.rs
+
+crates/cluster/tests/proptests.rs:

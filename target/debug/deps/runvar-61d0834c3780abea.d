@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runvar-61d0834c3780abea.d: crates/bench/src/bin/runvar.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunvar-61d0834c3780abea.rmeta: crates/bench/src/bin/runvar.rs Cargo.toml
+
+crates/bench/src/bin/runvar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-6409f6d9cf760111.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-6409f6d9cf760111: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-bb3b884977b084a9.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-bb3b884977b084a9: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

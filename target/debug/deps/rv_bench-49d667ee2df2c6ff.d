@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rv_bench-49d667ee2df2c6ff.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/debug/deps/librv_bench-49d667ee2df2c6ff.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/debug/deps/librv_bench-49d667ee2df2c6ff.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp_characterize.rs:
+crates/bench/src/exp_descriptive.rs:
+crates/bench/src/exp_explain.rs:
+crates/bench/src/exp_predict.rs:
+crates/bench/src/exp_whatif.rs:

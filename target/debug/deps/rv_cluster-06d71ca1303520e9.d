@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rv_cluster-06d71ca1303520e9.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_cluster-06d71ca1303520e9.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/assign.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/elbow.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/minibatch.rs:
+crates/cluster/src/silhouette.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rv_cluster-24a2b270b0376237.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/debug/deps/librv_cluster-24a2b270b0376237.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/debug/deps/librv_cluster-24a2b270b0376237.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/assign.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/elbow.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/minibatch.rs:
+crates/cluster/src/silhouette.rs:

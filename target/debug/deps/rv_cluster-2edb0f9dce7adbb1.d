@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rv_cluster-2edb0f9dce7adbb1.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/debug/deps/rv_cluster-2edb0f9dce7adbb1: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/assign.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/elbow.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/minibatch.rs:
+crates/cluster/src/silhouette.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rv_shap-6fe72af685ae87e9.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/debug/deps/librv_shap-6fe72af685ae87e9.rlib: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/debug/deps/librv_shap-6fe72af685ae87e9.rmeta: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rv_shap-e111c3db6f311172.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/debug/deps/rv_shap-e111c3db6f311172: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:

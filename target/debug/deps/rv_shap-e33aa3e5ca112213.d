@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rv_shap-e33aa3e5ca112213.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_shap-e33aa3e5ca112213.rmeta: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs Cargo.toml
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

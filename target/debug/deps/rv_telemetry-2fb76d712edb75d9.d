@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rv_telemetry-2fb76d712edb75d9.d: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_telemetry-2fb76d712edb75d9.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collect.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rv_telemetry-494484e8909b56b2.d: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/debug/deps/rv_telemetry-494484e8909b56b2: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collect.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shapley-3bd7b44df55bfd0b.d: crates/bench/benches/shapley.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshapley-3bd7b44df55bfd0b.rmeta: crates/bench/benches/shapley.rs Cargo.toml
+
+crates/bench/benches/shapley.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

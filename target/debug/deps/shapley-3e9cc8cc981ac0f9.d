@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shapley-3e9cc8cc981ac0f9.d: crates/bench/benches/shapley.rs
+
+/root/repo/target/debug/deps/shapley-3e9cc8cc981ac0f9: crates/bench/benches/shapley.rs
+
+crates/bench/benches/shapley.rs:

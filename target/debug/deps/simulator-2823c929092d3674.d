@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-2823c929092d3674.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-2823c929092d3674: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

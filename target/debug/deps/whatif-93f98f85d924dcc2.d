@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif-93f98f85d924dcc2.d: crates/bench/benches/whatif.rs
+
+/root/repo/target/debug/deps/whatif-93f98f85d924dcc2: crates/bench/benches/whatif.rs
+
+crates/bench/benches/whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_integration-cb7a5e9bb339fff4.d: crates/core/../../tests/whatif_integration.rs
+
+/root/repo/target/debug/deps/whatif_integration-cb7a5e9bb339fff4: crates/core/../../tests/whatif_integration.rs
+
+crates/core/../../tests/whatif_integration.rs:

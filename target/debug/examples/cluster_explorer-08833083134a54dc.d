@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_explorer-08833083134a54dc.d: crates/core/../../examples/cluster_explorer.rs
+
+/root/repo/target/debug/examples/cluster_explorer-08833083134a54dc: crates/core/../../examples/cluster_explorer.rs
+
+crates/core/../../examples/cluster_explorer.rs:

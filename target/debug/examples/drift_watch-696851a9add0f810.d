@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_watch-696851a9add0f810.d: crates/core/../../examples/drift_watch.rs
+
+/root/repo/target/debug/examples/drift_watch-696851a9add0f810: crates/core/../../examples/drift_watch.rs
+
+crates/core/../../examples/drift_watch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drift_watch-bf63dc9ae8408b63.d: crates/core/../../examples/drift_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrift_watch-bf63dc9ae8408b63.rmeta: crates/core/../../examples/drift_watch.rs Cargo.toml
+
+crates/core/../../examples/drift_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-93152265724b2658.d: crates/core/../../examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-93152265724b2658: crates/core/../../examples/pipeline_trace.rs
+
+crates/core/../../examples/pipeline_trace.rs:

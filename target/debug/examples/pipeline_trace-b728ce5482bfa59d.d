@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_trace-b728ce5482bfa59d.d: crates/core/../../examples/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_trace-b728ce5482bfa59d.rmeta: crates/core/../../examples/pipeline_trace.rs Cargo.toml
+
+crates/core/../../examples/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

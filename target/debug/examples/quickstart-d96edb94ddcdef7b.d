@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d96edb94ddcdef7b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d96edb94ddcdef7b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

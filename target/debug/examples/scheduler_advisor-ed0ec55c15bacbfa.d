@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_advisor-ed0ec55c15bacbfa.d: crates/core/../../examples/scheduler_advisor.rs
+
+/root/repo/target/debug/examples/scheduler_advisor-ed0ec55c15bacbfa: crates/core/../../examples/scheduler_advisor.rs
+
+crates/core/../../examples/scheduler_advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_monitor-0b86eb801bf0e0ed.d: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_monitor-0b86eb801bf0e0ed.rmeta: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+crates/core/../../examples/sla_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_monitor-fe022a54477ff5ec.d: crates/core/../../examples/sla_monitor.rs
+
+/root/repo/target/debug/examples/sla_monitor-fe022a54477ff5ec: crates/core/../../examples/sla_monitor.rs
+
+crates/core/../../examples/sla_monitor.rs:

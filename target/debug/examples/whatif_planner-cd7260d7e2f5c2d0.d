@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_planner-cd7260d7e2f5c2d0.d: crates/core/../../examples/whatif_planner.rs
+
+/root/repo/target/debug/examples/whatif_planner-cd7260d7e2f5c2d0: crates/core/../../examples/whatif_planner.rs
+
+crates/core/../../examples/whatif_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-4f390d17ecd9d10b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-4f390d17ecd9d10b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runvar-ccd266f7a64a2d13.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/release/deps/runvar-ccd266f7a64a2d13: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

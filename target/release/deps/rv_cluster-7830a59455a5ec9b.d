@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rv_cluster-7830a59455a5ec9b.d: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/librv_cluster-7830a59455a5ec9b.rlib: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/librv_cluster-7830a59455a5ec9b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/agglomerative.rs crates/cluster/src/assign.rs crates/cluster/src/dendrogram.rs crates/cluster/src/elbow.rs crates/cluster/src/kmeans.rs crates/cluster/src/minibatch.rs crates/cluster/src/silhouette.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/agglomerative.rs:
+crates/cluster/src/assign.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/elbow.rs:
+crates/cluster/src/kmeans.rs:
+crates/cluster/src/minibatch.rs:
+crates/cluster/src/silhouette.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rv_shap-d95d6eaaf66baf25.d: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/release/deps/librv_shap-d95d6eaaf66baf25.rlib: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+/root/repo/target/release/deps/librv_shap-d95d6eaaf66baf25.rmeta: crates/shap/src/lib.rs crates/shap/src/exact.rs crates/shap/src/shapley.rs crates/shap/src/summary.rs
+
+crates/shap/src/lib.rs:
+crates/shap/src/exact.rs:
+crates/shap/src/shapley.rs:
+crates/shap/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rv_telemetry-02b5ee48c313b4f5.d: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/release/deps/librv_telemetry-02b5ee48c313b4f5.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+/root/repo/target/release/deps/librv_telemetry-02b5ee48c313b4f5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/collect.rs crates/telemetry/src/dataset.rs crates/telemetry/src/export.rs crates/telemetry/src/features.rs crates/telemetry/src/record.rs crates/telemetry/src/store.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/collect.rs:
+crates/telemetry/src/dataset.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/features.rs:
+crates/telemetry/src/record.rs:
+crates/telemetry/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6c235ea5fdccdf2c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6c235ea5fdccdf2c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,8 +1,14 @@
 //! Reproducibility: the entire study is a deterministic function of its
 //! seeds. Two runs with the same configuration must agree bit for bit; a
-//! different seed must produce a genuinely different campaign.
+//! different seed must produce a genuinely different campaign; and the
+//! worker-pool width (`--threads` / `RUNVAR_THREADS`) must not leak into
+//! any artifact.
+
+use proptest::prelude::*;
 
 use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::persist::write_catalog;
+use rv_core::rv_telemetry::write_store;
 
 fn small() -> FrameworkConfig {
     let mut cfg = FrameworkConfig::small();
@@ -15,8 +21,8 @@ fn small() -> FrameworkConfig {
 
 #[test]
 fn identical_configs_produce_identical_studies() {
-    let a = Framework::run(small());
-    let b = Framework::run(small());
+    let a = Framework::run(small()).expect("valid config");
+    let b = Framework::run(small()).expect("valid config");
 
     assert_eq!(a.store.len(), b.store.len());
     for (ra, rb) in a.store.rows().iter().zip(b.store.rows()) {
@@ -44,11 +50,11 @@ fn identical_configs_produce_identical_studies() {
 
 #[test]
 fn different_seed_changes_the_campaign() {
-    let a = Framework::run(small());
+    let a = Framework::run(small()).expect("valid config");
     let mut cfg = small();
     cfg.generator.seed ^= 0xdead_beef;
     cfg.sim.seed ^= 0x1234_5678;
-    let b = Framework::run(cfg);
+    let b = Framework::run(cfg).expect("valid config");
     let same_runtime = a
         .store
         .rows()
@@ -61,4 +67,50 @@ fn different_seed_changes_the_campaign() {
         "{same_runtime} of {} runtimes identical across seeds",
         a.store.len()
     );
+}
+
+/// Serializes a run's externally visible artifacts: the full telemetry
+/// campaign, both shape catalogs, and every D3 prediction.
+fn artifact_bytes(f: &Framework) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_store(&f.store, &mut bytes).expect("serialize store");
+    write_catalog(&f.ratio.characterization.catalog, &mut bytes).expect("serialize ratio catalog");
+    write_catalog(&f.delta.characterization.catalog, &mut bytes).expect("serialize delta catalog");
+    for pipe in [&f.ratio, &f.delta] {
+        for row in f.d3.store.rows() {
+            bytes.push(pipe.predictor.predict_row(row) as u8);
+        }
+        bytes.extend_from_slice(&pipe.test_accuracy.to_be_bytes());
+    }
+    bytes
+}
+
+/// The ISSUE's core contract: `--threads 4` and `--threads 1` must produce
+/// byte-identical artifacts over the full pipeline.
+#[test]
+fn parallel_run_matches_serial_byte_for_byte() {
+    rv_par::set_global_threads(1);
+    let serial = Framework::run(small()).expect("valid config");
+    rv_par::set_global_threads(4);
+    let parallel = Framework::run(small()).expect("valid config");
+    rv_par::set_global_threads(0);
+
+    assert_eq!(
+        artifact_bytes(&serial),
+        artifact_bytes(&parallel),
+        "threads=1 and threads=4 artifacts diverge"
+    );
+}
+
+// `par_map` must return results in input-index order for arbitrary item
+// counts and thread counts (0 = auto).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn par_map_preserves_input_order(n in 0usize..257, threads in 0usize..9) {
+        let out = rv_par::par_map(n, threads, |i| i.wrapping_mul(2_654_435_761));
+        let expected: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        prop_assert_eq!(out, expected);
+    }
 }

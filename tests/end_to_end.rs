@@ -13,7 +13,7 @@ use std::sync::OnceLock;
 
 fn framework() -> &'static Framework {
     static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
-    FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()))
+    FRAMEWORK.get_or_init(|| Framework::run(FrameworkConfig::small()).expect("valid config"))
 }
 
 #[test]

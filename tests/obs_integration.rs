@@ -153,7 +153,7 @@ fn traced_run_is_valid_jsonl_and_metrics_are_deterministic() {
         log_level: None,
     })
     .expect("init with trace");
-    let run_a = Framework::run(FrameworkConfig::small());
+    let run_a = Framework::run(FrameworkConfig::small()).expect("valid config");
     rv_obs::flush();
 
     let text = std::fs::read_to_string(&trace_path).expect("read trace");
@@ -194,7 +194,7 @@ fn traced_run_is_valid_jsonl_and_metrics_are_deterministic() {
     rv_obs::init(rv_obs::ObsConfig::default()).expect("re-init without trace");
     let snapshot_of_run = || {
         rv_obs::reset_metrics();
-        let f = Framework::run(FrameworkConfig::small());
+        let f = Framework::run(FrameworkConfig::small()).expect("valid config");
         let spans: Vec<(&'static str, u64)> = rv_obs::span_snapshot()
             .into_iter()
             .map(|(name, stat)| (name, stat.calls))
