@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! experiments [--scale small|full] [--out DIR] [--threads N] [--trace T]
-//!             [--metrics-summary] [EXPERIMENT...]
+//!             [--metrics-summary] [--cache-dir DIR] [--no-cache]
+//!             [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Valid names: `table1`, `fig1`,
@@ -54,6 +55,8 @@ fn main() -> ExitCode {
     let mut selected: Vec<String> = Vec::new();
     let mut trace_path: Option<PathBuf> = None;
     let mut want_summary = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,10 +91,18 @@ fn main() -> ExitCode {
                 }
             },
             "--metrics-summary" => want_summary = true,
+            "--cache-dir" => match args.next() {
+                Some(dir) if !dir.starts_with("--") => cache_dir = Some(PathBuf::from(dir)),
+                _ => {
+                    rv_obs::error!("--cache-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-cache" => no_cache = true,
             "--help" | "-h" => {
                 println!(
                     "experiments [--scale small|full] [--out DIR] [--threads N] [--trace T] \
-                     [--metrics-summary] [EXPERIMENT...]"
+                     [--metrics-summary] [--cache-dir DIR] [--no-cache] [EXPERIMENT...]"
                 );
                 println!("experiments: {}", ALL.join(", "));
                 return ExitCode::SUCCESS;
@@ -124,7 +135,8 @@ fn main() -> ExitCode {
         out_dir.display()
     );
     let start = std::time::Instant::now();
-    let ctx = match Ctx::new(scale, &out_dir) {
+    let cache_dir = if no_cache { None } else { cache_dir };
+    let ctx = match Ctx::with_cache(scale, &out_dir, cache_dir.as_deref()) {
         Ok(ctx) => ctx,
         Err(e) => {
             rv_obs::error!("{e}");

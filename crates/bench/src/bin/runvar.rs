@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! runvar run       [--scale small|paper] [--trace T] [--metrics-summary]
+//!                  [--cache-dir DIR] [--no-cache]
 //! runvar simulate  --out telemetry.csv [--templates N] [--days D] [--seed S]
 //!                  (both also take --threads N)
 //! runvar characterize --telemetry telemetry.csv --out catalog.txt
@@ -25,6 +26,10 @@
 //! `--threads N` (or `RUNVAR_THREADS=N`) sets the worker-pool width for the
 //! parallel hot paths; `1` forces serial execution and `0`/unset picks the
 //! CPU count. Output is byte-identical at every setting.
+//!
+//! `run --cache-dir <dir>` persists fingerprinted stage artifacts and reuses
+//! them on later invocations with a matching configuration (cache stats are
+//! reported on stderr); `--no-cache` ignores the cache for one run.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -34,6 +39,7 @@ use rv_core::characterize::{characterize, CharacterizeConfig};
 use rv_core::framework::{Framework, FrameworkConfig};
 use rv_core::likelihood::assign_group;
 use rv_core::persist::{read_catalog, write_catalog};
+use rv_core::pipeline::ArtifactCache;
 use rv_core::risk::{breach_probability, RiskLevel};
 use rv_core::rv_scope::{GeneratorConfig, WorkloadGenerator};
 use rv_core::rv_sim::{Cluster, ClusterConfig, SimConfig};
@@ -87,6 +93,7 @@ fn main() -> ExitCode {
             println!("subcommands: run, simulate, characterize, assess, explain-plan");
             println!("observability: --trace <path>, --metrics-summary, RUNVAR_LOG=level");
             println!("parallelism: --threads <n> (0 = auto; default RUNVAR_THREADS or CPU count)");
+            println!("caching: run --cache-dir <dir> reuses fingerprinted stage artifacts; --no-cache disables");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -162,12 +169,27 @@ fn run_framework(flags: &Flags) -> Result<(), String> {
         "paper" | "full" => FrameworkConfig::default(),
         other => return Err(format!("unknown scale {other:?} (small|paper)")),
     };
+    let cache = match flags.get("cache-dir") {
+        Some(dir) if !flags.has("no-cache") => {
+            Some(ArtifactCache::new(dir).map_err(|e| format!("cannot open cache dir {dir}: {e}"))?)
+        }
+        _ => None,
+    };
     rv_obs::info!(
         "running full framework: {} templates, {} days",
         config.generator.n_templates,
         config.campaign.window_days
     );
-    let fw = Framework::run(config).map_err(|e| e.to_string())?;
+    let fw = match &cache {
+        Some(cache) => Framework::run_cached(config, cache),
+        None => Framework::run(config),
+    }
+    .map_err(|e| e.to_string())?;
+    if let Some(cache) = &cache {
+        // Stats go to stderr so stdout stays byte-identical cold vs warm.
+        let (hits, misses) = cache.stats();
+        eprintln!("cache: {hits} hits, {misses} misses");
+    }
     println!(
         "{:<6} {:>8} {:>10} {:>9}",
         "set", "groups", "instances", "support"

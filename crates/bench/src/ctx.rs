@@ -3,6 +3,7 @@
 use std::path::{Path, PathBuf};
 
 use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::pipeline::ArtifactCache;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,10 +41,27 @@ impl Ctx {
     /// created — e.g. a read-only location or a path that exists as a file —
     /// so binaries can exit with a proper message.
     pub fn new(scale: Scale, out_dir: &Path) -> Result<Self, String> {
+        Self::with_cache(scale, out_dir, None)
+    }
+
+    /// As [`Ctx::new`], but loads/persists stage artifacts under `cache_dir`
+    /// when one is given, so repeated invocations reuse matching stages.
+    pub fn with_cache(
+        scale: Scale,
+        out_dir: &Path,
+        cache_dir: Option<&Path>,
+    ) -> Result<Self, String> {
         std::fs::create_dir_all(out_dir)
             .map_err(|e| format!("cannot create output directory {}: {e}", out_dir.display()))?;
-        let framework =
-            Framework::run(scale.config()).map_err(|e| format!("invalid configuration: {e}"))?;
+        let framework = match cache_dir {
+            Some(dir) => {
+                let cache = ArtifactCache::new(dir)
+                    .map_err(|e| format!("cannot open cache directory {}: {e}", dir.display()))?;
+                Framework::run_cached(scale.config(), &cache)
+            }
+            None => Framework::run(scale.config()),
+        }
+        .map_err(|e| format!("invalid configuration: {e}"))?;
         Ok(Self {
             framework,
             out_dir: out_dir.to_path_buf(),

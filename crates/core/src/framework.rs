@@ -9,17 +9,15 @@
 
 use std::collections::BTreeMap;
 
-use rv_learn::{accuracy, confusion_matrix, ConfusionMatrix};
-use rv_scope::{GeneratorConfig, JobGroupKey, WorkloadGenerator};
-use rv_sim::{Cluster, ClusterConfig, SimConfig};
+use rv_learn::ConfusionMatrix;
+use rv_scope::{GeneratorConfig, JobGroupKey};
+use rv_sim::{ClusterConfig, SimConfig};
 use rv_stats::Normalization;
-use rv_telemetry::{
-    collect_telemetry, CampaignConfig, CampaignError, Dataset, DatasetSpec, FeatureExtractor,
-    GroupHistory, TelemetryStore,
-};
+use rv_telemetry::{CampaignConfig, Dataset, GroupHistory, TelemetryStore};
 
-use crate::characterize::{characterize, Characterization, CharacterizeConfig};
-use crate::predictor::{label_groups, PredictorConfig, ShapePredictor};
+use crate::characterize::Characterization;
+use crate::pipeline::{run_staged, ArtifactCache, PipelineError};
+use crate::predictor::{PredictorConfig, ShapePredictor};
 
 /// Configuration of a full framework run.
 #[derive(Debug, Clone)]
@@ -145,175 +143,28 @@ pub struct Framework {
 }
 
 impl Framework {
-    /// Runs the full study.
+    /// Runs the full study as a staged pipeline (no caching).
     ///
     /// # Errors
-    /// Returns [`CampaignError`] if the simulator or campaign configuration
-    /// is invalid (see [`collect_telemetry`]).
-    pub fn run(config: FrameworkConfig) -> Result<Self, CampaignError> {
-        // Not a `phase.` span: it encloses the phases below, and the report's
-        // share column assumes `phase.*` spans are disjoint.
-        let _run_span = rv_obs::span("framework.run");
-        let store = {
-            let _span = rv_obs::span("phase.simulate");
-            let mut generator_config = config.generator.clone();
-            // Keep late-starting ("new job") templates inside the campaign.
-            generator_config.window_days_hint = config.campaign.window_days;
-            let generator = WorkloadGenerator::new(generator_config);
-            let cluster = Cluster::new(config.cluster.clone());
-            let store = collect_telemetry(&generator, &cluster, &config.sim, &config.campaign)?;
-            rv_obs::counter("framework.telemetry_rows").add(store.len() as u64);
-            store
-        };
-
-        let (d1, d2, d3, history) = {
-            let _span = rv_obs::span("phase.datasets");
-            let [d1_spec, d2_spec, d3_spec] = DatasetSpec::paper_trio(config.campaign.window_days);
-            let d1 = Dataset::assemble(
-                &store,
-                DatasetSpec {
-                    min_support: config.characterize_support,
-                    ..d1_spec
-                },
-            );
-            let d2 = Dataset::assemble(&store, d2_spec);
-            let d3 = Dataset::assemble(&store, d3_spec);
-            let history = GroupHistory::compute(&d1.store);
-            rv_obs::counter("framework.d1_groups").add(d1.n_groups() as u64);
-            (d1, d2, d3, history)
-        };
-
-        let ratio = Self::pipeline(
-            Normalization::Ratio,
-            &config,
-            &store,
-            &d1,
-            &d2,
-            &d3,
-            &history,
-        );
-        let delta = Self::pipeline(
-            Normalization::Delta,
-            &config,
-            &store,
-            &d1,
-            &d2,
-            &d3,
-            &history,
-        );
-
-        Ok(Self {
-            config,
-            store,
-            d1,
-            d2,
-            d3,
-            history,
-            ratio,
-            delta,
-        })
+    /// Returns [`PipelineError`] if the simulator or campaign configuration
+    /// is invalid, or if a degenerate configuration leaves a stage with no
+    /// usable data (too few groups for the catalog, no labeled training
+    /// rows, no labeled test instances).
+    pub fn run(config: FrameworkConfig) -> Result<Self, PipelineError> {
+        run_staged(config, None)
     }
 
-    fn pipeline(
-        normalization: Normalization,
-        config: &FrameworkConfig,
-        full: &TelemetryStore,
-        d1: &Dataset,
-        d2: &Dataset,
-        d3: &Dataset,
-        history: &GroupHistory,
-    ) -> NormalizationPipeline {
-        let ch_config = CharacterizeConfig {
-            k: config.k,
-            min_support: config.characterize_support,
-            ..CharacterizeConfig::paper(normalization)
-        };
-        let characterization = {
-            let _span = rv_obs::span("phase.characterize");
-            characterize(&d1.store, &ch_config)
-        };
-        let catalog = &characterization.catalog;
-
-        // Labels are anchored to *long-interval* observations (§2, C2/C4:
-        // "we develop the model using the observations of distributions
-        // over a long time interval"): a group's training label uses every
-        // observation up to the end of the training window, and the test
-        // truth uses the group's full observed history. Short-window
-        // re-labeling would make the target itself noisy for groups near a
-        // shape boundary.
-        let _label_span = rv_obs::span("phase.label");
-        let upto_train_end: rv_telemetry::TelemetryStore = full
-            .rows_in_window(0.0, d2.spec.to_days * 86_400.0)
-            .into_iter()
-            .cloned()
-            .collect();
-        let train_labels_all = label_groups(catalog, &upto_train_end, history);
-        let test_labels_all = label_groups(catalog, full, history);
-        let train_labels: BTreeMap<JobGroupKey, usize> = d2
-            .store
-            .group_keys()
-            .filter_map(|k| train_labels_all.get(k).map(|&l| (k.clone(), l)))
-            .collect();
-        let test_labels: BTreeMap<JobGroupKey, usize> = d3
-            .store
-            .group_keys()
-            .filter_map(|k| test_labels_all.get(k).map(|&l| (k.clone(), l)))
-            .collect();
-
-        drop(_label_span);
-
-        let (predictor, _n_train) = {
-            let _span = rv_obs::span("phase.train");
-            ShapePredictor::train(
-                &d2.store,
-                &train_labels,
-                FeatureExtractor::new(history.clone()),
-                config.k,
-                &config.predictor,
-            )
-        };
-
-        // Instance-level evaluation on D3.
-        let _eval_span = rv_obs::span("phase.evaluate");
-        let mut truth = Vec::new();
-        let mut predicted = Vec::new();
-        for row in d3.store.rows() {
-            if let Some(&label) = test_labels.get(&row.group) {
-                truth.push(label);
-                predicted.push(predictor.predict_row(row));
-            }
-        }
-        assert!(!truth.is_empty(), "no labeled test instances");
-        let test_accuracy = accuracy(&truth, &predicted);
-        let confusion = confusion_matrix(&truth, &predicted, config.k);
-        drop(_eval_span);
-        rv_obs::counter("framework.pipelines").inc();
-        rv_obs::gauge(&format!(
-            "framework.accuracy.{}",
-            normalization.name().to_ascii_lowercase()
-        ))
-        .set(test_accuracy);
-        rv_obs::emit(
-            "framework.pipeline",
-            &[
-                (
-                    "normalization",
-                    rv_obs::FieldValue::from(normalization.name()),
-                ),
-                ("test_accuracy", rv_obs::FieldValue::from(test_accuracy)),
-                ("test_instances", rv_obs::FieldValue::from(truth.len())),
-            ],
-        );
-
-        NormalizationPipeline {
-            normalization,
-            characterization,
-            train_labels,
-            test_labels,
-            predictor,
-            test_accuracy,
-            confusion,
-        }
+    /// Runs the full study, loading stage artifacts from `cache` where their
+    /// fingerprints match and persisting recomputed ones.
+    ///
+    /// # Errors
+    /// As [`Framework::run`]; cache I/O problems degrade to recomputation,
+    /// never errors.
+    pub fn run_cached(
+        config: FrameworkConfig,
+        cache: &ArtifactCache,
+    ) -> Result<Self, PipelineError> {
+        run_staged(config, Some(cache))
     }
 
     /// The pipeline for one normalization.

@@ -20,7 +20,8 @@
 //!    predicted shape transitions.
 //!
 //! [`scalar_metrics`] reproduces §4.1's critique of medians and COV
-//! (Fig 4), and [`framework`] wires the whole pipeline behind one call.
+//! (Fig 4), and [`framework`] wires the whole pipeline behind one call —
+//! executed as the staged, fingerprint-cached DAG in [`mod@pipeline`].
 //! Operational add-ons: [`risk`] turns predicted shapes into SLO-breach
 //! probabilities (§1's motivating question) and [`monitor`] is a streaming
 //! drift detector flagging groups whose recent runs no longer match their
@@ -32,6 +33,7 @@ pub mod framework;
 pub mod likelihood;
 pub mod monitor;
 pub mod persist;
+pub mod pipeline;
 pub mod predictor;
 pub mod regression_baseline;
 pub mod report;
@@ -46,7 +48,10 @@ pub use framework::{Framework, FrameworkConfig};
 pub use likelihood::{assign_group, assign_samples, log_likelihoods};
 pub use monitor::{DriftMonitor, DriftVerdict};
 pub use persist::{read_catalog, write_catalog};
-pub use predictor::{ModelKind, PredictorConfig, ShapePredictor};
+pub use pipeline::{
+    stage_fingerprints, ArtifactCache, Fingerprint, PipelineError, StageFingerprints,
+};
+pub use predictor::{FittedModel, ModelKind, PredictorConfig, ShapePredictor};
 pub use regression_baseline::{compare_distribution_fidelity, FidelityReport, RuntimeRegressor};
 pub use risk::{assess_row, assess_store, breach_probability, RiskAssessment, RiskLevel};
 pub use scalar_metrics::{cov_pairs, median_scatter, stalagmite_stats};

@@ -1,0 +1,574 @@
+//! Body codecs for staged pipeline artifacts.
+//!
+//! Each stage output has a `write_*` / `read_*` pair producing the
+//! line-oriented text format shared with `rv_learn::serialize`: one record
+//! per line, comma-separated, tag first, counts before repeated blocks, and
+//! floats through `Display` (shortest-round-trip, so a write→read cycle is
+//! bit-lossless). The cache layer prepends a `rv-artifact,v1,<stage>,<fp>`
+//! header line; the codecs here are header-free so round-trip tests can
+//! exercise them directly.
+//!
+//! Readers validate before constructing: corrupt files must surface as
+//! [`SerializeError`]s (which the cache treats as misses), never as panics
+//! inside constructors like `Pmf::from_probs` or `ShapeCatalog::new`.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+use rv_learn::serialize::write_list;
+use rv_learn::{
+    ConfusionMatrix, FeatureSelection, GaussianNb, GbdtClassifier, LineReader,
+    RandomForestClassifier, SerializeError,
+};
+use rv_scope::{JobGroupKey, PlanSignature};
+use rv_stats::{BinSpec, Normalization, Pmf};
+use rv_telemetry::{
+    read_store, write_store, Dataset, DatasetSpec, FeatureExtractor, GroupHistory, GroupStats,
+    TelemetryStore,
+};
+
+use crate::characterize::Characterization;
+use crate::predictor::{FittedModel, ShapePredictor};
+use crate::shapes::{ShapeCatalog, ShapeStats};
+
+/// Output of the `datasets` stage: the Table 1 trio plus D1 group history.
+#[derive(Debug, Clone)]
+pub struct DatasetsArtifact {
+    /// Shape-catalog dataset (long window, high support).
+    pub d1: Dataset,
+    /// Training dataset.
+    pub d2: Dataset,
+    /// Test dataset.
+    pub d3: Dataset,
+    /// Per-group historic statistics over D1.
+    pub history: GroupHistory,
+}
+
+/// Output of a `label` stage: shape labels for train and test groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelsArtifact {
+    /// Labels restricted to groups present in D2.
+    pub train: BTreeMap<JobGroupKey, usize>,
+    /// Labels restricted to groups present in D3.
+    pub test: BTreeMap<JobGroupKey, usize>,
+}
+
+/// Output of an `evaluate` stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationArtifact {
+    /// Test-set accuracy.
+    pub test_accuracy: f64,
+    /// Test-set confusion matrix (`k × k`).
+    pub confusion: ConfusionMatrix,
+    /// Number of labeled test instances evaluated.
+    pub n_test_instances: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+fn parse_key<R: BufRead>(
+    r: &LineReader<R>,
+    name: &str,
+    sig: &str,
+) -> Result<JobGroupKey, SerializeError> {
+    let sig = u64::from_str_radix(sig, 16)
+        .map_err(|e| r.err(format!("bad plan signature `{sig}`: {e}")))?;
+    Ok(JobGroupKey::new(name, PlanSignature(sig)))
+}
+
+/// The 28 `f64` statistics of a [`GroupStats`], in serialization order.
+fn stats_to_vec(s: &GroupStats) -> Vec<f64> {
+    let mut v = vec![
+        s.median_runtime_s,
+        s.mean_runtime_s,
+        s.runtime_std_s,
+        s.data_read_avg,
+        s.data_read_std,
+        s.temp_data_avg,
+        s.vertices_avg,
+        s.token_min_avg,
+        s.token_max_avg,
+        s.token_avg_avg,
+        s.token_avg_std,
+        s.spare_avg,
+        s.spare_std,
+        s.preemption_rate,
+        s.cpu_seconds_avg,
+        s.peak_memory_avg,
+    ];
+    v.extend_from_slice(&s.sku_fraction_avg);
+    v.extend_from_slice(&s.sku_vertex_count_avg);
+    v
+}
+
+fn stats_from_vec(n_runs: usize, v: &[f64]) -> GroupStats {
+    let mut sku_fraction_avg = [0.0; 6];
+    let mut sku_vertex_count_avg = [0.0; 6];
+    sku_fraction_avg.copy_from_slice(&v[16..22]);
+    sku_vertex_count_avg.copy_from_slice(&v[22..28]);
+    GroupStats {
+        n_runs,
+        median_runtime_s: v[0],
+        mean_runtime_s: v[1],
+        runtime_std_s: v[2],
+        data_read_avg: v[3],
+        data_read_std: v[4],
+        temp_data_avg: v[5],
+        vertices_avg: v[6],
+        token_min_avg: v[7],
+        token_max_avg: v[8],
+        token_avg_avg: v[9],
+        token_avg_std: v[10],
+        spare_avg: v[11],
+        spare_std: v[12],
+        preemption_rate: v[13],
+        cpu_seconds_avg: v[14],
+        peak_memory_avg: v[15],
+        sku_fraction_avg,
+        sku_vertex_count_avg,
+    }
+}
+
+fn write_history<W: Write>(w: &mut W, history: &GroupHistory) -> io::Result<()> {
+    writeln!(w, "history,{}", history.len())?;
+    for (key, s) in history.iter() {
+        write!(
+            w,
+            "group,{},{:016x},{}",
+            key.normalized_name, key.signature.0, s.n_runs
+        )?;
+        write_list(w, &stats_to_vec(s))?;
+    }
+    Ok(())
+}
+
+fn read_history<R: BufRead>(r: &mut LineReader<R>) -> Result<GroupHistory, SerializeError> {
+    let header = r.expect_tag("history")?;
+    if header.len() != 1 {
+        return Err(r.err("history header needs a group count"));
+    }
+    let n: usize = r.parse("history group count", &header[0])?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f = r.expect_tag("group")?;
+        if f.len() != 3 + 28 {
+            return Err(r.err("group record needs name,signature,n_runs and 28 statistics"));
+        }
+        let key = parse_key(r, &f[0], &f[1])?;
+        let n_runs: usize = r.parse("n_runs", &f[2])?;
+        let stats = r.parse_list_n("group statistic", &f[3..], 28)?;
+        entries.push((key, stats_from_vec(n_runs, &stats)));
+    }
+    Ok(entries.into_iter().collect())
+}
+
+/// Writes a telemetry store as a row count followed by the CSV export
+/// (header line + rows).
+fn write_embedded_store<W: Write>(w: &mut W, store: &TelemetryStore) -> io::Result<()> {
+    writeln!(w, "rows,{}", store.len())?;
+    write_store(store, w)
+}
+
+/// Reads an embedded store: the CSV occupies exactly `n_rows + 1` lines.
+fn read_embedded_store<R: BufRead>(
+    r: &mut LineReader<R>,
+) -> Result<TelemetryStore, SerializeError> {
+    let header = r.expect_tag("rows")?;
+    if header.len() != 1 {
+        return Err(r.err("rows header needs a count"));
+    }
+    let n_rows: usize = r.parse("row count", &header[0])?;
+    let first_line = r.line();
+    let mut csv = String::new();
+    for _ in 0..n_rows + 1 {
+        csv.push_str(&r.next_line()?);
+        csv.push('\n');
+    }
+    read_store(io::BufReader::new(csv.as_bytes())).map_err(|e| {
+        // Re-anchor the embedded parser's line number in the artifact file.
+        SerializeError::at(
+            first_line + e.line,
+            format!("embedded store: {}", e.message),
+        )
+    })
+}
+
+fn label_map_key(key: &JobGroupKey) -> String {
+    format!("{},{:016x}", key.normalized_name, key.signature.0)
+}
+
+fn write_label_map<W: Write>(
+    w: &mut W,
+    tag: &str,
+    labels: &BTreeMap<JobGroupKey, usize>,
+) -> io::Result<()> {
+    writeln!(w, "{tag},{}", labels.len())?;
+    for (key, shape) in labels {
+        writeln!(w, "label,{},{shape}", label_map_key(key))?;
+    }
+    Ok(())
+}
+
+fn read_label_map<R: BufRead>(
+    r: &mut LineReader<R>,
+    tag: &str,
+) -> Result<BTreeMap<JobGroupKey, usize>, SerializeError> {
+    let header = r.expect_tag(tag)?;
+    if header.len() != 1 {
+        return Err(r.err(format!("{tag} header needs a count")));
+    }
+    let n: usize = r.parse("label count", &header[0])?;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let f = r.expect_tag("label")?;
+        if f.len() != 3 {
+            return Err(r.err("label record needs name,signature,shape"));
+        }
+        let key = parse_key(r, &f[0], &f[1])?;
+        let shape: usize = r.parse("shape id", &f[2])?;
+        map.insert(key, shape);
+    }
+    Ok(map)
+}
+
+// ---------------------------------------------------------------------------
+// Stage codecs
+// ---------------------------------------------------------------------------
+
+/// Writes the `simulate` stage output (the full campaign store).
+pub fn write_telemetry<W: Write>(w: &mut W, store: &TelemetryStore) -> io::Result<()> {
+    write_embedded_store(w, store)
+}
+
+/// Reads a store written by [`write_telemetry`].
+pub fn read_telemetry<R: BufRead>(r: &mut LineReader<R>) -> Result<TelemetryStore, SerializeError> {
+    read_embedded_store(r)
+}
+
+/// Writes the `datasets` stage output: three dataset blocks then the D1
+/// group history.
+pub fn write_datasets<W: Write>(w: &mut W, a: &DatasetsArtifact) -> io::Result<()> {
+    for ds in [&a.d1, &a.d2, &a.d3] {
+        writeln!(
+            w,
+            "dataset,{},{},{},{}",
+            ds.spec.name, ds.spec.from_days, ds.spec.to_days, ds.spec.min_support
+        )?;
+        write_embedded_store(w, &ds.store)?;
+    }
+    write_history(w, &a.history)
+}
+
+/// Reads an artifact written by [`write_datasets`].
+pub fn read_datasets<R: BufRead>(
+    r: &mut LineReader<R>,
+) -> Result<DatasetsArtifact, SerializeError> {
+    let mut datasets = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let f = r.expect_tag("dataset")?;
+        if f.len() != 4 {
+            return Err(r.err("dataset record needs name,from_days,to_days,min_support"));
+        }
+        let spec = DatasetSpec {
+            name: f[0].clone(),
+            from_days: r.parse("from_days", &f[1])?,
+            to_days: r.parse("to_days", &f[2])?,
+            min_support: r.parse("min_support", &f[3])?,
+        };
+        let store = read_embedded_store(r)?;
+        datasets.push(Dataset { spec, store });
+    }
+    let history = read_history(r)?;
+    let mut it = datasets.into_iter();
+    Ok(DatasetsArtifact {
+        d1: it.next().expect("three datasets"),
+        d2: it.next().expect("three datasets"),
+        d3: it.next().expect("three datasets"),
+        history,
+    })
+}
+
+/// Writes a `characterize` stage output: the catalog grid and statistics,
+/// per-shape PMFs, then group→shape memberships.
+pub fn write_characterization<W: Write>(w: &mut W, c: &Characterization) -> io::Result<()> {
+    let cat = &c.catalog;
+    writeln!(
+        w,
+        "catalog,{},{},{},{},{},{}",
+        cat.normalization.name(),
+        cat.spec.lo,
+        cat.spec.hi,
+        cat.spec.n_bins,
+        cat.n_shapes(),
+        c.inertia
+    )?;
+    for i in 0..cat.n_shapes() {
+        let s = cat.stats(i);
+        writeln!(
+            w,
+            "shape,{i},{},{},{},{},{},{},{}",
+            s.outlier_prob, s.p25, s.p75, s.p95, s.std, s.n_groups, s.n_instances
+        )?;
+    }
+    for i in 0..cat.n_shapes() {
+        write!(w, "pmf,{i}")?;
+        write_list(w, cat.pmf(i).probs())?;
+    }
+    writeln!(w, "members,{}", c.memberships.len())?;
+    for (key, shape) in &c.memberships {
+        writeln!(w, "member,{},{shape}", label_map_key(key))?;
+    }
+    Ok(())
+}
+
+/// Reads an artifact written by [`write_characterization`].
+///
+/// Shapes were written in the catalog's IQR-ranked order and
+/// `ShapeCatalog::new` re-ranks stably, so the reconstructed catalog is
+/// identical to the one serialized.
+pub fn read_characterization<R: BufRead>(
+    r: &mut LineReader<R>,
+) -> Result<Characterization, SerializeError> {
+    let f = r.expect_tag("catalog")?;
+    if f.len() != 6 {
+        return Err(r.err("catalog record needs normalization,lo,hi,n_bins,k,inertia"));
+    }
+    let normalization = match f[0].as_str() {
+        "Ratio" => Normalization::Ratio,
+        "Delta" => Normalization::Delta,
+        other => return Err(r.err(format!("unknown normalization `{other}`"))),
+    };
+    let spec = BinSpec {
+        lo: r.parse("bin lo", &f[1])?,
+        hi: r.parse("bin hi", &f[2])?,
+        n_bins: r.parse("bin count", &f[3])?,
+    };
+    if !(spec.lo.is_finite() && spec.hi.is_finite() && spec.lo < spec.hi && spec.n_bins >= 2) {
+        return Err(r.err("invalid bin spec"));
+    }
+    let k: usize = r.parse("shape count", &f[4])?;
+    if k == 0 {
+        return Err(r.err("catalog must have at least one shape"));
+    }
+    let inertia: f64 = r.parse("inertia", &f[5])?;
+    let mut stats = Vec::with_capacity(k);
+    for i in 0..k {
+        let f = r.expect_tag("shape")?;
+        if f.len() != 8 {
+            return Err(r.err("shape record needs id and 7 statistics"));
+        }
+        let id: usize = r.parse("shape id", &f[0])?;
+        if id != i {
+            return Err(r.err(format!(
+                "shape records out of order: expected {i}, found {id}"
+            )));
+        }
+        let s = ShapeStats {
+            outlier_prob: r.parse("outlier_prob", &f[1])?,
+            p25: r.parse("p25", &f[2])?,
+            p75: r.parse("p75", &f[3])?,
+            p95: r.parse("p95", &f[4])?,
+            std: r.parse("std", &f[5])?,
+            n_groups: r.parse("n_groups", &f[6])?,
+            n_instances: r.parse("n_instances", &f[7])?,
+        };
+        // ShapeCatalog::new ranks by IQR with partial_cmp; NaN would panic.
+        if !s.iqr().is_finite() {
+            return Err(r.err("shape percentiles must be finite"));
+        }
+        stats.push(s);
+    }
+    let mut pmfs = Vec::with_capacity(k);
+    for i in 0..k {
+        let f = r.expect_tag("pmf")?;
+        let id: usize = r.parse("pmf id", f.first().map(String::as_str).unwrap_or(""))?;
+        if id != i {
+            return Err(r.err(format!(
+                "pmf records out of order: expected {i}, found {id}"
+            )));
+        }
+        let probs: Vec<f64> = r.parse_list_n("pmf probability", &f[1..], spec.n_bins)?;
+        // Validate before Pmf::from_probs, which panics on invalid input.
+        if !probs.iter().all(|p| p.is_finite() && *p >= 0.0)
+            || (probs.iter().sum::<f64>() - 1.0).abs() >= 1e-6
+        {
+            return Err(r.err("pmf probabilities must be non-negative and sum to 1"));
+        }
+        pmfs.push(Pmf::from_probs(spec, probs));
+    }
+    let catalog = ShapeCatalog::new(normalization, spec, pmfs, stats);
+    let header = r.expect_tag("members")?;
+    if header.len() != 1 {
+        return Err(r.err("members header needs a count"));
+    }
+    let n: usize = r.parse("membership count", &header[0])?;
+    let mut memberships = BTreeMap::new();
+    for _ in 0..n {
+        let f = r.expect_tag("member")?;
+        if f.len() != 3 {
+            return Err(r.err("member record needs name,signature,shape"));
+        }
+        let key = parse_key(r, &f[0], &f[1])?;
+        let shape: usize = r.parse("member shape", &f[2])?;
+        if shape >= k {
+            return Err(r.err(format!("member shape {shape} out of range (k = {k})")));
+        }
+        memberships.insert(key, shape);
+    }
+    Ok(Characterization {
+        catalog,
+        memberships,
+        inertia,
+    })
+}
+
+/// Writes a `label` stage output: train then test label maps.
+pub fn write_labels<W: Write>(w: &mut W, a: &LabelsArtifact) -> io::Result<()> {
+    write_label_map(w, "train", &a.train)?;
+    write_label_map(w, "test", &a.test)
+}
+
+/// Reads an artifact written by [`write_labels`].
+pub fn read_labels<R: BufRead>(r: &mut LineReader<R>) -> Result<LabelsArtifact, SerializeError> {
+    Ok(LabelsArtifact {
+        train: read_label_map(r, "train")?,
+        test: read_label_map(r, "test")?,
+    })
+}
+
+/// Writes a `train` stage output: the fitted predictor with its feature
+/// selection, importances, extractor history, and concrete model.
+pub fn write_predictor<W: Write>(w: &mut W, p: &ShapePredictor) -> io::Result<()> {
+    writeln!(w, "predictor,{}", p.n_shapes())?;
+    let sel = p.selection();
+    writeln!(w, "selection,{},{}", sel.kept.len(), sel.dropped.len())?;
+    write!(w, "kept")?;
+    write_list(w, &sel.kept)?;
+    let flat: Vec<usize> = sel.dropped.iter().flat_map(|&(a, b)| [a, b]).collect();
+    write!(w, "dropped")?;
+    write_list(w, &flat)?;
+    write!(w, "importances,{}", p.full_importances().len())?;
+    write_list(w, p.full_importances())?;
+    write_history(w, p.extractor().history())?;
+    match p.fitted() {
+        FittedModel::Gbdt(m) => {
+            writeln!(w, "model,gbdt")?;
+            m.write_text(w)
+        }
+        FittedModel::Forest(m) => {
+            writeln!(w, "model,forest")?;
+            m.write_text(w)
+        }
+        FittedModel::NaiveBayes(m) => {
+            writeln!(w, "model,nb")?;
+            m.write_text(w)
+        }
+        FittedModel::Ensemble {
+            gbdt,
+            forest,
+            nb,
+            weights,
+        } => {
+            writeln!(w, "model,ensemble")?;
+            write!(w, "weights")?;
+            write_list(w, weights)?;
+            gbdt.write_text(w)?;
+            forest.write_text(w)?;
+            nb.write_text(w)
+        }
+    }
+}
+
+/// Reads a predictor written by [`write_predictor`].
+pub fn read_predictor<R: BufRead>(r: &mut LineReader<R>) -> Result<ShapePredictor, SerializeError> {
+    let header = r.expect_tag("predictor")?;
+    if header.len() != 1 {
+        return Err(r.err("predictor header needs n_shapes"));
+    }
+    let n_shapes: usize = r.parse("n_shapes", &header[0])?;
+    let sel_header = r.expect_tag("selection")?;
+    if sel_header.len() != 2 {
+        return Err(r.err("selection header needs kept,dropped counts"));
+    }
+    let n_kept: usize = r.parse("kept count", &sel_header[0])?;
+    let n_dropped: usize = r.parse("dropped count", &sel_header[1])?;
+    let kept_fields = r.expect_tag("kept")?;
+    let kept: Vec<usize> = r.parse_list_n("kept feature", &kept_fields, n_kept)?;
+    let dropped_fields = r.expect_tag("dropped")?;
+    let flat: Vec<usize> = r.parse_list_n("dropped feature", &dropped_fields, 2 * n_dropped)?;
+    let dropped: Vec<(usize, usize)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    let imp_fields = r.expect_tag("importances")?;
+    let n_imp: usize = r.parse(
+        "importance count",
+        imp_fields.first().map(String::as_str).unwrap_or(""),
+    )?;
+    let full_importances: Vec<f64> = r.parse_list_n("importance", &imp_fields[1..], n_imp)?;
+    let history = read_history(r)?;
+    let model_fields = r.expect_tag("model")?;
+    let kind = model_fields.first().map(String::as_str).unwrap_or("");
+    let model = match kind {
+        "gbdt" => FittedModel::Gbdt(GbdtClassifier::read_text(r)?),
+        "forest" => FittedModel::Forest(RandomForestClassifier::read_text(r)?),
+        "nb" => FittedModel::NaiveBayes(GaussianNb::read_text(r)?),
+        "ensemble" => {
+            let wf = r.expect_tag("weights")?;
+            let weights: Vec<f64> = r.parse_list_n("ensemble weight", &wf, 3)?;
+            FittedModel::Ensemble {
+                gbdt: GbdtClassifier::read_text(r)?,
+                forest: RandomForestClassifier::read_text(r)?,
+                nb: GaussianNb::read_text(r)?,
+                weights: [weights[0], weights[1], weights[2]],
+            }
+        }
+        other => return Err(r.err(format!("unknown model kind `{other}`"))),
+    };
+    Ok(ShapePredictor::from_parts(
+        FeatureExtractor::new(history),
+        FeatureSelection { kept, dropped },
+        model,
+        n_shapes,
+        full_importances,
+    ))
+}
+
+/// Writes an `evaluate` stage output.
+pub fn write_evaluation<W: Write>(w: &mut W, a: &EvaluationArtifact) -> io::Result<()> {
+    let counts = a.confusion.counts();
+    writeln!(
+        w,
+        "evaluation,{},{},{}",
+        a.test_accuracy,
+        counts.len(),
+        a.n_test_instances
+    )?;
+    for row in counts {
+        write!(w, "confusion")?;
+        write_list(w, row)?;
+    }
+    Ok(())
+}
+
+/// Reads an artifact written by [`write_evaluation`].
+pub fn read_evaluation<R: BufRead>(
+    r: &mut LineReader<R>,
+) -> Result<EvaluationArtifact, SerializeError> {
+    let f = r.expect_tag("evaluation")?;
+    if f.len() != 3 {
+        return Err(r.err("evaluation record needs accuracy,k,n_test_instances"));
+    }
+    let test_accuracy: f64 = r.parse("accuracy", &f[0])?;
+    let k: usize = r.parse("confusion size", &f[1])?;
+    let n_test_instances: usize = r.parse("test instance count", &f[2])?;
+    let mut counts = Vec::with_capacity(k);
+    for _ in 0..k {
+        let row_fields = r.expect_tag("confusion")?;
+        counts.push(r.parse_list_n::<u64>("confusion count", &row_fields, k)?);
+    }
+    Ok(EvaluationArtifact {
+        test_accuracy,
+        confusion: ConfusionMatrix::from_counts(counts),
+        n_test_instances,
+    })
+}

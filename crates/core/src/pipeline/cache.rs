@@ -1,0 +1,215 @@
+//! On-disk artifact cache keyed by stage name and fingerprint.
+//!
+//! Files live flat in the cache directory as `<stage>-<fingerprint>.rva`.
+//! The first line is a header `rv-artifact,v1,<stage>,<fingerprint>`; the
+//! rest is the stage codec's body (see [`super::artifact`]). Writes go
+//! through a temp file + rename so a crashed run never leaves a truncated
+//! artifact under a valid name, and any parse failure on load — wrong
+//! version, wrong fingerprint, corrupt body — degrades to a cache miss with
+//! a warning on stderr rather than an error.
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rv_learn::{LineReader, SerializeError};
+use rv_obs::counter;
+
+use super::fingerprint::Fingerprint;
+
+/// A directory of fingerprinted stage artifacts.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `(hits, misses)` observed by this handle so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn path(&self, stage: &str, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{stage}-{fp}.rva"))
+    }
+
+    /// Attempts to load the artifact for `(stage, fp)` with the stage's body
+    /// reader. Returns `None` — recording a miss — when the file is absent
+    /// or fails to parse.
+    pub fn load<T>(
+        &self,
+        stage: &'static str,
+        fp: Fingerprint,
+        read: impl FnOnce(&mut LineReader<BufReader<File>>) -> Result<T, SerializeError>,
+    ) -> Option<T> {
+        let path = self.path(stage, fp);
+        let loaded = File::open(&path).ok().and_then(|file| {
+            let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+            let mut r = LineReader::new(BufReader::new(file));
+            match Self::check_header(&mut r, stage, fp).and_then(|()| read(&mut r)) {
+                Ok(v) => {
+                    counter("pipeline.cache.bytes_read").add(bytes);
+                    Some(v)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: discarding unreadable artifact {}: {e}",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+        match &loaded {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                counter("pipeline.cache.hit").inc();
+                counter(&format!("pipeline.cache.hit.{stage}")).inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                counter("pipeline.cache.miss").inc();
+                counter(&format!("pipeline.cache.miss.{stage}")).inc();
+            }
+        }
+        loaded
+    }
+
+    fn check_header<R: io::BufRead>(
+        r: &mut LineReader<R>,
+        stage: &str,
+        fp: Fingerprint,
+    ) -> Result<(), SerializeError> {
+        let fields = r.expect_tag("rv-artifact")?;
+        if fields.len() != 3 {
+            return Err(r.err("artifact header needs version,stage,fingerprint"));
+        }
+        if fields[0] != "v1" {
+            return Err(r.err(format!("unsupported artifact version `{}`", fields[0])));
+        }
+        if fields[1] != stage {
+            return Err(r.err(format!(
+                "artifact is for stage `{}`, expected `{stage}`",
+                fields[1]
+            )));
+        }
+        if fields[2] != fp.to_string() {
+            return Err(r.err(format!(
+                "artifact fingerprint {} does not match expected {fp}",
+                fields[2]
+            )));
+        }
+        Ok(())
+    }
+
+    /// Persists an artifact: header plus the stage codec's body, written to
+    /// a temp file and renamed into place.
+    pub fn store<T: ?Sized>(
+        &self,
+        stage: &'static str,
+        fp: Fingerprint,
+        value: &T,
+        write: impl FnOnce(&mut BufWriter<File>, &T) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let path = self.path(stage, fp);
+        let tmp = self.dir.join(format!(".{stage}-{fp}.tmp"));
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        writeln!(w, "rv-artifact,v1,{stage},{fp}")?;
+        write(&mut w, value)?;
+        w.into_inner().map_err(io::Error::from)?.sync_all()?;
+        fs::rename(&tmp, &path)?;
+        if let Ok(meta) = fs::metadata(&path) {
+            counter("pipeline.cache.bytes_written").add(meta.len());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rv-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_num(w: &mut BufWriter<File>, v: &u64) -> io::Result<()> {
+        writeln!(w, "num,{v}")
+    }
+
+    fn read_num(r: &mut LineReader<BufReader<File>>) -> Result<u64, SerializeError> {
+        let f = r.expect_tag("num")?;
+        r.parse("num", &f[0])
+    }
+
+    #[test]
+    fn stores_and_loads_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let cache = ArtifactCache::new(&dir).expect("create");
+        let fp = Fingerprint::of_bytes(b"x");
+        assert_eq!(cache.load("simulate", fp, read_num), None);
+        cache
+            .store("simulate", fp, &42u64, write_num)
+            .expect("store");
+        assert_eq!(cache.load("simulate", fp, read_num), Some(42));
+        assert_eq!(cache.stats(), (1, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_fingerprint_or_stage_misses() {
+        let dir = temp_dir("keying");
+        let cache = ArtifactCache::new(&dir).expect("create");
+        let fp = Fingerprint::of_bytes(b"x");
+        cache
+            .store("simulate", fp, &7u64, write_num)
+            .expect("store");
+        assert_eq!(
+            cache.load("simulate", Fingerprint::of_bytes(b"y"), read_num),
+            None
+        );
+        assert_eq!(cache.load("datasets", fp, read_num), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss_not_a_panic() {
+        let dir = temp_dir("corrupt");
+        let cache = ArtifactCache::new(&dir).expect("create");
+        let fp = Fingerprint::of_bytes(b"x");
+        cache
+            .store("simulate", fp, &7u64, write_num)
+            .expect("store");
+        let path = dir.join(format!("simulate-{fp}.rva"));
+        fs::write(&path, "rv-artifact,v1,simulate,garbage\n").expect("clobber");
+        assert_eq!(cache.load("simulate", fp, read_num), None);
+        // Tampered body under a valid header: reader fails, still a miss.
+        fs::write(&path, format!("rv-artifact,v1,simulate,{fp}\nnope,1\n")).expect("clobber");
+        assert_eq!(cache.load("simulate", fp, read_num), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

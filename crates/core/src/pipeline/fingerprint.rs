@@ -1,0 +1,94 @@
+//! Deterministic stage fingerprints.
+//!
+//! Every pipeline stage's output is tagged with a 64-bit FNV-1a hash of the
+//! configuration subset that can change it, chained with its upstream
+//! stages' fingerprints. No wall-clock or machine state enters the hash, so
+//! same-seed runs produce the same fingerprints on any host at any thread
+//! width — the property the [`crate::pipeline::ArtifactCache`] relies on to
+//! reuse artifacts across processes.
+//!
+//! Config structs are hashed through their `Debug` rendering: every config
+//! in the chain derives `Debug`, and Rust formats `f64` shortest-round-trip,
+//! so distinct values always render distinctly and renames/reorderings of
+//! fields change the hash (a conservative, correct invalidation).
+
+use std::fmt;
+
+/// A 64-bit FNV-1a content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// FNV-1a over raw bytes.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        let mut h = Self::OFFSET;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        Self(h)
+    }
+
+    /// FNV-1a over a value's `Debug` rendering.
+    pub fn of_debug<T: fmt::Debug>(value: &T) -> Self {
+        Self::of_bytes(format!("{value:?}").as_bytes())
+    }
+
+    /// Chains another fingerprint into this one (order-sensitive), used to
+    /// mix upstream stage fingerprints into a downstream stage's.
+    #[must_use]
+    pub fn combine(self, other: Fingerprint) -> Fingerprint {
+        let mut h = self.0;
+        for b in other.0.to_be_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        Fingerprint(h)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(Fingerprint::of_bytes(b"").0, 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fingerprint::of_bytes(b"a").0, 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn debug_hash_distinguishes_values() {
+        assert_ne!(
+            Fingerprint::of_debug(&(1.0f64, 2u32)),
+            Fingerprint::of_debug(&(1.0000000000000002f64, 2u32))
+        );
+        assert_eq!(
+            Fingerprint::of_debug(&(1.0f64, 2u32)),
+            Fingerprint::of_debug(&(1.0f64, 2u32))
+        );
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Fingerprint::of_bytes(b"a");
+        let b = Fingerprint::of_bytes(b"b");
+        assert_ne!(a.combine(b), b.combine(a));
+        assert_ne!(a.combine(b), a);
+    }
+
+    #[test]
+    fn displays_as_16_hex_digits() {
+        assert_eq!(format!("{}", Fingerprint(0xab)), "00000000000000ab");
+    }
+}

@@ -1,0 +1,552 @@
+//! The staged artifact pipeline behind [`Framework::run`].
+//!
+//! A framework run is a linear DAG of stages
+//!
+//! ```text
+//! Simulate → Datasets → Characterize → Label → Train → Evaluate
+//!                        (per normalization: Ratio and Delta)
+//! ```
+//!
+//! Each stage produces an artifact tagged with a deterministic
+//! [`Fingerprint`]: an FNV-1a hash of exactly the configuration subset that
+//! can change the stage's output, chained with its upstream fingerprints.
+//! With an [`ArtifactCache`] attached, a stage whose fingerprint matches an
+//! on-disk artifact loads it instead of recomputing; because fingerprints
+//! chain, editing a config field invalidates that stage *and everything
+//! downstream* while everything upstream is reused. Changing only
+//! `PredictorConfig`, for example, re-trains and re-evaluates against cached
+//! telemetry and characterizations; changing the simulation seed invalidates
+//! every artifact.
+//!
+//! Observability contract: `phase.*` spans wrap only the compute closures,
+//! so an uncached run produces exactly the spans, counters, and trace events
+//! it always has, while a warm cached run shows zero `phase.simulate` /
+//! `phase.characterize` spans — the test-visible signal that work was
+//! skipped. Stage-boundary effects (row counters, accuracy gauges, the
+//! `framework.pipeline` event) fire whether the artifact was computed or
+//! loaded.
+
+pub mod artifact;
+mod cache;
+mod fingerprint;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter};
+
+use rv_learn::{accuracy, confusion_matrix, LineReader, SerializeError};
+use rv_scope::{JobGroupKey, WorkloadGenerator};
+use rv_sim::Cluster;
+use rv_stats::Normalization;
+use rv_telemetry::{
+    collect_telemetry, CampaignError, Dataset, DatasetSpec, FeatureExtractor, GroupHistory,
+    TelemetryStore,
+};
+
+use crate::characterize::{characterize, CharacterizeConfig};
+use crate::framework::{Framework, FrameworkConfig, NormalizationPipeline};
+use crate::predictor::{label_groups, ShapePredictor};
+
+pub use artifact::{DatasetsArtifact, EvaluationArtifact, LabelsArtifact};
+pub use cache::ArtifactCache;
+pub use fingerprint::Fingerprint;
+
+/// Why a pipeline run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The simulator or campaign configuration was rejected.
+    Campaign(CampaignError),
+    /// Characterization needs at least `k` groups meeting the support
+    /// threshold, and the assembled D1 has fewer.
+    TooFewGroups {
+        /// Groups available at the required support.
+        available: usize,
+        /// The configured shape count `k`.
+        needed: usize,
+        /// The support threshold applied.
+        min_support: usize,
+    },
+    /// No D2 row belongs to a labeled group, so training has no data.
+    NoLabeledTrainingRows {
+        /// The normalization whose pipeline failed.
+        normalization: Normalization,
+    },
+    /// No D3 row belongs to a labeled group, so evaluation has no data.
+    NoLabeledTestInstances {
+        /// The normalization whose pipeline failed.
+        normalization: Normalization,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Campaign(e) => write!(f, "{e}"),
+            Self::TooFewGroups {
+                available,
+                needed,
+                min_support,
+            } => write!(
+                f,
+                "only {available} groups with support >= {min_support}, \
+                 need at least k = {needed}"
+            ),
+            Self::NoLabeledTrainingRows { normalization } => {
+                write!(
+                    f,
+                    "no labeled training rows ({normalization} normalization)"
+                )
+            }
+            Self::NoLabeledTestInstances { normalization } => {
+                write!(
+                    f,
+                    "no labeled test instances ({normalization} normalization)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Campaign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CampaignError> for PipelineError {
+    fn from(e: CampaignError) -> Self {
+        Self::Campaign(e)
+    }
+}
+
+const CHARACTERIZE_STAGES: [&str; 2] = ["characterize-ratio", "characterize-delta"];
+const LABEL_STAGES: [&str; 2] = ["label-ratio", "label-delta"];
+const TRAIN_STAGES: [&str; 2] = ["train-ratio", "train-delta"];
+const EVALUATE_STAGES: [&str; 2] = ["evaluate-ratio", "evaluate-delta"];
+
+fn norm_index(normalization: Normalization) -> usize {
+    match normalization {
+        Normalization::Ratio => 0,
+        Normalization::Delta => 1,
+    }
+}
+
+/// The fingerprint of every stage of a run, per normalization where the
+/// stage splits. Per-normalization arrays are indexed `[Ratio, Delta]`
+/// (the order of [`Normalization::ALL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFingerprints {
+    /// Campaign simulation.
+    pub simulate: Fingerprint,
+    /// Dataset assembly + group history.
+    pub datasets: Fingerprint,
+    /// Shape-catalog clustering.
+    pub characterize: [Fingerprint; 2],
+    /// Posterior-likelihood labeling.
+    pub label: [Fingerprint; 2],
+    /// Classifier training.
+    pub train: [Fingerprint; 2],
+    /// Test-set evaluation.
+    pub evaluate: [Fingerprint; 2],
+}
+
+fn characterize_config(
+    config: &FrameworkConfig,
+    normalization: Normalization,
+) -> CharacterizeConfig {
+    CharacterizeConfig {
+        k: config.k,
+        min_support: config.characterize_support,
+        ..CharacterizeConfig::paper(normalization)
+    }
+}
+
+/// Computes every stage fingerprint for `config`.
+///
+/// Each stage hashes a version tag plus the config subset it consumes,
+/// chained onto its upstream fingerprint, so edits invalidate exactly the
+/// edited stage and its downstream.
+pub fn stage_fingerprints(config: &FrameworkConfig) -> StageFingerprints {
+    // Hash the generator config as the simulate stage actually uses it.
+    let mut generator = config.generator.clone();
+    generator.window_days_hint = config.campaign.window_days;
+    let simulate = Fingerprint::of_debug(&(
+        "simulate-v1",
+        &generator,
+        &config.cluster,
+        &config.sim,
+        &config.campaign,
+    ));
+    let datasets = simulate.combine(Fingerprint::of_debug(&(
+        "datasets-v1",
+        config.characterize_support,
+        config.campaign.window_days,
+    )));
+    let mut characterize = [datasets; 2];
+    let mut label = [datasets; 2];
+    let mut train = [datasets; 2];
+    let mut evaluate = [datasets; 2];
+    for normalization in Normalization::ALL {
+        let i = norm_index(normalization);
+        characterize[i] = datasets.combine(Fingerprint::of_debug(&(
+            "characterize-v1",
+            characterize_config(config, normalization),
+        )));
+        label[i] = characterize[i].combine(Fingerprint::of_debug(&"label-v1"));
+        train[i] = label[i].combine(Fingerprint::of_debug(&(
+            "train-v1",
+            config.predictor,
+            config.k,
+        )));
+        evaluate[i] = train[i].combine(Fingerprint::of_debug(&"evaluate-v1"));
+    }
+    StageFingerprints {
+        simulate,
+        datasets,
+        characterize,
+        label,
+        train,
+        evaluate,
+    }
+}
+
+/// Runs one stage through the cache: load on fingerprint match, otherwise
+/// compute and persist. Without a cache this is exactly the compute closure
+/// — no cache counters are touched, keeping uncached metric snapshots
+/// bit-identical to the pre-pipeline framework.
+fn cached<T>(
+    cache: Option<&ArtifactCache>,
+    stage: &'static str,
+    fp: Fingerprint,
+    read: impl FnOnce(&mut LineReader<BufReader<File>>) -> Result<T, SerializeError>,
+    write: impl FnOnce(&mut BufWriter<File>, &T) -> io::Result<()>,
+    compute: impl FnOnce() -> Result<T, PipelineError>,
+) -> Result<T, PipelineError> {
+    let Some(cache) = cache else {
+        return compute();
+    };
+    if let Some(value) = cache.load(stage, fp, read) {
+        return Ok(value);
+    }
+    let value = compute()?;
+    if let Err(e) = cache.store(stage, fp, &value, write) {
+        eprintln!("warning: failed to persist `{stage}` artifact: {e}");
+    }
+    Ok(value)
+}
+
+/// Runs the full study as a staged pipeline, reusing cached artifacts where
+/// fingerprints match.
+pub fn run_staged(
+    config: FrameworkConfig,
+    cache: Option<&ArtifactCache>,
+) -> Result<Framework, PipelineError> {
+    // Not a `phase.` span: it encloses the phases below, and the report's
+    // share column assumes `phase.*` spans are disjoint.
+    let _run_span = rv_obs::span("framework.run");
+    let fps = stage_fingerprints(&config);
+
+    let store = cached(
+        cache,
+        "simulate",
+        fps.simulate,
+        artifact::read_telemetry,
+        artifact::write_telemetry,
+        || {
+            let _span = rv_obs::span("phase.simulate");
+            let mut generator_config = config.generator.clone();
+            // Keep late-starting ("new job") templates inside the campaign.
+            generator_config.window_days_hint = config.campaign.window_days;
+            let generator = WorkloadGenerator::new(generator_config);
+            let cluster = Cluster::new(config.cluster.clone());
+            Ok(collect_telemetry(
+                &generator,
+                &cluster,
+                &config.sim,
+                &config.campaign,
+            )?)
+        },
+    )?;
+    rv_obs::counter("framework.telemetry_rows").add(store.len() as u64);
+
+    let datasets = cached(
+        cache,
+        "datasets",
+        fps.datasets,
+        artifact::read_datasets,
+        artifact::write_datasets,
+        || {
+            let _span = rv_obs::span("phase.datasets");
+            let [d1_spec, d2_spec, d3_spec] = DatasetSpec::paper_trio(config.campaign.window_days);
+            let d1 = Dataset::assemble(
+                &store,
+                DatasetSpec {
+                    min_support: config.characterize_support,
+                    ..d1_spec
+                },
+            );
+            let d2 = Dataset::assemble(&store, d2_spec);
+            let d3 = Dataset::assemble(&store, d3_spec);
+            let history = GroupHistory::compute(&d1.store);
+            Ok(DatasetsArtifact {
+                d1,
+                d2,
+                d3,
+                history,
+            })
+        },
+    )?;
+    rv_obs::counter("framework.d1_groups").add(datasets.d1.n_groups() as u64);
+
+    let ratio = norm_pipeline(
+        Normalization::Ratio,
+        &config,
+        cache,
+        &fps,
+        &store,
+        &datasets,
+    )?;
+    let delta = norm_pipeline(
+        Normalization::Delta,
+        &config,
+        cache,
+        &fps,
+        &store,
+        &datasets,
+    )?;
+
+    let DatasetsArtifact {
+        d1,
+        d2,
+        d3,
+        history,
+    } = datasets;
+    Ok(Framework {
+        config,
+        store,
+        d1,
+        d2,
+        d3,
+        history,
+        ratio,
+        delta,
+    })
+}
+
+fn norm_pipeline(
+    normalization: Normalization,
+    config: &FrameworkConfig,
+    cache: Option<&ArtifactCache>,
+    fps: &StageFingerprints,
+    store: &TelemetryStore,
+    datasets: &DatasetsArtifact,
+) -> Result<NormalizationPipeline, PipelineError> {
+    let i = norm_index(normalization);
+
+    let characterization = cached(
+        cache,
+        CHARACTERIZE_STAGES[i],
+        fps.characterize[i],
+        artifact::read_characterization,
+        artifact::write_characterization,
+        || {
+            // D1 assembly already enforces the support threshold, so its
+            // group count is exactly what characterization can cluster.
+            let available = datasets.d1.n_groups();
+            if available < config.k {
+                return Err(PipelineError::TooFewGroups {
+                    available,
+                    needed: config.k,
+                    min_support: config.characterize_support,
+                });
+            }
+            let _span = rv_obs::span("phase.characterize");
+            Ok(characterize(
+                &datasets.d1.store,
+                &characterize_config(config, normalization),
+            ))
+        },
+    )?;
+
+    let labels = cached(
+        cache,
+        LABEL_STAGES[i],
+        fps.label[i],
+        artifact::read_labels,
+        artifact::write_labels,
+        || {
+            // Labels are anchored to *long-interval* observations (§2,
+            // C2/C4: "we develop the model using the observations of
+            // distributions over a long time interval"): a group's training
+            // label uses every observation up to the end of the training
+            // window, and the test truth uses the group's full observed
+            // history. Short-window re-labeling would make the target itself
+            // noisy for groups near a shape boundary.
+            let _span = rv_obs::span("phase.label");
+            let catalog = &characterization.catalog;
+            let upto_train_end = store.window_view(0.0, datasets.d2.spec.to_days * 86_400.0);
+            let train_all = label_groups(catalog, &upto_train_end, &datasets.history);
+            let test_all = label_groups(catalog, &store.view(), &datasets.history);
+            let train: BTreeMap<JobGroupKey, usize> = datasets
+                .d2
+                .store
+                .group_keys()
+                .filter_map(|k| train_all.get(k).map(|&l| (k.clone(), l)))
+                .collect();
+            let test: BTreeMap<JobGroupKey, usize> = datasets
+                .d3
+                .store
+                .group_keys()
+                .filter_map(|k| test_all.get(k).map(|&l| (k.clone(), l)))
+                .collect();
+            Ok(LabelsArtifact { train, test })
+        },
+    )?;
+
+    let predictor = cached(
+        cache,
+        TRAIN_STAGES[i],
+        fps.train[i],
+        artifact::read_predictor,
+        artifact::write_predictor,
+        || {
+            if !datasets
+                .d2
+                .store
+                .rows()
+                .iter()
+                .any(|r| labels.train.contains_key(&r.group))
+            {
+                return Err(PipelineError::NoLabeledTrainingRows { normalization });
+            }
+            let _span = rv_obs::span("phase.train");
+            let (predictor, _n_train) = ShapePredictor::train(
+                &datasets.d2.store,
+                &labels.train,
+                FeatureExtractor::new(datasets.history.clone()),
+                config.k,
+                &config.predictor,
+            );
+            Ok(predictor)
+        },
+    )?;
+
+    let evaluation = cached(
+        cache,
+        EVALUATE_STAGES[i],
+        fps.evaluate[i],
+        artifact::read_evaluation,
+        artifact::write_evaluation,
+        || {
+            // Instance-level evaluation on D3.
+            let _span = rv_obs::span("phase.evaluate");
+            let mut truth = Vec::new();
+            let mut predicted = Vec::new();
+            for row in datasets.d3.store.rows() {
+                if let Some(&label) = labels.test.get(&row.group) {
+                    truth.push(label);
+                    predicted.push(predictor.predict_row(row));
+                }
+            }
+            if truth.is_empty() {
+                return Err(PipelineError::NoLabeledTestInstances { normalization });
+            }
+            Ok(EvaluationArtifact {
+                test_accuracy: accuracy(&truth, &predicted),
+                confusion: confusion_matrix(&truth, &predicted, config.k),
+                n_test_instances: truth.len(),
+            })
+        },
+    )?;
+
+    rv_obs::counter("framework.pipelines").inc();
+    rv_obs::gauge(&format!(
+        "framework.accuracy.{}",
+        normalization.name().to_ascii_lowercase()
+    ))
+    .set(evaluation.test_accuracy);
+    rv_obs::emit(
+        "framework.pipeline",
+        &[
+            (
+                "normalization",
+                rv_obs::FieldValue::from(normalization.name()),
+            ),
+            (
+                "test_accuracy",
+                rv_obs::FieldValue::from(evaluation.test_accuracy),
+            ),
+            (
+                "test_instances",
+                rv_obs::FieldValue::from(evaluation.n_test_instances),
+            ),
+        ],
+    );
+
+    Ok(NormalizationPipeline {
+        normalization,
+        characterization,
+        train_labels: labels.train,
+        test_labels: labels.test,
+        predictor,
+        test_accuracy: evaluation.test_accuracy,
+        confusion: evaluation.confusion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_across_calls() {
+        let a = stage_fingerprints(&FrameworkConfig::small());
+        let b = stage_fingerprints(&FrameworkConfig::small());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predictor_change_only_touches_downstream() {
+        let base = FrameworkConfig::small();
+        let mut tweaked = base.clone();
+        tweaked.predictor.probe_rounds += 1;
+        let a = stage_fingerprints(&base);
+        let b = stage_fingerprints(&tweaked);
+        assert_eq!(a.simulate, b.simulate);
+        assert_eq!(a.datasets, b.datasets);
+        assert_eq!(a.characterize, b.characterize);
+        assert_eq!(a.label, b.label);
+        assert_ne!(a.train, b.train);
+        assert_ne!(a.evaluate, b.evaluate);
+    }
+
+    #[test]
+    fn seed_change_invalidates_everything() {
+        let base = FrameworkConfig::small();
+        let mut tweaked = base.clone();
+        tweaked.generator.seed = tweaked.generator.seed.wrapping_add(1);
+        let a = stage_fingerprints(&base);
+        let b = stage_fingerprints(&tweaked);
+        assert_ne!(a.simulate, b.simulate);
+        assert_ne!(a.datasets, b.datasets);
+        for i in 0..2 {
+            assert_ne!(a.characterize[i], b.characterize[i]);
+            assert_ne!(a.label[i], b.label[i]);
+            assert_ne!(a.train[i], b.train[i]);
+            assert_ne!(a.evaluate[i], b.evaluate[i]);
+        }
+    }
+
+    #[test]
+    fn normalizations_get_distinct_stage_fingerprints() {
+        let fps = stage_fingerprints(&FrameworkConfig::small());
+        assert_ne!(fps.characterize[0], fps.characterize[1]);
+        assert_ne!(fps.label[0], fps.label[1]);
+        assert_ne!(fps.train[0], fps.train[1]);
+        assert_ne!(fps.evaluate[0], fps.evaluate[1]);
+    }
+}

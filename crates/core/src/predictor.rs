@@ -14,10 +14,12 @@ use std::collections::BTreeMap;
 
 use rv_learn::{
     select_features, Classifier, FeatureSelection, GaussianNb, GbdtClassifier, GbdtConfig,
-    RandomForestClassifier, RandomForestConfig, SoftVotingEnsemble,
+    RandomForestClassifier, RandomForestConfig,
 };
 use rv_scope::JobGroupKey;
-use rv_telemetry::{FeatureExtractor, GroupHistory, JobTelemetry, TelemetryStore, FEATURE_NAMES};
+use rv_telemetry::{
+    FeatureExtractor, GroupHistory, JobTelemetry, StoreView, TelemetryStore, FEATURE_NAMES,
+};
 
 use crate::likelihood::assign_group;
 use crate::shapes::ShapeCatalog;
@@ -64,17 +66,20 @@ impl Default for PredictorConfig {
     }
 }
 
-/// Labels every group in `store` with its most likely catalog shape, using
+/// Labels every group in `view` with its most likely catalog shape, using
 /// `history` for normalization medians (falling back to the group's own
 /// in-window median for groups without history).
+///
+/// Takes a borrowed [`StoreView`] so callers can label a time window of a
+/// larger store without cloning rows (`store.view()` labels everything).
 pub fn label_groups(
     catalog: &ShapeCatalog,
-    store: &TelemetryStore,
+    view: &StoreView<'_>,
     history: &GroupHistory,
 ) -> BTreeMap<JobGroupKey, usize> {
     let mut labels = BTreeMap::new();
-    for key in store.group_keys() {
-        let runtimes = store.group_runtimes(key);
+    for key in view.group_keys() {
+        let runtimes = view.group_runtimes(key);
         if runtimes.is_empty() {
             continue;
         }
@@ -87,11 +92,73 @@ pub fn label_groups(
     labels
 }
 
+/// A trained classifier in concrete form, so trained predictors can be
+/// serialized by the artifact layer (a `Box<dyn Classifier>` cannot).
+///
+/// The `Ensemble` variant reproduces `SoftVotingEnsemble::weighted`
+/// arithmetic exactly: weights are pre-normalized to sum 1 and member
+/// probabilities accumulate in GBDT → forest → NB order, so predictions are
+/// bit-identical to the boxed ensemble it replaced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FittedModel {
+    /// Histogram GBDT.
+    Gbdt(GbdtClassifier),
+    /// Bagged random forest.
+    Forest(RandomForestClassifier),
+    /// Gaussian naive Bayes.
+    NaiveBayes(GaussianNb),
+    /// Soft vote over the three members with normalized `weights`.
+    Ensemble {
+        /// GBDT member.
+        gbdt: GbdtClassifier,
+        /// Random-forest member.
+        forest: RandomForestClassifier,
+        /// Naive-Bayes member.
+        nb: GaussianNb,
+        /// Normalized member weights (sum 1), in member order.
+        weights: [f64; 3],
+    },
+}
+
+impl Classifier for FittedModel {
+    fn n_classes(&self) -> usize {
+        match self {
+            FittedModel::Gbdt(m) => m.n_classes(),
+            FittedModel::Forest(m) => m.n_classes(),
+            FittedModel::NaiveBayes(m) => m.n_classes(),
+            FittedModel::Ensemble { gbdt, .. } => gbdt.n_classes(),
+        }
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            FittedModel::Gbdt(m) => m.predict_proba(x),
+            FittedModel::Forest(m) => m.predict_proba(x),
+            FittedModel::NaiveBayes(m) => m.predict_proba(x),
+            FittedModel::Ensemble {
+                gbdt,
+                forest,
+                nb,
+                weights,
+            } => {
+                let members: [&dyn Classifier; 3] = [gbdt, forest, nb];
+                let mut acc = vec![0.0; gbdt.n_classes()];
+                for (m, &w) in members.iter().zip(weights) {
+                    for (a, p) in acc.iter_mut().zip(m.predict_proba(x)) {
+                        *a += w * p;
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
 /// A trained shape predictor.
 pub struct ShapePredictor {
     extractor: FeatureExtractor,
     selection: FeatureSelection,
-    model: Box<dyn Classifier>,
+    model: FittedModel,
     n_shapes: usize,
     /// Gain importances mapped back to the full schema width.
     full_importances: Vec<f64>,
@@ -133,31 +200,39 @@ impl ShapePredictor {
         let selection = select_features(&x_full, &probe_importance, config.max_abs_corr);
         let x: Vec<Vec<f64>> = selection.project_all(&x_full);
 
-        let (model, kept_importances): (Box<dyn Classifier>, Vec<f64>) = match config.model {
+        let (model, kept_importances): (FittedModel, Vec<f64>) = match config.model {
             ModelKind::Gbdt(cfg) => {
                 let m = GbdtClassifier::fit(&x, &y, n_shapes, &cfg);
                 let imp = m.feature_importances();
-                (Box::new(m), imp)
+                (FittedModel::Gbdt(m), imp)
             }
             ModelKind::RandomForest(cfg) => {
                 let m = RandomForestClassifier::fit(&x, &y, n_shapes, &cfg);
                 let imp = m.feature_importances();
-                (Box::new(m), imp)
+                (FittedModel::Forest(m), imp)
             }
             ModelKind::NaiveBayes => {
                 let m = GaussianNb::fit(&x, &y, n_shapes);
-                (Box::new(m), vec![0.0; selection.kept.len()])
+                (FittedModel::NaiveBayes(m), vec![0.0; selection.kept.len()])
             }
             ModelKind::Ensemble(gcfg, rcfg) => {
                 let g = GbdtClassifier::fit(&x, &y, n_shapes, &gcfg);
                 let imp = g.feature_importances();
                 let r = RandomForestClassifier::fit(&x, &y, n_shapes, &rcfg);
                 let nb = GaussianNb::fit(&x, &y, n_shapes);
-                let e = SoftVotingEnsemble::weighted(
-                    vec![Box::new(g), Box::new(r), Box::new(nb)],
-                    vec![2.0, 1.5, 0.5],
-                );
-                (Box::new(e), imp)
+                // Same normalization SoftVotingEnsemble::weighted applies.
+                let raw = [2.0, 1.5, 0.5];
+                let total: f64 = raw.iter().sum();
+                let weights = [raw[0] / total, raw[1] / total, raw[2] / total];
+                (
+                    FittedModel::Ensemble {
+                        gbdt: g,
+                        forest: r,
+                        nb,
+                        weights,
+                    },
+                    imp,
+                )
             }
         };
 
@@ -224,7 +299,35 @@ impl ShapePredictor {
     /// The underlying classifier (for Shapley explanation on *selected*
     /// features).
     pub fn model(&self) -> &dyn Classifier {
-        self.model.as_ref()
+        &self.model
+    }
+
+    /// The fitted model in concrete form (for serialization).
+    pub fn fitted(&self) -> &FittedModel {
+        &self.model
+    }
+
+    /// Gain importances over the full schema width (for serialization).
+    pub fn full_importances(&self) -> &[f64] {
+        &self.full_importances
+    }
+
+    /// Reassembles a predictor from persisted parts (the deserialization
+    /// counterpart of the accessors above).
+    pub fn from_parts(
+        extractor: FeatureExtractor,
+        selection: FeatureSelection,
+        model: FittedModel,
+        n_shapes: usize,
+        full_importances: Vec<f64>,
+    ) -> Self {
+        Self {
+            extractor,
+            selection,
+            model,
+            n_shapes,
+            full_importances,
+        }
     }
 
     /// Named gain importances over the full schema, sorted descending,
@@ -320,7 +423,7 @@ mod tests {
     fn labels_follow_observed_shape() {
         let store = training_store();
         let history = GroupHistory::compute(&store);
-        let labels = label_groups(&catalog(), &store, &history);
+        let labels = label_groups(&catalog(), &store.view(), &history);
         assert_eq!(labels.len(), 12);
         for (key, &label) in &labels {
             let expected = usize::from(!key.normalized_name.starts_with("tight"));
@@ -332,7 +435,7 @@ mod tests {
     fn trains_and_generalizes() {
         let store = training_store();
         let history = GroupHistory::compute(&store);
-        let labels = label_groups(&catalog(), &store, &history);
+        let labels = label_groups(&catalog(), &store.view(), &history);
         let (predictor, n) = ShapePredictor::train(
             &store,
             &labels,
@@ -354,7 +457,7 @@ mod tests {
     fn importances_are_named_and_positive() {
         let store = training_store();
         let history = GroupHistory::compute(&store);
-        let labels = label_groups(&catalog(), &store, &history);
+        let labels = label_groups(&catalog(), &store.view(), &history);
         let (predictor, _) = ShapePredictor::train(
             &store,
             &labels,
@@ -378,7 +481,7 @@ mod tests {
     fn model_kinds_all_train() {
         let store = training_store();
         let history = GroupHistory::compute(&store);
-        let labels = label_groups(&catalog(), &store, &history);
+        let labels = label_groups(&catalog(), &store.view(), &history);
         let kinds = [
             ModelKind::Gbdt(GbdtConfig {
                 n_rounds: 10,

@@ -61,7 +61,7 @@ fn default_mtry_regression(n_features: usize) -> usize {
 }
 
 /// A bagged ensemble of Gini classification trees.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestClassifier {
     trees: Vec<ClassificationTree>,
     n_classes: usize,
@@ -113,6 +113,43 @@ impl RandomForestClassifier {
             }
         }
         imp
+    }
+
+    /// Writes as a `forest` header followed by one `ctree` block per tree.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "forest,{},{},{}",
+            self.trees.len(),
+            self.n_classes,
+            self.n_features
+        )?;
+        for t in &self.trees {
+            t.write_text(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a model written by [`RandomForestClassifier::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let header = r.expect_tag("forest")?;
+        if header.len() != 3 {
+            return Err(r.err("forest header needs n_trees,n_classes,n_features"));
+        }
+        let n_trees: usize = r.parse("n_trees", &header[0])?;
+        let n_classes: usize = r.parse("n_classes", &header[1])?;
+        let n_features: usize = r.parse("n_features", &header[2])?;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            trees.push(ClassificationTree::read_text(r)?);
+        }
+        Ok(Self {
+            trees,
+            n_classes,
+            n_features,
+        })
     }
 }
 

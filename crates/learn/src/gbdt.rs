@@ -50,7 +50,7 @@ impl Default for GbdtConfig {
 }
 
 /// A fitted multiclass GBDT classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbdtClassifier {
     /// `trees[round][class]`.
     trees: Vec<Vec<GradientTree>>,
@@ -186,6 +186,58 @@ impl GbdtClassifier {
             }
         }
         imp
+    }
+
+    /// Writes as a `gbdt` header, a `base` score line, then one `gtree`
+    /// block per round × class (round-major).
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "gbdt,{},{},{},{}",
+            self.trees.len(),
+            self.n_classes,
+            self.n_features,
+            self.learning_rate
+        )?;
+        write!(w, "base")?;
+        crate::serialize::write_list(w, &self.base_scores)?;
+        for round in &self.trees {
+            for tree in round {
+                tree.write_text(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a model written by [`GbdtClassifier::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let header = r.expect_tag("gbdt")?;
+        if header.len() != 4 {
+            return Err(r.err("gbdt header needs n_rounds,n_classes,n_features,learning_rate"));
+        }
+        let n_rounds: usize = r.parse("n_rounds", &header[0])?;
+        let n_classes: usize = r.parse("n_classes", &header[1])?;
+        let n_features: usize = r.parse("n_features", &header[2])?;
+        let learning_rate: f64 = r.parse("learning_rate", &header[3])?;
+        let base_fields = r.expect_tag("base")?;
+        let base_scores = r.parse_list_n("base score", &base_fields, n_classes)?;
+        let mut trees = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            let mut round = Vec::with_capacity(n_classes);
+            for _ in 0..n_classes {
+                round.push(GradientTree::read_text(r)?);
+            }
+            trees.push(round);
+        }
+        Ok(Self {
+            trees,
+            base_scores,
+            learning_rate,
+            n_classes,
+            n_features,
+        })
     }
 }
 

@@ -34,6 +34,7 @@ pub mod gbdt;
 pub mod importance;
 pub mod metrics;
 pub mod naive_bayes;
+pub mod serialize;
 pub mod sweep;
 pub mod tree;
 pub mod validation;
@@ -46,6 +47,7 @@ pub use gbdt::{GbdtClassifier, GbdtConfig};
 pub use importance::gini_importance;
 pub use metrics::{accuracy, confusion_matrix, ConfusionMatrix};
 pub use naive_bayes::GaussianNb;
+pub use serialize::{LineReader, SerializeError};
 pub use sweep::{sweep_gbdt, SweepResult};
 pub use validation::{
     brier_score, classification_report, cross_validate, kfold_indices, macro_f1, ClassReport,

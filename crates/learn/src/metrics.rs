@@ -17,6 +17,19 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
+    /// Rebuilds a matrix from raw counts (the deserialization counterpart of
+    /// [`ConfusionMatrix::counts`]).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn from_counts(counts: Vec<Vec<u64>>) -> Self {
+        assert!(
+            counts.iter().all(|row| row.len() == counts.len()),
+            "confusion matrix must be square"
+        );
+        Self { counts }
+    }
+
     /// Raw counts, `counts[actual][predicted]`.
     pub fn counts(&self) -> &[Vec<u64>] {
         &self.counts

@@ -4,7 +4,7 @@ use crate::Classifier;
 
 /// Gaussian naive Bayes classifier: per-class, per-feature normal likelihoods
 /// with a variance floor for numeric stability.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianNb {
     /// `log_prior[c]`.
     log_prior: Vec<f64>,
@@ -71,6 +71,50 @@ impl GaussianNb {
             var,
             n_classes,
         }
+    }
+
+    /// Writes as an `nb` header, a `prior` line, then per-class `mean` and
+    /// `var` lines.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let d = self.mean.first().map(Vec::len).unwrap_or(0);
+        writeln!(w, "nb,{},{d}", self.n_classes)?;
+        write!(w, "prior")?;
+        crate::serialize::write_list(w, &self.log_prior)?;
+        for c in 0..self.n_classes {
+            write!(w, "mean")?;
+            crate::serialize::write_list(w, &self.mean[c])?;
+            write!(w, "var")?;
+            crate::serialize::write_list(w, &self.var[c])?;
+        }
+        Ok(())
+    }
+
+    /// Reads a model written by [`GaussianNb::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let header = r.expect_tag("nb")?;
+        if header.len() != 2 {
+            return Err(r.err("nb header needs n_classes,n_features"));
+        }
+        let n_classes: usize = r.parse("n_classes", &header[0])?;
+        let d: usize = r.parse("n_features", &header[1])?;
+        let prior_fields = r.expect_tag("prior")?;
+        let log_prior = r.parse_list_n("log prior", &prior_fields, n_classes)?;
+        let mut mean = Vec::with_capacity(n_classes);
+        let mut var = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let m = r.expect_tag("mean")?;
+            mean.push(r.parse_list_n("class mean", &m, d)?);
+            let v = r.expect_tag("var")?;
+            var.push(r.parse_list_n("class variance", &v, d)?);
+        }
+        Ok(Self {
+            log_prior,
+            mean,
+            var,
+            n_classes,
+        })
     }
 }
 

@@ -1,0 +1,220 @@
+//! Line-oriented, std-only serialization plumbing for fitted models.
+//!
+//! Every model in this crate can persist itself as versionable CSV-ish text
+//! via `write_text` / `read_text` pairs defined next to its (module-private)
+//! fields. The format rules are shared with the artifact layer in `rv-core`:
+//!
+//! * one record per line, comma-separated, first field is the record tag;
+//! * floats through `{}` (`Display`), which in Rust is shortest-round-trip —
+//!   parsing the text restores the exact bits, so a write→read cycle is
+//!   lossless and warm-cache reruns stay byte-identical;
+//! * counts precede repeated blocks, so readers never scan ahead.
+//!
+//! This module holds the shared plumbing: a position-tracking [`LineReader`]
+//! and the [`SerializeError`] type carrying the offending line number.
+
+use std::fmt;
+use std::io::BufRead;
+use std::str::FromStr;
+
+/// A parse failure while reading a serialized model or artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializeError {
+    /// 1-based line number where parsing failed (0 when unknown).
+    pub line: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl SerializeError {
+    /// Creates an error at an explicit line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+/// A [`BufRead`] wrapper that tracks line numbers and strips newlines, so
+/// every parse error can point at its source line.
+pub struct LineReader<R> {
+    inner: R,
+    line: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wraps a buffered reader; line numbering starts at 1 on first read.
+    pub fn new(inner: R) -> Self {
+        Self { inner, line: 0 }
+    }
+
+    /// The number of the most recently read line (1-based).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// An error positioned at the current line.
+    pub fn err(&self, message: impl Into<String>) -> SerializeError {
+        SerializeError::at(self.line, message)
+    }
+
+    /// Reads the next line without its trailing newline; `None` at EOF.
+    pub fn try_next_line(&mut self) -> Result<Option<String>, SerializeError> {
+        let mut buf = String::new();
+        self.line += 1;
+        match self.inner.read_line(&mut buf) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                while buf.ends_with('\n') || buf.ends_with('\r') {
+                    buf.pop();
+                }
+                Ok(Some(buf))
+            }
+            Err(e) => Err(self.err(format!("read failed: {e}"))),
+        }
+    }
+
+    /// Reads the next line; EOF is an error.
+    pub fn next_line(&mut self) -> Result<String, SerializeError> {
+        match self.try_next_line()? {
+            Some(line) => Ok(line),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Reads the next line as `(tag, fields)` split on commas.
+    pub fn next_record(&mut self) -> Result<(String, Vec<String>), SerializeError> {
+        let line = self.next_line()?;
+        let mut parts = line.split(',');
+        let tag = parts.next().unwrap_or("").to_string();
+        Ok((tag, parts.map(str::to_string).collect()))
+    }
+
+    /// Reads the next line, requiring its tag to equal `tag`; returns the
+    /// remaining fields.
+    pub fn expect_tag(&mut self, tag: &str) -> Result<Vec<String>, SerializeError> {
+        let (found, fields) = self.next_record()?;
+        if found == tag {
+            Ok(fields)
+        } else {
+            Err(self.err(format!("expected `{tag}` record, found `{found}`")))
+        }
+    }
+
+    /// Parses one field at the current line, naming it in errors.
+    pub fn parse<T: FromStr>(&self, what: &str, field: &str) -> Result<T, SerializeError>
+    where
+        T::Err: fmt::Display,
+    {
+        field
+            .parse()
+            .map_err(|e| self.err(format!("bad {what} `{field}`: {e}")))
+    }
+
+    /// Parses a whole field slice as a list of one type.
+    pub fn parse_list<T: FromStr>(
+        &self,
+        what: &str,
+        fields: &[String],
+    ) -> Result<Vec<T>, SerializeError>
+    where
+        T::Err: fmt::Display,
+    {
+        fields.iter().map(|f| self.parse(what, f)).collect()
+    }
+
+    /// Parses exactly `n` fields as a list, erroring on a count mismatch.
+    pub fn parse_list_n<T: FromStr>(
+        &self,
+        what: &str,
+        fields: &[String],
+        n: usize,
+    ) -> Result<Vec<T>, SerializeError>
+    where
+        T::Err: fmt::Display,
+    {
+        if fields.len() != n {
+            return Err(self.err(format!(
+                "expected {n} {what} fields, found {}",
+                fields.len()
+            )));
+        }
+        self.parse_list(what, fields)
+    }
+}
+
+/// Writes a comma-joined list of `Display` values after an existing prefix.
+pub fn write_list<W: std::io::Write, T: fmt::Display>(
+    w: &mut W,
+    values: &[T],
+) -> std::io::Result<()> {
+    for v in values {
+        write!(w, ",{v}")?;
+    }
+    writeln!(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_records_and_tracks_lines() {
+        let text = "alpha,1,2\nbeta,3\n";
+        let mut r = LineReader::new(text.as_bytes());
+        let fields = r.expect_tag("alpha").expect("alpha record");
+        assert_eq!(fields, vec!["1", "2"]);
+        assert_eq!(r.line(), 1);
+        let (tag, fields) = r.next_record().expect("beta record");
+        assert_eq!(tag, "beta");
+        assert_eq!(fields, vec!["3"]);
+        assert_eq!(r.line(), 2);
+        assert!(r.try_next_line().expect("eof ok").is_none());
+    }
+
+    #[test]
+    fn wrong_tag_errors_with_line() {
+        let mut r = LineReader::new("beta,1\n".as_bytes());
+        let err = r.expect_tag("alpha").expect_err("tag mismatch");
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("alpha"));
+        assert!(err.message.contains("beta"));
+    }
+
+    #[test]
+    fn eof_is_an_error_for_next_line() {
+        let mut r = LineReader::new("".as_bytes());
+        let err = r.next_line().expect_err("eof");
+        assert!(err.message.contains("end of input"));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly_through_display() {
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0] {
+            let s = format!("{v}");
+            let r = LineReader::new("".as_bytes());
+            let back: f64 = r.parse("float", &s).expect("parse");
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn parse_list_n_rejects_wrong_count() {
+        let r = LineReader::new("".as_bytes());
+        let fields: Vec<String> = vec!["1".into(), "2".into()];
+        assert!(r.parse_list_n::<f64>("x", &fields, 3).is_err());
+        assert_eq!(
+            r.parse_list_n::<f64>("x", &fields, 2).expect("ok"),
+            vec![1.0, 2.0]
+        );
+    }
+}

@@ -66,7 +66,7 @@ fn split_threads(n_rows: usize, n_candidates: usize, config: &TreeConfig) -> usi
 }
 
 /// A binary tree node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Split {
         feature: usize,
@@ -85,7 +85,7 @@ enum Node {
 }
 
 /// Storage shared by both tree flavours.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -130,6 +130,75 @@ impl Tree {
             }
         }
     }
+
+    /// Writes the tree as `tree,<n_features>,<n_nodes>` followed by one
+    /// `split,...` or `leaf,...` record per node, in node-index order.
+    /// Floats go through `Display` (shortest round trip), so
+    /// [`Tree::read_text`] restores the exact bits.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "tree,{},{}", self.n_features, self.nodes.len())?;
+        for n in &self.nodes {
+            match n {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    gain,
+                } => writeln!(w, "split,{feature},{threshold},{left},{right},{gain}")?,
+                Node::Leaf(v) => {
+                    write!(w, "leaf,{}", v.len())?;
+                    crate::serialize::write_list(w, v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a tree written by [`Tree::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let header = r.expect_tag("tree")?;
+        if header.len() != 2 {
+            return Err(r.err("tree header needs n_features,n_nodes"));
+        }
+        let n_features: usize = r.parse("n_features", &header[0])?;
+        let n_nodes: usize = r.parse("n_nodes", &header[1])?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tag, fields) = r.next_record()?;
+            let node = match tag.as_str() {
+                "split" => {
+                    if fields.len() != 5 {
+                        return Err(r.err("split record needs 5 fields"));
+                    }
+                    let left: usize = r.parse("left child", &fields[2])?;
+                    let right: usize = r.parse("right child", &fields[3])?;
+                    if left >= n_nodes || right >= n_nodes {
+                        return Err(r.err("split child index out of range"));
+                    }
+                    Node::Split {
+                        feature: r.parse("split feature", &fields[0])?,
+                        threshold: r.parse("split threshold", &fields[1])?,
+                        left,
+                        right,
+                        gain: r.parse("split gain", &fields[4])?,
+                    }
+                }
+                "leaf" => {
+                    let n: usize = r.parse(
+                        "leaf payload length",
+                        fields.first().map(String::as_str).unwrap_or(""),
+                    )?;
+                    Node::Leaf(r.parse_list_n("leaf payload", &fields[1..], n)?)
+                }
+                other => return Err(r.err(format!("expected split/leaf, found `{other}`"))),
+            };
+            nodes.push(node);
+        }
+        Ok(Self { nodes, n_features })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +206,7 @@ impl Tree {
 // ---------------------------------------------------------------------------
 
 /// A Gini classification tree; leaves hold class-probability vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassificationTree {
     tree: Tree,
     n_classes: usize,
@@ -189,6 +258,26 @@ impl ClassificationTree {
     /// The underlying node storage (for importances).
     pub fn tree(&self) -> &Tree {
         &self.tree
+    }
+
+    /// Writes as `ctree,<n_classes>` followed by the node block.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "ctree,{}", self.n_classes)?;
+        self.tree.write_text(w)
+    }
+
+    /// Reads a tree written by [`ClassificationTree::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        let header = r.expect_tag("ctree")?;
+        if header.len() != 1 {
+            return Err(r.err("ctree header needs n_classes"));
+        }
+        Ok(Self {
+            n_classes: r.parse("n_classes", &header[0])?,
+            tree: Tree::read_text(r)?,
+        })
     }
 }
 
@@ -353,7 +442,7 @@ fn best_classification_split(
 
 /// A second-order gradient tree: fits `-G/(H + λ)` leaf weights on
 /// per-row (gradient, hessian) pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientTree {
     tree: Tree,
 }
@@ -389,6 +478,22 @@ impl GradientTree {
     /// The underlying node storage (for importances).
     pub fn tree(&self) -> &Tree {
         &self.tree
+    }
+
+    /// Writes as `gtree` followed by the node block.
+    pub fn write_text<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "gtree")?;
+        self.tree.write_text(w)
+    }
+
+    /// Reads a tree written by [`GradientTree::write_text`].
+    pub fn read_text<R: std::io::BufRead>(
+        r: &mut crate::serialize::LineReader<R>,
+    ) -> Result<Self, crate::serialize::SerializeError> {
+        r.expect_tag("gtree")?;
+        Ok(Self {
+            tree: Tree::read_text(r)?,
+        })
     }
 }
 

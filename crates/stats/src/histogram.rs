@@ -189,6 +189,27 @@ impl Pmf {
         }
     }
 
+    /// Creates a PMF from probabilities that are already normalized, storing
+    /// them bit-for-bit (no renormalization). This is the deserialization
+    /// counterpart of [`Pmf::probs`]: persisting the probabilities and
+    /// reading them back through here round-trips the PMF exactly, which
+    /// [`Pmf::from_weights`] cannot guarantee (its `w / sum` division can
+    /// perturb the last bit when the stored sum is not exactly 1).
+    ///
+    /// # Panics
+    /// Panics if `probs.len() != spec.n_bins`, if any probability is negative
+    /// or non-finite, or if the total mass is not within `1e-6` of 1.
+    pub fn from_probs(spec: BinSpec, probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), spec.n_bins, "prob/bin count mismatch");
+        assert!(
+            probs.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "probabilities must be finite and non-negative"
+        );
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "probabilities must sum to 1");
+        Self { spec, probs }
+    }
+
     /// The bin specification.
     pub fn spec(&self) -> BinSpec {
         self.spec

@@ -74,15 +74,12 @@ impl Dataset {
     pub fn assemble(source: &TelemetryStore, spec: DatasetSpec) -> Self {
         let from_s = spec.from_days * 86_400.0;
         let to_s = spec.to_days * 86_400.0;
-        // Count per-group support within the window first.
-        let mut support: BTreeMap<&JobGroupKey, usize> = BTreeMap::new();
-        for row in source.rows_in_window(from_s, to_s) {
-            *support.entry(&row.group).or_default() += 1;
-        }
-        let store: TelemetryStore = source
-            .rows_in_window(from_s, to_s)
-            .into_iter()
-            .filter(|r| support.get(&r.group).copied().unwrap_or(0) >= spec.min_support)
+        // The view carries per-group support within the window; only rows of
+        // groups meeting the threshold are cloned into the dataset store.
+        let view = source.window_view(from_s, to_s);
+        let store: TelemetryStore = view
+            .rows()
+            .filter(|r| view.group_len(&r.group) >= spec.min_support)
             .cloned()
             .collect();
         Self { spec, store }
@@ -238,6 +235,14 @@ impl GroupHistory {
     /// Iterates over `(group, stats)` in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&JobGroupKey, &GroupStats)> {
         self.stats.iter()
+    }
+}
+
+impl FromIterator<(JobGroupKey, GroupStats)> for GroupHistory {
+    fn from_iter<T: IntoIterator<Item = (JobGroupKey, GroupStats)>>(iter: T) -> Self {
+        Self {
+            stats: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -23,8 +23,8 @@ pub mod record;
 pub mod store;
 
 pub use collect::{collect_telemetry, CampaignConfig, CampaignError};
-pub use dataset::{Dataset, DatasetSpec, GroupHistory};
+pub use dataset::{Dataset, DatasetSpec, GroupHistory, GroupStats};
 pub use export::{read_store, write_store};
 pub use features::{FeatureExtractor, FeatureSchema, FEATURE_NAMES};
 pub use record::JobTelemetry;
-pub use store::TelemetryStore;
+pub use store::{StoreView, TelemetryStore};

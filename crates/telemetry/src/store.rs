@@ -86,6 +86,115 @@ impl TelemetryStore {
             .filter(|r| r.submit_time_s >= from_s && r.submit_time_s < to_s)
             .collect()
     }
+
+    /// A borrowed view over the whole store: same rows and group index, no
+    /// row clones.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView {
+            store: self,
+            row_idx: (0..self.rows.len()).collect(),
+            by_group: self.by_group.iter().map(|(k, v)| (k, v.clone())).collect(),
+        }
+    }
+
+    /// A borrowed view over the rows submitted in `[from_s, to_s)`. Only
+    /// groups with at least one row inside the window appear in the view.
+    /// This replaces the `rows_in_window(..).cloned().collect()` pattern:
+    /// the view holds row *indices*, never cloned rows.
+    pub fn window_view(&self, from_s: f64, to_s: f64) -> StoreView<'_> {
+        let mut row_idx = Vec::new();
+        let mut by_group: BTreeMap<&JobGroupKey, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if r.submit_time_s >= from_s && r.submit_time_s < to_s {
+                row_idx.push(i);
+                by_group.entry(&r.group).or_default().push(i);
+            }
+        }
+        StoreView {
+            store: self,
+            row_idx,
+            by_group,
+        }
+    }
+
+    /// A borrowed view containing only the rows of `key` (empty view when
+    /// the group is unknown).
+    pub fn group_view(&self, key: &JobGroupKey) -> StoreView<'_> {
+        let mut by_group: BTreeMap<&JobGroupKey, Vec<usize>> = BTreeMap::new();
+        let mut row_idx = Vec::new();
+        if let Some((k, idxs)) = self.by_group.get_key_value(key) {
+            row_idx = idxs.clone();
+            by_group.insert(k, idxs.clone());
+        }
+        StoreView {
+            store: self,
+            row_idx,
+            by_group,
+        }
+    }
+}
+
+/// A borrowed, index-based view of a subset of a [`TelemetryStore`]'s rows.
+///
+/// Views mirror the store's read API (`group_keys`, `group_rows`,
+/// `group_runtimes`, window/row iteration) over a subset of rows without
+/// cloning any [`JobTelemetry`]; both the label assignment and the dataset
+/// assembly paths use them to avoid materializing intermediate stores.
+#[derive(Debug, Clone)]
+pub struct StoreView<'a> {
+    store: &'a TelemetryStore,
+    /// Row indices in insertion (submission) order.
+    row_idx: Vec<usize>,
+    /// Group index restricted to in-view rows, in sorted group order.
+    by_group: BTreeMap<&'a JobGroupKey, Vec<usize>>,
+}
+
+impl<'a> StoreView<'a> {
+    /// Rows of the view, in submission order.
+    pub fn rows(&self) -> impl Iterator<Item = &'a JobTelemetry> + '_ {
+        self.row_idx.iter().map(|&i| &self.store.rows[i])
+    }
+
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.row_idx.is_empty()
+    }
+
+    /// Number of distinct groups with at least one in-view row.
+    pub fn n_groups(&self) -> usize {
+        self.by_group.len()
+    }
+
+    /// Iterator over in-view group keys in deterministic (sorted) order.
+    pub fn group_keys(&self) -> impl Iterator<Item = &'a JobGroupKey> + '_ {
+        self.by_group.keys().copied()
+    }
+
+    /// In-view rows of one group, in submission order.
+    pub fn group_rows(&self, key: &JobGroupKey) -> Vec<&'a JobTelemetry> {
+        self.by_group
+            .get(key)
+            .map(|idxs| idxs.iter().map(|&i| &self.store.rows[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// In-view runtimes of one group, in submission order.
+    pub fn group_runtimes(&self, key: &JobGroupKey) -> Vec<f64> {
+        self.by_group
+            .get(key)
+            .map(|idxs| idxs.iter().map(|&i| self.store.rows[i].runtime_s).collect())
+            .unwrap_or_default()
+    }
+
+    /// The number of in-view rows of one group (its in-window support).
+    pub fn group_len(&self, key: &JobGroupKey) -> usize {
+        self.by_group.get(key).map(Vec::len).unwrap_or(0)
+    }
 }
 
 impl FromIterator<JobTelemetry> for TelemetryStore {
@@ -167,6 +276,63 @@ mod tests {
         assert_eq!(store.rows_in_window(2.0, 5.0).len(), 3);
         assert_eq!(store.rows_in_window(0.0, 100.0).len(), 10);
         assert_eq!(store.rows_in_window(50.0, 60.0).len(), 0);
+    }
+
+    #[test]
+    fn window_view_matches_rows_in_window() {
+        let store: TelemetryStore = vec![
+            row("a", 0, 0.0, 10.0),
+            row("b", 0, 1.0, 20.0),
+            row("a", 1, 2.0, 12.0),
+            row("b", 1, 3.0, 21.0),
+            row("a", 2, 4.0, 14.0),
+        ]
+        .into_iter()
+        .collect();
+        let view = store.window_view(1.0, 4.0);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.n_groups(), 2);
+        let a = JobGroupKey::new("a", PlanSignature(7));
+        let b = JobGroupKey::new("b", PlanSignature(7));
+        assert_eq!(view.group_runtimes(&a), vec![12.0]);
+        assert_eq!(view.group_runtimes(&b), vec![20.0, 21.0]);
+        assert_eq!(view.group_len(&b), 2);
+        // Same rows, same order, as the allocating window query.
+        let borrowed: Vec<f64> = view.rows().map(|r| r.runtime_s).collect();
+        let owned: Vec<f64> = store
+            .rows_in_window(1.0, 4.0)
+            .iter()
+            .map(|r| r.runtime_s)
+            .collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn full_and_group_views() {
+        let store: TelemetryStore = vec![
+            row("a", 0, 0.0, 10.0),
+            row("b", 0, 1.0, 20.0),
+            row("a", 1, 2.0, 12.0),
+        ]
+        .into_iter()
+        .collect();
+        let full = store.view();
+        assert_eq!(full.len(), store.len());
+        assert_eq!(full.n_groups(), store.n_groups());
+        let a = JobGroupKey::new("a", PlanSignature(7));
+        assert_eq!(full.group_runtimes(&a), store.group_runtimes(&a));
+        assert_eq!(full.group_rows(&a).len(), 2);
+
+        let only_a = store.group_view(&a);
+        assert_eq!(only_a.len(), 2);
+        assert_eq!(only_a.n_groups(), 1);
+        assert_eq!(only_a.group_runtimes(&a), vec![10.0, 12.0]);
+        let missing = JobGroupKey::new("zzz", PlanSignature(0));
+        let empty = store.group_view(&missing);
+        assert!(empty.is_empty());
+        assert_eq!(empty.n_groups(), 0);
+        assert_eq!(empty.group_len(&a), 0);
     }
 
     #[test]

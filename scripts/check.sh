@@ -7,6 +7,10 @@
 #   1. cargo fmt --check                        (no formatting drift)
 #   2. cargo clippy --workspace -D warnings     (lint-clean, all targets)
 #   3. cargo build --release && cargo test -q   (tier-1, serial + 4 threads)
+#   4. cold-then-warm `runvar run` against a fresh artifact cache: the warm
+#      run must be byte-identical on stdout and must actually hit the cache
+#      (cold hits == 0, warm hits > 0). Wall-clock for both runs is appended
+#      to target/bench/trajectory.json.
 #
 # The test suite runs twice — RUNVAR_THREADS=1 and RUNVAR_THREADS=4 — so a
 # result that depends on worker-pool width fails the gate.
@@ -29,5 +33,46 @@ RUNVAR_THREADS=1 cargo test -q
 
 echo "==> tier-1: RUNVAR_THREADS=4 cargo test -q"
 RUNVAR_THREADS=4 cargo test -q
+
+echo "==> cache gate: cold-then-warm runvar run --scale small"
+cache_dir="$(mktemp -d)"
+cold_out="$(mktemp)" warm_out="$(mktemp)"
+cold_err="$(mktemp)" warm_err="$(mktemp)"
+trap 'rm -rf "$cache_dir" "$cold_out" "$warm_out" "$cold_err" "$warm_err"' EXIT
+
+cold_start="$(date +%s.%N)"
+target/release/runvar run --scale small --cache-dir "$cache_dir" \
+    >"$cold_out" 2>"$cold_err"
+cold_end="$(date +%s.%N)"
+target/release/runvar run --scale small --cache-dir "$cache_dir" \
+    >"$warm_out" 2>"$warm_err"
+warm_end="$(date +%s.%N)"
+
+if ! diff -q "$cold_out" "$warm_out" >/dev/null; then
+    echo "FAIL: warm cached run diverged from the cold run" >&2
+    diff "$cold_out" "$warm_out" | head -20 >&2 || true
+    exit 1
+fi
+cold_hits="$(sed -n 's/^cache: \([0-9][0-9]*\) hits.*/\1/p' "$cold_err")"
+warm_hits="$(sed -n 's/^cache: \([0-9][0-9]*\) hits.*/\1/p' "$warm_err")"
+if [ -z "$cold_hits" ] || [ -z "$warm_hits" ]; then
+    echo "FAIL: missing 'cache: N hits, M misses' line on stderr" >&2
+    exit 1
+fi
+if [ "$cold_hits" -ne 0 ]; then
+    echo "FAIL: cold run reported $cold_hits cache hits (expected 0)" >&2
+    exit 1
+fi
+if [ "$warm_hits" -eq 0 ]; then
+    echo "FAIL: warm run reported zero cache hits" >&2
+    exit 1
+fi
+
+mkdir -p target/bench
+cold_s="$(awk -v a="$cold_start" -v b="$cold_end" 'BEGIN{printf "%.3f", b - a}')"
+warm_s="$(awk -v a="$cold_end" -v b="$warm_end" 'BEGIN{printf "%.3f", b - a}')"
+printf '{"ts":%s,"gate":"cache-cold-warm","scale":"small","cold_s":%s,"warm_s":%s,"warm_hits":%s}\n' \
+    "$(date +%s)" "$cold_s" "$warm_s" "$warm_hits" >> target/bench/trajectory.json
+echo "cache gate: cold ${cold_s}s, warm ${warm_s}s, ${warm_hits} warm hits"
 
 echo "All checks passed."

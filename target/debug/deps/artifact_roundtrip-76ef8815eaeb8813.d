@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/artifact_roundtrip-76ef8815eaeb8813.d: crates/core/../../tests/artifact_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libartifact_roundtrip-76ef8815eaeb8813.rmeta: crates/core/../../tests/artifact_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/artifact_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

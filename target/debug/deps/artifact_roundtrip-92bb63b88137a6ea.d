@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/artifact_roundtrip-92bb63b88137a6ea.d: crates/core/../../tests/artifact_roundtrip.rs
+
+/root/repo/target/debug/deps/artifact_roundtrip-92bb63b88137a6ea: crates/core/../../tests/artifact_roundtrip.rs
+
+crates/core/../../tests/artifact_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_cache-0ad7820c81975968.d: crates/core/../../tests/pipeline_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_cache-0ad7820c81975968.rmeta: crates/core/../../tests/pipeline_cache.rs Cargo.toml
+
+crates/core/../../tests/pipeline_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_cache-eb63b1a021267ef6.d: crates/core/../../tests/pipeline_cache.rs
+
+/root/repo/target/debug/deps/pipeline_cache-eb63b1a021267ef6: crates/core/../../tests/pipeline_cache.rs
+
+crates/core/../../tests/pipeline_cache.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/rv_learn-1e4d62d90b094f01.d: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
+/root/repo/target/debug/deps/rv_learn-1e4d62d90b094f01.d: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/serialize.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
 
-/root/repo/target/debug/deps/librv_learn-1e4d62d90b094f01.rlib: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
+/root/repo/target/debug/deps/librv_learn-1e4d62d90b094f01.rlib: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/serialize.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
 
-/root/repo/target/debug/deps/librv_learn-1e4d62d90b094f01.rmeta: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
+/root/repo/target/debug/deps/librv_learn-1e4d62d90b094f01.rmeta: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/serialize.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
 
 crates/learn/src/lib.rs:
 crates/learn/src/data.rs:
@@ -13,6 +13,7 @@ crates/learn/src/gbdt.rs:
 crates/learn/src/importance.rs:
 crates/learn/src/metrics.rs:
 crates/learn/src/naive_bayes.rs:
+crates/learn/src/serialize.rs:
 crates/learn/src/sweep.rs:
 crates/learn/src/tree.rs:
 crates/learn/src/validation.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rv_learn-7dc01fe1ebc66586.d: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
+/root/repo/target/debug/deps/rv_learn-7dc01fe1ebc66586.d: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/serialize.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
 
-/root/repo/target/debug/deps/rv_learn-7dc01fe1ebc66586: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
+/root/repo/target/debug/deps/rv_learn-7dc01fe1ebc66586: crates/learn/src/lib.rs crates/learn/src/data.rs crates/learn/src/ensemble.rs crates/learn/src/feature_select.rs crates/learn/src/forest.rs crates/learn/src/gbdt.rs crates/learn/src/importance.rs crates/learn/src/metrics.rs crates/learn/src/naive_bayes.rs crates/learn/src/serialize.rs crates/learn/src/sweep.rs crates/learn/src/tree.rs crates/learn/src/validation.rs
 
 crates/learn/src/lib.rs:
 crates/learn/src/data.rs:
@@ -11,6 +11,7 @@ crates/learn/src/gbdt.rs:
 crates/learn/src/importance.rs:
 crates/learn/src/metrics.rs:
 crates/learn/src/naive_bayes.rs:
+crates/learn/src/serialize.rs:
 crates/learn/src/sweep.rs:
 crates/learn/src/tree.rs:
 crates/learn/src/validation.rs:

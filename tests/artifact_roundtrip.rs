@@ -1,0 +1,267 @@
+//! Artifact codec round trips: every stage artifact must survive a
+//! write→read→write cycle byte-for-byte (floats go through `Display`, which
+//! is shortest-round-trip in Rust), corrupt inputs must surface as parse
+//! errors rather than panics, and stage fingerprints must be stable
+//! functions of the configuration.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::pipeline::artifact::{
+    read_characterization, read_datasets, read_evaluation, read_labels, read_predictor,
+    read_telemetry, write_characterization, write_datasets, write_evaluation, write_labels,
+    write_predictor, write_telemetry, DatasetsArtifact, EvaluationArtifact, LabelsArtifact,
+};
+use rv_core::pipeline::stage_fingerprints;
+use rv_core::predictor::{ModelKind, PredictorConfig, ShapePredictor};
+use rv_core::rv_learn::{GbdtConfig, LineReader, RandomForestConfig, SerializeError};
+use rv_core::rv_telemetry::FeatureExtractor;
+
+fn small() -> FrameworkConfig {
+    let mut cfg = FrameworkConfig::small();
+    // Shrink further: this binary trains four extra predictors.
+    cfg.generator.n_templates = 24;
+    cfg.campaign.window_days = 12.0;
+    cfg.characterize_support = 8;
+    cfg
+}
+
+fn framework() -> &'static Framework {
+    static FRAMEWORK: OnceLock<Framework> = OnceLock::new();
+    FRAMEWORK.get_or_init(|| Framework::run(small()).expect("valid config"))
+}
+
+/// Writes `value`, reads it back, writes the reconstruction, and returns
+/// `(reconstruction, first_bytes, second_bytes)`.
+fn recycle<T>(
+    value: &T,
+    write: impl Fn(&mut Vec<u8>, &T) -> std::io::Result<()>,
+    read: impl Fn(&mut LineReader<std::io::Cursor<Vec<u8>>>) -> Result<T, SerializeError>,
+) -> (T, Vec<u8>, Vec<u8>) {
+    let mut bytes = Vec::new();
+    write(&mut bytes, value).expect("serialize");
+    let mut r = LineReader::new(std::io::Cursor::new(bytes.clone()));
+    let back = read(&mut r).expect("deserialize");
+    assert!(
+        r.try_next_line().expect("readable").is_none(),
+        "reader must consume the whole artifact"
+    );
+    let mut again = Vec::new();
+    write(&mut again, &back).expect("re-serialize");
+    (back, bytes, again)
+}
+
+#[test]
+fn telemetry_round_trips_byte_for_byte() {
+    let f = framework();
+    let (back, bytes, again) = recycle(&f.store, write_telemetry, read_telemetry);
+    assert_eq!(bytes, again);
+    assert_eq!(back.len(), f.store.len());
+    assert_eq!(back.n_groups(), f.store.n_groups());
+}
+
+#[test]
+fn datasets_round_trip_byte_for_byte() {
+    let f = framework();
+    let value = DatasetsArtifact {
+        d1: f.d1.clone(),
+        d2: f.d2.clone(),
+        d3: f.d3.clone(),
+        history: f.history.clone(),
+    };
+    let (back, bytes, again) = recycle(&value, write_datasets, read_datasets);
+    assert_eq!(bytes, again);
+    for (a, b) in [(&back.d1, &f.d1), (&back.d2, &f.d2), (&back.d3, &f.d3)] {
+        assert_eq!(a.spec.name, b.spec.name);
+        assert_eq!(a.spec.from_days.to_bits(), b.spec.from_days.to_bits());
+        assert_eq!(a.spec.to_days.to_bits(), b.spec.to_days.to_bits());
+        assert_eq!(a.spec.min_support, b.spec.min_support);
+        assert_eq!(a.n_instances(), b.n_instances());
+    }
+    assert_eq!(back.history.len(), f.history.len());
+    for ((ka, sa), (kb, sb)) in back.history.iter().zip(f.history.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(sa, sb);
+    }
+}
+
+#[test]
+fn characterizations_round_trip_byte_for_byte() {
+    let f = framework();
+    for pipe in [&f.ratio, &f.delta] {
+        let value = pipe.characterization.clone();
+        let (back, bytes, again) = recycle(&value, write_characterization, read_characterization);
+        assert_eq!(bytes, again, "{} catalog diverged", pipe.normalization);
+        assert_eq!(back.catalog.normalization, value.catalog.normalization);
+        assert_eq!(back.catalog.spec, value.catalog.spec);
+        assert_eq!(back.catalog.n_shapes(), value.catalog.n_shapes());
+        for i in 0..value.catalog.n_shapes() {
+            assert_eq!(back.catalog.pmf(i), value.catalog.pmf(i));
+            assert_eq!(back.catalog.stats(i), value.catalog.stats(i));
+        }
+        assert_eq!(back.memberships, value.memberships);
+        assert_eq!(back.inertia.to_bits(), value.inertia.to_bits());
+    }
+}
+
+#[test]
+fn labels_round_trip_byte_for_byte() {
+    let f = framework();
+    let value = LabelsArtifact {
+        train: f.ratio.train_labels.clone(),
+        test: f.ratio.test_labels.clone(),
+    };
+    let (back, bytes, again) = recycle(&value, write_labels, read_labels);
+    assert_eq!(bytes, again);
+    assert_eq!(back, value);
+}
+
+#[test]
+fn predictors_round_trip_for_every_model_kind() {
+    let f = framework();
+    let kinds = [
+        ModelKind::Gbdt(GbdtConfig {
+            n_rounds: 5,
+            ..Default::default()
+        }),
+        ModelKind::RandomForest(RandomForestConfig {
+            n_trees: 5,
+            ..Default::default()
+        }),
+        ModelKind::NaiveBayes,
+        ModelKind::Ensemble(
+            GbdtConfig {
+                n_rounds: 5,
+                ..Default::default()
+            },
+            RandomForestConfig {
+                n_trees: 5,
+                ..Default::default()
+            },
+        ),
+    ];
+    for model in kinds {
+        let config = PredictorConfig {
+            model,
+            ..PredictorConfig::default()
+        };
+        let (predictor, _) = ShapePredictor::train(
+            &f.d2.store,
+            &f.ratio.train_labels,
+            FeatureExtractor::new(f.history.clone()),
+            f.config.k,
+            &config,
+        );
+        let (back, bytes, again) = recycle(&predictor, write_predictor, read_predictor);
+        assert_eq!(bytes, again, "{model:?} bytes diverged");
+        assert_eq!(back.n_shapes(), predictor.n_shapes());
+        assert_eq!(back.selection(), predictor.selection());
+        assert_eq!(back.fitted(), predictor.fitted());
+        for row in f.d3.store.rows() {
+            assert_eq!(
+                back.predict_row(row),
+                predictor.predict_row(row),
+                "{model:?} prediction diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn evaluation_round_trips_byte_for_byte() {
+    let f = framework();
+    let value = EvaluationArtifact {
+        test_accuracy: f.ratio.test_accuracy,
+        confusion: f.ratio.confusion.clone(),
+        n_test_instances: f.ratio.confusion.counts().iter().flatten().sum::<u64>() as usize,
+    };
+    let (back, bytes, again) = recycle(&value, write_evaluation, read_evaluation);
+    assert_eq!(bytes, again);
+    assert_eq!(back, value);
+}
+
+#[test]
+fn corrupt_artifacts_error_instead_of_panicking() {
+    // Truncation mid-artifact.
+    let f = framework();
+    let mut bytes = Vec::new();
+    write_telemetry(&mut bytes, &f.store).expect("serialize");
+    bytes.truncate(bytes.len() / 2);
+    let mut r = LineReader::new(bytes.as_slice());
+    read_telemetry(&mut r).expect_err("truncated store must fail");
+
+    // A PMF that does not sum to 1 must be rejected before Pmf::from_probs.
+    let text = "catalog,Ratio,0,10,2,1,0.5\n\
+                shape,0,0,1,2,3,0.1,4,40\n\
+                pmf,0,0.9,0.9\n\
+                members,0\n";
+    let mut r = LineReader::new(text.as_bytes());
+    let err = read_characterization(&mut r).expect_err("bad pmf must fail");
+    assert!(err.message.contains("sum to 1"), "{err}");
+
+    // Non-finite percentiles would poison the catalog's IQR ranking.
+    let text = "catalog,Ratio,0,10,2,1,0.5\n\
+                shape,0,0,NaN,2,3,0.1,4,40\n";
+    let mut r = LineReader::new(text.as_bytes());
+    let err = read_characterization(&mut r).expect_err("NaN percentile must fail");
+    assert!(err.message.contains("finite"), "{err}");
+
+    // Wrong field counts.
+    let mut r = LineReader::new("evaluation,0.5,3\n".as_bytes());
+    read_evaluation(&mut r).expect_err("short evaluation header must fail");
+    let mut r = LineReader::new("train,1\nlabel,a,zz,0\n".as_bytes());
+    let err = read_labels(&mut r).expect_err("bad signature must fail");
+    assert!(err.message.contains("signature"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Fingerprints are pure functions of the configuration.
+    #[test]
+    fn fingerprints_are_deterministic(seed in 0u64..u64::MAX, k in 2usize..12) {
+        let mut cfg = FrameworkConfig::small();
+        cfg.generator.seed = seed;
+        cfg.k = k;
+        prop_assert_eq!(stage_fingerprints(&cfg), stage_fingerprints(&cfg.clone()));
+    }
+
+    // A generator-seed change reaches every stage fingerprint.
+    #[test]
+    fn seed_perturbation_invalidates_all_stages(seed in 0u64..u64::MAX, delta in 1u64..1000) {
+        let mut a = FrameworkConfig::small();
+        a.generator.seed = seed;
+        let mut b = a.clone();
+        b.generator.seed = seed.wrapping_add(delta);
+        let fa = stage_fingerprints(&a);
+        let fb = stage_fingerprints(&b);
+        prop_assert_ne!(fa.simulate, fb.simulate);
+        prop_assert_ne!(fa.datasets, fb.datasets);
+        for i in 0..2 {
+            prop_assert_ne!(fa.characterize[i], fb.characterize[i]);
+            prop_assert_ne!(fa.label[i], fb.label[i]);
+            prop_assert_ne!(fa.train[i], fb.train[i]);
+            prop_assert_ne!(fa.evaluate[i], fb.evaluate[i]);
+        }
+    }
+
+    // A predictor-only change leaves every upstream fingerprint intact.
+    #[test]
+    fn predictor_perturbation_preserves_upstream(probe in 1usize..64) {
+        let a = FrameworkConfig::small();
+        let mut b = a.clone();
+        b.predictor.probe_rounds = a.predictor.probe_rounds + probe;
+        let fa = stage_fingerprints(&a);
+        let fb = stage_fingerprints(&b);
+        prop_assert_eq!(fa.simulate, fb.simulate);
+        prop_assert_eq!(fa.datasets, fb.datasets);
+        prop_assert_eq!(fa.characterize, fb.characterize);
+        prop_assert_eq!(fa.label, fb.label);
+        for i in 0..2 {
+            prop_assert_ne!(fa.train[i], fb.train[i]);
+            prop_assert_ne!(fa.evaluate[i], fb.evaluate[i]);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Cache behavior end to end: a cold cached run must match an uncached run
+//! byte for byte, a warm rerun must load every artifact (verified through
+//! the `pipeline.cache.*` counters) and still be byte-identical, a
+//! predictor-only config change must reuse the simulated telemetry and
+//! characterizations while retraining, and a seed change must invalidate
+//! every stage.
+//!
+//! Everything lives in one `#[test]` because the rv-obs metrics hub is
+//! process-global: parallel tests would race on the counters.
+
+use std::fs;
+
+use rv_core::framework::{Framework, FrameworkConfig};
+use rv_core::persist::write_catalog;
+use rv_core::pipeline::ArtifactCache;
+use rv_core::rv_telemetry::write_store;
+
+fn small() -> FrameworkConfig {
+    let mut cfg = FrameworkConfig::small();
+    // Shrink further: this test runs the framework five times.
+    cfg.generator.n_templates = 24;
+    cfg.campaign.window_days = 12.0;
+    cfg.characterize_support = 8;
+    cfg
+}
+
+/// Serializes a run's externally visible artifacts (same digest as the
+/// determinism suite): campaign, both catalogs, every D3 prediction.
+fn artifact_bytes(f: &Framework) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_store(&f.store, &mut bytes).expect("serialize store");
+    write_catalog(&f.ratio.characterization.catalog, &mut bytes).expect("serialize ratio catalog");
+    write_catalog(&f.delta.characterization.catalog, &mut bytes).expect("serialize delta catalog");
+    for pipe in [&f.ratio, &f.delta] {
+        for row in f.d3.store.rows() {
+            bytes.push(pipe.predictor.predict_row(row) as u8);
+        }
+        bytes.extend_from_slice(&pipe.test_accuracy.to_be_bytes());
+    }
+    bytes
+}
+
+fn hits(stage: &str) -> u64 {
+    rv_obs::counter(&format!("pipeline.cache.hit.{stage}")).get()
+}
+
+fn misses(stage: &str) -> u64 {
+    rv_obs::counter(&format!("pipeline.cache.miss.{stage}")).get()
+}
+
+#[test]
+fn cache_reuses_matching_stages_and_invalidates_downstream() {
+    let dir = std::env::temp_dir().join(format!("rv-pipeline-cache-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Uncached reference run: the cache counters must not move at all, so
+    // uncached metric snapshots stay identical to the pre-pipeline ones.
+    let reference = Framework::run(small()).expect("valid config");
+    assert_eq!(rv_obs::counter("pipeline.cache.hit").get(), 0);
+    assert_eq!(rv_obs::counter("pipeline.cache.miss").get(), 0);
+
+    // Cold cached run: all ten stage artifacts miss, compute, persist —
+    // and the outputs match the uncached run exactly.
+    let cache = ArtifactCache::new(&dir).expect("cache dir");
+    let cold = Framework::run_cached(small(), &cache).expect("valid config");
+    assert_eq!(cache.stats(), (0, 10), "cold run must miss every stage");
+    assert_eq!(misses("simulate"), 1);
+    assert_eq!(artifact_bytes(&cold), artifact_bytes(&reference));
+
+    // Warm rerun: every artifact loads (Simulate and Characterize are
+    // skipped — their hit counters move, their miss counters do not) and
+    // the outputs are still byte-identical.
+    let cache = ArtifactCache::new(&dir).expect("cache dir");
+    let warm = Framework::run_cached(small(), &cache).expect("valid config");
+    assert_eq!(cache.stats(), (10, 0), "warm run must hit every stage");
+    assert_eq!(hits("simulate"), 1);
+    assert_eq!(hits("characterize-ratio"), 1);
+    assert_eq!(hits("characterize-delta"), 1);
+    assert_eq!(misses("simulate"), 1, "warm run must not re-simulate");
+    assert_eq!(artifact_bytes(&warm), artifact_bytes(&reference));
+
+    // Predictor-only change: telemetry, datasets, characterize, and label
+    // artifacts are reused; train and evaluate recompute.
+    let mut tweaked = small();
+    tweaked.predictor.probe_rounds += 1;
+    let train_misses_before = misses("train-ratio");
+    let cache = ArtifactCache::new(&dir).expect("cache dir");
+    let retrained = Framework::run_cached(tweaked, &cache).expect("valid config");
+    assert_eq!(
+        cache.stats(),
+        (6, 4),
+        "predictor change must hit simulate/datasets/characterize/label and recompute train/evaluate"
+    );
+    assert_eq!(
+        misses("simulate"),
+        1,
+        "predictor change must not re-simulate"
+    );
+    assert_eq!(hits("characterize-ratio"), 2);
+    assert_eq!(misses("train-ratio"), train_misses_before + 1);
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    write_store(&retrained.store, &mut a).expect("serialize");
+    write_store(&reference.store, &mut b).expect("serialize");
+    assert_eq!(a, b, "reused telemetry must be the cached campaign");
+
+    // Seed change: every fingerprint moves, everything recomputes.
+    let mut reseeded = small();
+    reseeded.generator.seed ^= 0xdead_beef;
+    let cache = ArtifactCache::new(&dir).expect("cache dir");
+    Framework::run_cached(reseeded, &cache).expect("valid config");
+    assert_eq!(
+        cache.stats(),
+        (0, 10),
+        "seed change must invalidate every stage"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
