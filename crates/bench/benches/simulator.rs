@@ -21,7 +21,9 @@ fn bench_simulate(c: &mut Criterion) {
     group.bench_function(format!("one-day-{}-instances", instances.len()), |b| {
         b.iter(|| {
             for instance in &instances {
-                let template = &generator.templates()[instance.template_id as usize];
+                let template = generator
+                    .template(instance.template_id)
+                    .expect("instance produced by this generator");
                 black_box(simulate_job(
                     template,
                     instance,

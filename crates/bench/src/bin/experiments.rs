@@ -5,7 +5,7 @@
 //! ```text
 //! experiments [--scale small|full] [--out DIR] [--threads N] [--trace T]
 //!             [--metrics-summary] [--cache-dir DIR] [--no-cache]
-//!             [EXPERIMENT...]
+//!             [--chaos-seed S] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Valid names: `table1`, `fig1`,
@@ -17,7 +17,10 @@
 //! Progress goes through the structured logger (filter with
 //! `RUNVAR_LOG=error|warn|info|debug`); tables and figure text stay on
 //! stdout. `--trace` writes a JSON-lines trace; `--metrics-summary` prints
-//! per-phase wall times and simulator counters at exit.
+//! per-phase wall times and simulator counters at exit. `--chaos-seed S`
+//! runs the whole harness under a seeded fault-injection plan (torn artifact
+//! writes, corrupted loads, faulting campaign tasks); results are unchanged
+//! because every fault path retries to convergence.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
     let mut want_summary = false;
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
+    let mut chaos_seed: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,10 +103,18 @@ fn main() -> ExitCode {
                 }
             },
             "--no-cache" => no_cache = true,
+            "--chaos-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => chaos_seed = Some(seed),
+                None => {
+                    rv_obs::error!("--chaos-seed requires an integer seed");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "experiments [--scale small|full] [--out DIR] [--threads N] [--trace T] \
-                     [--metrics-summary] [--cache-dir DIR] [--no-cache] [EXPERIMENT...]"
+                     [--metrics-summary] [--cache-dir DIR] [--no-cache] [--chaos-seed S] \
+                     [EXPERIMENT...]"
                 );
                 println!("experiments: {}", ALL.join(", "));
                 return ExitCode::SUCCESS;
@@ -135,6 +147,10 @@ fn main() -> ExitCode {
         out_dir.display()
     );
     let start = std::time::Instant::now();
+    let _chaos_guard = chaos_seed.map(|seed| {
+        rv_obs::info!("chaos mode: fault plan seed {seed}");
+        rv_core::pipeline::fault::install(rv_core::pipeline::FaultPlan::new(seed))
+    });
     let cache_dir = if no_cache { None } else { cache_dir };
     let ctx = match Ctx::with_cache(scale, &out_dir, cache_dir.as_deref()) {
         Ok(ctx) => ctx,

@@ -3,6 +3,8 @@
 //! ```text
 //! runvar run       [--scale small|paper] [--trace T] [--metrics-summary]
 //!                  [--cache-dir DIR] [--no-cache]
+//! runvar audit     [--scale small|paper] [--fault-schedules N]
+//!                  [--fault-seed S] [--work-dir DIR]
 //! runvar simulate  --out telemetry.csv [--templates N] [--days D] [--seed S]
 //!                  (both also take --threads N)
 //! runvar characterize --telemetry telemetry.csv --out catalog.txt
@@ -30,6 +32,13 @@
 //! `run --cache-dir <dir>` persists fingerprinted stage artifacts and reuses
 //! them on later invocations with a matching configuration (cache stats are
 //! reported on stderr); `--no-cache` ignores the cache for one run.
+//!
+//! `audit` replays the framework under N seeded fault schedules — torn
+//! artifact writes, corrupted loads, panicking and erroring campaign tasks
+//! — and verifies every schedule converges (through bounded retries,
+//! checksum rejection, and pool panic isolation) to artifacts byte-identical
+//! to a fault-free run. `--chaos-seed S` on any other subcommand installs
+//! the same fault plan for that one invocation.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -83,21 +92,39 @@ fn main() -> ExitCode {
         }
     }
 
+    // `--chaos-seed S`: run this one invocation under an injected-fault
+    // plan (the audit subcommand manages its own plans instead).
+    let chaos_guard = match flags.get("chaos-seed").filter(|_| cmd != "audit") {
+        Some(s) => match s.parse::<u64>() {
+            Ok(seed) => Some(rv_core::pipeline::fault::install(
+                rv_core::pipeline::FaultPlan::new(seed),
+            )),
+            Err(_) => {
+                eprintln!("error: --chaos-seed must be an integer, got {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let result = match cmd.as_str() {
         "run" => run_framework(&flags),
+        "audit" => run_audit(&flags),
         "simulate" => simulate(&flags),
         "characterize" => run_characterize(&flags),
         "assess" => assess(&flags),
         "explain-plan" => explain_plan(&flags),
         "--help" | "-h" | "help" => {
-            println!("subcommands: run, simulate, characterize, assess, explain-plan");
+            println!("subcommands: run, audit, simulate, characterize, assess, explain-plan");
             println!("observability: --trace <path>, --metrics-summary, RUNVAR_LOG=level");
             println!("parallelism: --threads <n> (0 = auto; default RUNVAR_THREADS or CPU count)");
             println!("caching: run --cache-dir <dir> reuses fingerprinted stage artifacts; --no-cache disables");
+            println!("fault injection: audit --fault-schedules <n> --fault-seed <s>; --chaos-seed <s> on other subcommands");
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),
     };
+    drop(chaos_guard);
 
     if rv_obs::enabled() {
         rv_obs::emit(
@@ -204,6 +231,80 @@ fn run_framework(flags: &Flags) -> Result<(), String> {
             pipe.test_accuracy,
             pipe.test_labels.len()
         );
+    }
+    Ok(())
+}
+
+fn run_audit(flags: &Flags) -> Result<(), String> {
+    let config = match flags.get_or("scale", "small") {
+        "small" => FrameworkConfig::small(),
+        "paper" | "full" => FrameworkConfig::default(),
+        other => return Err(format!("unknown scale {other:?} (small|paper)")),
+    };
+    let n_schedules: u64 = flags
+        .get_or("fault-schedules", "3")
+        .parse()
+        .map_err(|_| "bad --fault-schedules")?;
+    if n_schedules == 0 {
+        return Err("--fault-schedules must be at least 1".into());
+    }
+    let seed: u64 = flags
+        .get_or("fault-seed", "17")
+        .parse()
+        .map_err(|_| "bad --fault-seed")?;
+    let keep_workdir = flags.has("work-dir");
+    let workdir = match flags.get("work-dir") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("runvar-audit-{}", std::process::id())),
+    };
+
+    eprintln!(
+        "audit: fault-free baseline, then {n_schedules} fault schedules (seed {seed}) in {}",
+        workdir.display()
+    );
+    let report = rv_core::pipeline::audit(&config, n_schedules, seed, &workdir)
+        .map_err(|e| e.to_string())?;
+
+    for outcome in &report.schedules {
+        let injected: u64 = outcome.injected.iter().map(|(_, v)| v).sum();
+        let retries: u64 = outcome.retries.iter().map(|(_, v)| v).sum();
+        let verdict = match &outcome.divergence {
+            None => "byte-identical".to_string(),
+            Some(d) => format!("DIVERGED: {d}"),
+        };
+        println!(
+            "schedule seed={}: {injected} faults injected, {retries} retries -> {verdict}",
+            outcome.seed
+        );
+        for (name, count) in outcome.injected.iter().chain(&outcome.retries) {
+            println!("    {name}: {count}");
+        }
+    }
+
+    if !report.converged() {
+        return Err(format!(
+            "artifacts diverged under fault injection (work dir kept at {})",
+            workdir.display()
+        ));
+    }
+    if report.total_injected() == 0 {
+        return Err(
+            "audit injected zero faults — the schedules never exercised a fault path; \
+             try a different --fault-seed"
+                .into(),
+        );
+    }
+    println!(
+        "audit: {}/{} fault schedules converged to byte-identical artifacts \
+         ({} artifacts, {} faults injected, {} retries spent)",
+        report.schedules.len(),
+        n_schedules,
+        report.n_artifacts,
+        report.total_injected(),
+        report.total_retries()
+    );
+    if !keep_workdir {
+        let _ = std::fs::remove_dir_all(&workdir);
     }
     Ok(())
 }

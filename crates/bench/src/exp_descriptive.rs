@@ -99,13 +99,15 @@ pub fn fig3(ctx: &Ctx) {
         .store
         .rows()
         .iter()
-        .max_by(|a, b| {
-            a.spare_avg
-                .partial_cmp(&b.spare_avg)
-                .expect("finite spare usage")
-        })
+        .max_by(|a, b| a.spare_avg.total_cmp(&b.spare_avg))
         .expect("store non-empty");
-    let template = &generator.templates()[best.template_id as usize];
+    let Some(template) = generator.template(best.template_id) else {
+        eprintln!(
+            "warning: skipping spare-usage replay: unknown template id {}",
+            best.template_id
+        );
+        return;
+    };
     let instance = JobInstance {
         template_id: best.template_id,
         seq: best.seq,

@@ -122,7 +122,15 @@ fn replay_spare_validation(ctx: &Ctx) {
         let mut base = Vec::with_capacity(rows.len());
         let mut nospare = Vec::with_capacity(rows.len());
         for r in &rows {
-            let template = &generator.templates()[r.template_id as usize];
+            let Some(template) = generator.template(r.template_id) else {
+                // A stale cached artifact can reference templates this
+                // generator never produced; skip rather than panic.
+                eprintln!(
+                    "warning: skipping row with unknown template id {}",
+                    r.template_id
+                );
+                continue;
+            };
             let instance = JobInstance {
                 template_id: r.template_id,
                 seq: r.seq,

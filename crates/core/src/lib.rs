@@ -62,6 +62,7 @@ pub use whatif::{Scenario, TransitionMatrix, WhatIfEngine, WhatIfOutcome};
 // need only depend on rv-core.
 pub use rv_cluster;
 pub use rv_learn;
+pub use rv_par;
 pub use rv_scope;
 pub use rv_shap;
 pub use rv_sim;

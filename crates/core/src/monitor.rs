@@ -17,6 +17,7 @@
 //!    floor.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 use rv_scope::JobGroupKey;
 use rv_stats::normalize;
@@ -42,6 +43,25 @@ pub struct DriftVerdict {
     /// Observations in the window.
     pub window_len: usize,
 }
+
+/// An observation arrived for a group the monitor was never told to track.
+///
+/// In production this is a data-quality event (e.g. a stale artifact naming
+/// groups the current catalog does not know), not a programming error, so
+/// the library surfaces it as a typed error rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UntrackedGroup {
+    /// The group that was observed without being tracked.
+    pub group: JobGroupKey,
+}
+
+impl fmt::Display for UntrackedGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "observation for untracked group {:?}", self.group)
+    }
+}
+
+impl std::error::Error for UntrackedGroup {}
 
 /// Streaming drift monitor over recurring job groups.
 pub struct DriftMonitor {
@@ -116,16 +136,22 @@ impl DriftMonitor {
         self.groups.len()
     }
 
-    /// Feeds one completed run and returns the current verdict (or `None`
-    /// until the window holds `min_obs` observations).
+    /// Feeds one completed run and returns the current verdict (or
+    /// `Ok(None)` until the window holds `min_obs` observations).
     ///
-    /// # Panics
-    /// Panics if the group was never [`Self::track`]ed.
-    pub fn observe(&mut self, group: &JobGroupKey, runtime_s: f64) -> Option<DriftVerdict> {
-        let &(assigned, median) = self
-            .groups
-            .get(group)
-            .expect("observe() on an untracked group");
+    /// # Errors
+    /// Returns [`UntrackedGroup`] if the group was never
+    /// [`Self::track`]ed; the observation is discarded.
+    pub fn observe(
+        &mut self,
+        group: &JobGroupKey,
+        runtime_s: f64,
+    ) -> Result<Option<DriftVerdict>, UntrackedGroup> {
+        let Some(&(assigned, median)) = self.groups.get(group) else {
+            return Err(UntrackedGroup {
+                group: group.clone(),
+            });
+        };
         let normalized = normalize(self.catalog.normalization, runtime_s, median);
         let w = self
             .windows
@@ -136,26 +162,26 @@ impl DriftMonitor {
         }
         w.push_back(normalized);
         if w.len() < self.min_obs {
-            return None;
+            return Ok(None);
         }
         let samples: Vec<f64> = w.iter().copied().collect();
         let lls = log_likelihoods(&self.catalog, &samples);
         let best = (0..lls.len())
-            .max_by(|&a, &b| lls[a].partial_cmp(&lls[b]).expect("finite"))
+            .max_by(|&a, &b| lls[a].total_cmp(&lls[b]))
             .expect("catalog non-empty");
         let advantage_per_obs = (lls[best] - lls[assigned]) / samples.len() as f64;
         let fit_deficit_per_obs =
             self.expected_fit[assigned] - lls[assigned] / samples.len() as f64;
         let relative_drift = best != assigned && advantage_per_obs > self.threshold;
         let absolute_drift = fit_deficit_per_obs > self.fit_threshold;
-        Some(DriftVerdict {
+        Ok(Some(DriftVerdict {
             assigned_shape: assigned,
             best_shape: best,
             advantage_per_obs,
             fit_deficit_per_obs,
             drifted: relative_drift || absolute_drift,
             window_len: samples.len(),
-        })
+        }))
     }
 }
 
@@ -196,9 +222,12 @@ mod tests {
     fn silent_until_min_obs() {
         let mut m = monitor();
         for i in 0..4 {
-            assert!(m.observe(&key(), 100.0 + i as f64 * 0.1).is_none());
+            assert!(m
+                .observe(&key(), 100.0 + i as f64 * 0.1)
+                .expect("tracked")
+                .is_none());
         }
-        assert!(m.observe(&key(), 100.0).is_some());
+        assert!(m.observe(&key(), 100.0).expect("tracked").is_some());
     }
 
     #[test]
@@ -206,7 +235,7 @@ mod tests {
         let mut m = monitor();
         let mut last = None;
         for i in 0..20 {
-            last = m.observe(&key(), 98.0 + (i % 7) as f64);
+            last = m.observe(&key(), 98.0 + (i % 7) as f64).expect("tracked");
         }
         let v = last.expect("window full");
         assert!(!v.drifted, "verdict {v:?}");
@@ -218,12 +247,12 @@ mod tests {
     fn regime_change_is_detected() {
         let mut m = monitor();
         for i in 0..12 {
-            m.observe(&key(), 99.0 + (i % 5) as f64);
+            m.observe(&key(), 99.0 + (i % 5) as f64).expect("tracked");
         }
         // The job starts running ~2x slower (e.g. its input doubled).
         let mut verdict = None;
         for i in 0..12 {
-            verdict = m.observe(&key(), 190.0 + (i % 9) as f64);
+            verdict = m.observe(&key(), 190.0 + (i % 9) as f64).expect("tracked");
         }
         let v = verdict.expect("window full");
         assert!(v.drifted, "verdict {v:?}");
@@ -236,11 +265,13 @@ mod tests {
         let mut m = monitor();
         // Drift, then return to normal for a full window: verdict recovers.
         for _ in 0..12 {
-            m.observe(&key(), 200.0);
+            m.observe(&key(), 200.0).expect("tracked");
         }
         let mut verdict = None;
         for i in 0..12 {
-            verdict = m.observe(&key(), 99.5 + (i % 3) as f64 * 0.3);
+            verdict = m
+                .observe(&key(), 99.5 + (i % 3) as f64 * 0.3)
+                .expect("tracked");
         }
         let v = verdict.expect("window full");
         assert!(!v.drifted, "verdict {v:?}");
@@ -252,11 +283,11 @@ mod tests {
         // blind (all shapes score the uniform floor) but the fit test fires.
         let mut m = monitor();
         for i in 0..12 {
-            m.observe(&key(), 99.0 + (i % 5) as f64);
+            m.observe(&key(), 99.0 + (i % 5) as f64).expect("tracked");
         }
         let mut verdict = None;
         for _ in 0..12 {
-            verdict = m.observe(&key(), 400.0);
+            verdict = m.observe(&key(), 400.0).expect("tracked");
         }
         let v = verdict.expect("window full");
         assert!(v.drifted, "verdict {v:?}");
@@ -264,10 +295,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "untracked group")]
-    fn untracked_group_panics() {
+    fn untracked_group_is_an_error_not_a_panic() {
         let mut m = monitor();
-        m.observe(&JobGroupKey::new("other", PlanSignature(2)), 1.0);
+        let stranger = JobGroupKey::new("other", PlanSignature(2));
+        let err = m
+            .observe(&stranger, 1.0)
+            .expect_err("untracked group must surface as an error");
+        assert_eq!(err.group, stranger);
+        assert!(err.to_string().contains("untracked"), "{err}");
+        // The rejected observation leaves the monitor fully usable.
+        assert!(m.observe(&key(), 100.0).is_ok());
     }
 
     #[test]

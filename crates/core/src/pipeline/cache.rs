@@ -1,22 +1,48 @@
 //! On-disk artifact cache keyed by stage name and fingerprint.
 //!
 //! Files live flat in the cache directory as `<stage>-<fingerprint>.rva`.
-//! The first line is a header `rv-artifact,v1,<stage>,<fingerprint>`; the
-//! rest is the stage codec's body (see [`super::artifact`]). Writes go
-//! through a temp file + rename so a crashed run never leaves a truncated
-//! artifact under a valid name, and any parse failure on load — wrong
-//! version, wrong fingerprint, corrupt body — degrades to a cache miss with
-//! a warning on stderr rather than an error.
+//! The first line is a header `rv-artifact,v2,<stage>,<fingerprint>,<body-checksum>`;
+//! the rest is the stage codec's body (see [`super::artifact`]). The
+//! checksum is an FNV-1a hash of the body bytes, so *any* corruption —
+//! truncation, bit flips, partial writes that survived a crash — is
+//! detected before the body is parsed, and degrades to a cache miss with a
+//! warning on stderr rather than a panic or a silently wrong artifact.
+//!
+//! Writes serialize to memory once, then go through a temp file + rename
+//! with a small bounded retry/backoff loop (`retry.store` counts spent
+//! retries); loads read the file into memory and retry the parse only when
+//! an installed [`super::fault`] plan injected the corruption (`retry.load`)
+//! — real on-disk corruption is deterministic, so re-reading identical
+//! bytes would never help and the load degrades to a miss immediately.
 
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, Cursor, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use rv_learn::{LineReader, SerializeError};
 use rv_obs::counter;
 
+use super::fault;
 use super::fingerprint::Fingerprint;
+
+/// Artifact format version tag, bumped when the header layout changes.
+/// `v2` added the body checksum.
+pub const ARTIFACT_VERSION: &str = "v2";
+
+/// Write attempts per store (1 initial + 3 retries) — must exceed
+/// `FaultConfig::max_faults_per_site` so injected torn writes always
+/// converge.
+const MAX_STORE_ATTEMPTS: u32 = 4;
+
+/// Parse attempts per load; only injected corruption is retried.
+const MAX_LOAD_ATTEMPTS: u32 = 4;
+
+/// Exponential backoff before retry `attempt` (1-based): 2, 4, 8 ms.
+fn backoff(attempt: u32) {
+    std::thread::sleep(Duration::from_millis(1 << attempt.min(4)));
+}
 
 /// A directory of fingerprinted stage artifacts.
 #[derive(Debug)]
@@ -57,31 +83,44 @@ impl ArtifactCache {
 
     /// Attempts to load the artifact for `(stage, fp)` with the stage's body
     /// reader. Returns `None` — recording a miss — when the file is absent
-    /// or fails to parse.
+    /// or fails header, checksum, or body validation.
     pub fn load<T>(
         &self,
         stage: &'static str,
         fp: Fingerprint,
-        read: impl FnOnce(&mut LineReader<BufReader<File>>) -> Result<T, SerializeError>,
+        read: impl Fn(&mut LineReader<Cursor<Vec<u8>>>) -> Result<T, SerializeError>,
     ) -> Option<T> {
         let path = self.path(stage, fp);
-        let loaded = File::open(&path).ok().and_then(|file| {
-            let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
-            let mut r = LineReader::new(BufReader::new(file));
-            match Self::check_header(&mut r, stage, fp).and_then(|()| read(&mut r)) {
+        let mut loaded = None;
+        for attempt in 0..MAX_LOAD_ATTEMPTS {
+            if attempt > 0 {
+                counter("retry.load").inc();
+                backoff(attempt);
+            }
+            let Ok(mut bytes) = fs::read(&path) else {
+                break;
+            };
+            let n_bytes = bytes.len() as u64;
+            let injected = fault::corrupt_load(stage, &mut bytes);
+            match Self::parse(stage, fp, bytes, &read) {
                 Ok(v) => {
-                    counter("pipeline.cache.bytes_read").add(bytes);
-                    Some(v)
+                    counter("pipeline.cache.bytes_read").add(n_bytes);
+                    loaded = Some(v);
+                    break;
                 }
                 Err(e) => {
-                    eprintln!(
-                        "warning: discarding unreadable artifact {}: {e}",
-                        path.display()
-                    );
-                    None
+                    // Re-reading genuinely corrupt bytes yields the same
+                    // bytes; only injected corruption is worth a retry.
+                    if !injected || attempt + 1 == MAX_LOAD_ATTEMPTS {
+                        eprintln!(
+                            "warning: discarding unreadable artifact {}: {e}",
+                            path.display()
+                        );
+                        break;
+                    }
                 }
             }
-        });
+        }
         match &loaded {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -97,16 +136,26 @@ impl ArtifactCache {
         loaded
     }
 
-    fn check_header<R: io::BufRead>(
-        r: &mut LineReader<R>,
+    /// Verifies the header (version, stage, fingerprint, body checksum)
+    /// against `bytes`, then hands the body to `read`.
+    fn parse<T>(
         stage: &str,
         fp: Fingerprint,
-    ) -> Result<(), SerializeError> {
+        bytes: Vec<u8>,
+        read: impl Fn(&mut LineReader<Cursor<Vec<u8>>>) -> Result<T, SerializeError>,
+    ) -> Result<T, SerializeError> {
+        // No newline (e.g. the file was truncated inside the header line)
+        // means an empty body; the checksum comparison rejects it below.
+        let body_sum = match bytes.iter().position(|&b| b == b'\n') {
+            Some(end) => Fingerprint::of_bytes(&bytes[end + 1..]),
+            None => Fingerprint::of_bytes(&[]),
+        };
+        let mut r = LineReader::new(Cursor::new(bytes));
         let fields = r.expect_tag("rv-artifact")?;
-        if fields.len() != 3 {
-            return Err(r.err("artifact header needs version,stage,fingerprint"));
+        if fields.len() != 4 {
+            return Err(r.err("artifact header needs version,stage,fingerprint,checksum"));
         }
-        if fields[0] != "v1" {
+        if fields[0] != ARTIFACT_VERSION {
             return Err(r.err(format!("unsupported artifact version `{}`", fields[0])));
         }
         if fields[1] != stage {
@@ -121,29 +170,73 @@ impl ArtifactCache {
                 fields[2]
             )));
         }
-        Ok(())
+        if fields[3] != body_sum.to_string() {
+            return Err(r.err(format!(
+                "artifact body checksum {body_sum} does not match header {}",
+                fields[3]
+            )));
+        }
+        read(&mut r)
     }
 
-    /// Persists an artifact: header plus the stage codec's body, written to
-    /// a temp file and renamed into place.
+    /// Persists an artifact: a checksummed header plus the stage codec's
+    /// body, serialized to memory once and written through a temp file +
+    /// rename, with bounded retry/backoff against transient write failures.
     pub fn store<T: ?Sized>(
         &self,
         stage: &'static str,
         fp: Fingerprint,
         value: &T,
-        write: impl FnOnce(&mut BufWriter<File>, &T) -> io::Result<()>,
+        write: impl FnOnce(&mut Vec<u8>, &T) -> io::Result<()>,
     ) -> io::Result<()> {
+        let mut body = Vec::new();
+        write(&mut body, value)?;
+        let mut buf = Vec::with_capacity(body.len() + 80);
+        writeln!(
+            buf,
+            "rv-artifact,{ARTIFACT_VERSION},{stage},{fp},{}",
+            Fingerprint::of_bytes(&body)
+        )?;
+        buf.extend_from_slice(&body);
+
         let path = self.path(stage, fp);
         let tmp = self.dir.join(format!(".{stage}-{fp}.tmp"));
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        writeln!(w, "rv-artifact,v1,{stage},{fp}")?;
-        write(&mut w, value)?;
-        w.into_inner().map_err(io::Error::from)?.sync_all()?;
-        fs::rename(&tmp, &path)?;
-        if let Ok(meta) = fs::metadata(&path) {
-            counter("pipeline.cache.bytes_written").add(meta.len());
+        let mut last_err = None;
+        for attempt in 0..MAX_STORE_ATTEMPTS {
+            if attempt > 0 {
+                counter("retry.store").inc();
+                backoff(attempt);
+            }
+            match Self::try_write(&tmp, &path, &buf, stage) {
+                Ok(()) => {
+                    counter("pipeline.cache.bytes_written").add(buf.len() as u64);
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
         }
-        Ok(())
+        Err(last_err.expect("at least one attempt ran"))
+    }
+
+    /// One write attempt. An installed fault plan can make it die mid-write,
+    /// leaving a torn temp file — exactly what a crash between write and
+    /// rename produces; the artifact under its real name is never torn.
+    fn try_write(tmp: &Path, path: &Path, buf: &[u8], stage: &str) -> io::Result<()> {
+        let mut f = File::create(tmp)?;
+        if let Some(keep) = fault::torn_write(stage, buf.len()) {
+            f.write_all(&buf[..keep])?;
+            f.sync_all()?;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!(
+                    "injected fault: torn write of `{stage}` after {keep} of {} bytes",
+                    buf.len()
+                ),
+            ));
+        }
+        f.write_all(buf)?;
+        f.sync_all()?;
+        fs::rename(tmp, path)
     }
 }
 
@@ -157,11 +250,11 @@ mod tests {
         dir
     }
 
-    fn write_num(w: &mut BufWriter<File>, v: &u64) -> io::Result<()> {
+    fn write_num(w: &mut Vec<u8>, v: &u64) -> io::Result<()> {
         writeln!(w, "num,{v}")
     }
 
-    fn read_num(r: &mut LineReader<BufReader<File>>) -> Result<u64, SerializeError> {
+    fn read_num(r: &mut LineReader<Cursor<Vec<u8>>>) -> Result<u64, SerializeError> {
         let f = r.expect_tag("num")?;
         r.parse("num", &f[0])
     }
@@ -205,11 +298,49 @@ mod tests {
             .store("simulate", fp, &7u64, write_num)
             .expect("store");
         let path = dir.join(format!("simulate-{fp}.rva"));
-        fs::write(&path, "rv-artifact,v1,simulate,garbage\n").expect("clobber");
+        fs::write(&path, "rv-artifact,v2,simulate,garbage,0\n").expect("clobber");
         assert_eq!(cache.load("simulate", fp, read_num), None);
-        // Tampered body under a valid header: reader fails, still a miss.
-        fs::write(&path, format!("rv-artifact,v1,simulate,{fp}\nnope,1\n")).expect("clobber");
+        // Tampered body under a rebuilt-checksum header: the body parser
+        // rejects it, still a miss.
+        let body = "nope,1\n";
+        let sum = Fingerprint::of_bytes(body.as_bytes());
+        fs::write(&path, format!("rv-artifact,v2,simulate,{fp},{sum}\n{body}")).expect("clobber");
         assert_eq!(cache.load("simulate", fp, read_num), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_format_version_is_a_miss() {
+        let dir = temp_dir("version");
+        let cache = ArtifactCache::new(&dir).expect("create");
+        let fp = Fingerprint::of_bytes(b"x");
+        // A pre-checksum v1 artifact left by an older build: refused.
+        let path = dir.join(format!("simulate-{fp}.rva"));
+        fs::write(&path, format!("rv-artifact,v1,simulate,{fp}\nnum,7\n")).expect("write v1");
+        assert_eq!(cache.load("simulate", fp, read_num), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_detects_parseable_corruption() {
+        // A corruption the body parser would happily accept — a digit
+        // flipped inside a number — must still be rejected by the checksum.
+        let dir = temp_dir("checksum");
+        let cache = ArtifactCache::new(&dir).expect("create");
+        let fp = Fingerprint::of_bytes(b"x");
+        cache
+            .store("simulate", fp, &41u64, write_num)
+            .expect("store");
+        let path = dir.join(format!("simulate-{fp}.rva"));
+        let text = fs::read_to_string(&path).expect("read");
+        let tampered = text.replace("num,41", "num,43");
+        assert_ne!(text, tampered, "tamper target present");
+        fs::write(&path, tampered).expect("clobber");
+        assert_eq!(
+            cache.load("simulate", fp, read_num),
+            None,
+            "wrong-but-parseable body must not load"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 }

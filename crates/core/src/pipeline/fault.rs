@@ -1,0 +1,546 @@
+//! Deterministic fault injection into the pipeline itself.
+//!
+//! `rv-sim` injects disruptions into the simulated *workload* (the paper's
+//! C2); this module injects them into *our own machinery* — artifact writes
+//! that die mid-write, loads that come back truncated or bit-flipped,
+//! worker-pool tasks that panic, campaign instances that error — so the
+//! retry, isolation, and checksum layers are exercised on every audit
+//! instead of only on rare production incidents.
+//!
+//! Everything is driven by a seeded [`FaultPlan`]: whether a site faults,
+//! how many attempts it poisons, and where the corruption lands are all
+//! FNV-1a functions of `(seed, site)`. Two runs under the same plan inject
+//! exactly the same faults; a run under a different seed explores a
+//! different schedule. Faults are *consumed* — a site only poisons its
+//! first `n ≤ max_faults_per_site` attempts — so bounded retries always
+//! converge, and the converged output must be byte-identical to a
+//! fault-free run (checked end to end by [`audit`]).
+//!
+//! The plan deliberately lives outside [`FrameworkConfig`]: stage
+//! fingerprints hash the config, fingerprints are embedded in artifact
+//! headers, and the whole point is that faulted and fault-free runs produce
+//! identical artifacts. Installation is process-global ([`install`]) and
+//! RAII-scoped by [`FaultGuard`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rv_obs::counter;
+use rv_par::fault::TaskFault;
+
+use super::cache::ArtifactCache;
+use super::fingerprint::Fingerprint;
+use super::PipelineError;
+use crate::framework::{Framework, FrameworkConfig};
+
+/// Per-site fault probabilities and the consumption bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a stage's artifact write dies mid-write, leaving a
+    /// torn temp file.
+    pub torn_write_prob: f64,
+    /// Probability that a stage's artifact load sees truncated or
+    /// bit-flipped bytes.
+    pub load_corruption_prob: f64,
+    /// Probability that a worker-pool task (per item) panics.
+    pub task_panic_prob: f64,
+    /// Probability that a campaign instance (per item) fails with a typed
+    /// error.
+    pub instance_error_prob: f64,
+    /// Most attempts a single site may poison; must stay below the retry
+    /// budgets (4 attempts on cache and campaign paths) so injected faults
+    /// are always transient.
+    pub max_faults_per_site: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            torn_write_prob: 0.5,
+            load_corruption_prob: 0.5,
+            task_panic_prob: 0.02,
+            instance_error_prob: 0.02,
+            max_faults_per_site: 2,
+        }
+    }
+}
+
+/// A seeded, deterministic schedule of injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed selecting the schedule.
+    pub seed: u64,
+    /// Site probabilities.
+    pub config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan with the default probabilities under `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            config: FaultConfig::default(),
+        }
+    }
+
+    /// A plan with explicit probabilities.
+    pub fn with_config(seed: u64, config: FaultConfig) -> Self {
+        Self { seed, config }
+    }
+
+    /// The plan's deterministic decision hash for `(kind, key, salt)`.
+    fn site_hash(&self, kind: &str, key: &str, salt: u64) -> u64 {
+        let mut buf = Vec::with_capacity(kind.len() + key.len() + 17);
+        buf.extend_from_slice(&self.seed.to_le_bytes());
+        buf.extend_from_slice(&salt.to_le_bytes());
+        buf.extend_from_slice(kind.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(key.as_bytes());
+        Fingerprint::of_bytes(&buf).0
+    }
+}
+
+/// Maps a hash to a uniform fraction in `[0, 1)`.
+fn frac(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The installed plan plus per-site attempt counts (for consumption).
+struct Injector {
+    plan: FaultPlan,
+    attempts: Mutex<BTreeMap<(String, String), u32>>,
+}
+
+impl Injector {
+    /// Consumes one attempt at `(kind, key)` and reports whether this
+    /// attempt should fault: the site is selected with probability `prob`
+    /// and poisons only its first `1..=max_faults_per_site` attempts.
+    fn should_fault(&self, kind: &str, key: &str, prob: f64) -> bool {
+        let h = self.plan.site_hash(kind, key, 0);
+        if frac(h) >= prob {
+            return false;
+        }
+        let planned =
+            1 + ((h >> 17) % u64::from(self.plan.config.max_faults_per_site.max(1))) as u32;
+        let mut attempts = self.attempts.lock().unwrap_or_else(|p| p.into_inner());
+        let n = attempts
+            .entry((kind.to_string(), key.to_string()))
+            .or_insert(0);
+        *n += 1;
+        *n <= planned
+    }
+
+    /// The worker-pool hook: decides whether task `index` at `site` should
+    /// panic or error on this attempt.
+    fn task_fault(&self, site: &str, index: u64) -> Option<TaskFault> {
+        let key = format!("{site}#{index}");
+        let h = self.plan.site_hash("task", &key, 1);
+        let x = frac(h);
+        let c = self.plan.config;
+        let kind = if x < c.task_panic_prob {
+            TaskFault::Panic
+        } else if x < c.task_panic_prob + c.instance_error_prob {
+            TaskFault::Error
+        } else {
+            return None;
+        };
+        if !self.should_fault("task", &key, 1.0) {
+            return None;
+        }
+        match kind {
+            TaskFault::Panic => counter("fault.injected.task_panic").inc(),
+            TaskFault::Error => counter("fault.injected.instance_error").inc(),
+        }
+        Some(kind)
+    }
+}
+
+static ACTIVE_ON: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<Arc<Injector>>> = Mutex::new(None);
+
+fn active() -> Option<Arc<Injector>> {
+    if !ACTIVE_ON.load(Ordering::Acquire) {
+        return None;
+    }
+    ACTIVE.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Keeps a [`FaultPlan`] installed; dropping it uninstalls the plan and the
+/// worker-pool hook.
+#[must_use = "dropping the guard immediately uninstalls the plan"]
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        rv_par::fault::set_hook(None);
+        ACTIVE_ON.store(false, Ordering::Release);
+        *ACTIVE.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+}
+
+/// Installs `plan` process-wide: cache stores/loads and fault-aware task
+/// sites (via the `rv-par` hook) start faulting on the plan's schedule.
+///
+/// # Panics
+/// Panics if another plan is already installed — fault sessions must not
+/// overlap, or their attempt accounting would interleave.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    rv_par::fault::install_quiet_panic_filter();
+    let injector = Arc::new(Injector {
+        plan,
+        attempts: Mutex::new(BTreeMap::new()),
+    });
+    {
+        let mut slot = ACTIVE.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(
+            slot.is_none(),
+            "a FaultPlan is already installed; drop its FaultGuard first"
+        );
+        *slot = Some(Arc::clone(&injector));
+    }
+    ACTIVE_ON.store(true, Ordering::Release);
+    let hook = Arc::clone(&injector);
+    rv_par::fault::set_hook(Some(Arc::new(move |site, idx| hook.task_fault(site, idx))));
+    FaultGuard { _priv: () }
+}
+
+/// Consulted by [`ArtifactCache::store`] once per write attempt: `Some(keep)`
+/// means this attempt must die after flushing only `keep` of `len` bytes.
+pub(crate) fn torn_write(stage: &str, len: usize) -> Option<usize> {
+    let inj = active()?;
+    let prob = inj.plan.config.torn_write_prob;
+    if !inj.should_fault("store", stage, prob) {
+        return None;
+    }
+    counter("fault.injected.torn_write").inc();
+    Some((inj.plan.site_hash("store-keep", stage, 2) as usize) % len.max(1))
+}
+
+/// Consulted by [`ArtifactCache::load`] once per parse attempt: corrupts
+/// `bytes` in place (truncation or a single bit flip at a plan-chosen
+/// offset) and reports whether it did.
+pub(crate) fn corrupt_load(stage: &str, bytes: &mut Vec<u8>) -> bool {
+    let Some(inj) = active() else {
+        return false;
+    };
+    if bytes.is_empty() {
+        return false;
+    }
+    let prob = inj.plan.config.load_corruption_prob;
+    if !inj.should_fault("load", stage, prob) {
+        return false;
+    }
+    let h = inj.plan.site_hash("load-at", stage, 3);
+    let at = (h as usize) % bytes.len();
+    if h & 1 == 0 {
+        counter("fault.injected.load_truncate").inc();
+        bytes.truncate(at);
+    } else {
+        counter("fault.injected.load_bitflip").inc();
+        bytes[at] ^= 1 << ((h >> 8) % 8);
+    }
+    true
+}
+
+/// Why an [`audit`] could not even establish its baseline.
+#[derive(Debug)]
+pub enum AuditError {
+    /// The fault-free baseline run failed.
+    Pipeline(PipelineError),
+    /// The work directory could not be prepared or read.
+    Io(io::Error),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pipeline(e) => write!(f, "baseline run failed: {e}"),
+            Self::Io(e) => write!(f, "audit work directory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<PipelineError> for AuditError {
+    fn from(e: PipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
+
+impl From<io::Error> for AuditError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One fault schedule's outcome.
+#[derive(Debug, Clone)]
+pub struct ScheduleOutcome {
+    /// The schedule's plan seed.
+    pub seed: u64,
+    /// `fault.*` counter deltas over the schedule's two runs.
+    pub injected: Vec<(String, u64)>,
+    /// `retry.*` counter deltas over the schedule's two runs.
+    pub retries: Vec<(String, u64)>,
+    /// `None` when cold run, warm run, and on-disk artifacts all matched
+    /// the fault-free baseline byte for byte; otherwise what diverged.
+    pub divergence: Option<String>,
+}
+
+/// The result of replaying a run under several fault schedules.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Artifacts the fault-free baseline produced.
+    pub n_artifacts: usize,
+    /// Per-schedule outcomes.
+    pub schedules: Vec<ScheduleOutcome>,
+}
+
+impl AuditReport {
+    /// Whether every schedule converged to the fault-free artifacts.
+    pub fn converged(&self) -> bool {
+        self.schedules.iter().all(|s| s.divergence.is_none())
+    }
+
+    /// Total faults injected across all schedules.
+    pub fn total_injected(&self) -> u64 {
+        self.schedules
+            .iter()
+            .flat_map(|s| s.injected.iter().map(|(_, v)| v))
+            .sum()
+    }
+
+    /// Total retries spent recovering across all schedules.
+    pub fn total_retries(&self) -> u64 {
+        self.schedules
+            .iter()
+            .flat_map(|s| s.retries.iter().map(|(_, v)| v))
+            .sum()
+    }
+}
+
+/// Serializes a run's externally visible results (campaign, both catalogs,
+/// every D3 prediction, both accuracies) — the digest divergence is judged
+/// against.
+fn run_digest(f: &Framework) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    rv_telemetry::write_store(&f.store, &mut bytes).expect("in-memory write cannot fail");
+    for pipe in [&f.ratio, &f.delta] {
+        crate::persist::write_catalog(&pipe.characterization.catalog, &mut bytes)
+            .expect("in-memory write cannot fail");
+        for row in f.d3.store.rows() {
+            bytes.push(pipe.predictor.predict_row(row) as u8);
+        }
+        bytes.extend_from_slice(&pipe.test_accuracy.to_be_bytes());
+    }
+    bytes
+}
+
+/// Every `.rva` artifact in `dir`, as `name → bytes`.
+fn read_artifacts(dir: &Path) -> io::Result<BTreeMap<String, Vec<u8>>> {
+    let mut out = BTreeMap::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".rva") {
+            out.insert(name, fs::read(entry.path())?);
+        }
+    }
+    Ok(out)
+}
+
+/// First difference between a schedule's artifacts and the baseline's.
+fn diff_artifacts(
+    baseline: &BTreeMap<String, Vec<u8>>,
+    faulted: &BTreeMap<String, Vec<u8>>,
+) -> Option<String> {
+    for (name, bytes) in baseline {
+        match faulted.get(name) {
+            None => return Some(format!("artifact `{name}` missing under faults")),
+            Some(other) if other != bytes => {
+                return Some(format!("artifact `{name}` differs from fault-free bytes"))
+            }
+            Some(_) => {}
+        }
+    }
+    faulted
+        .keys()
+        .find(|name| !baseline.contains_key(*name))
+        .map(|name| format!("unexpected artifact `{name}` under faults"))
+}
+
+fn counter_deltas(before: &[(String, u64)], after: &[(String, u64)]) -> Vec<(String, u64)> {
+    let base: BTreeMap<&str, u64> = before.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    after
+        .iter()
+        .filter_map(|(n, v)| {
+            let d = v - base.get(n.as_str()).copied().unwrap_or(0);
+            (d > 0).then(|| (n.clone(), d))
+        })
+        .collect()
+}
+
+/// Replays `config` under `n_schedules` distinct fault schedules (seeds
+/// `seed..seed+n`) and checks each converges — through retries, checksum
+/// rejection, and task isolation — to artifacts byte-identical to a
+/// fault-free baseline.
+///
+/// Each schedule runs the pipeline twice against its own cache directory
+/// under `workdir`: a cold run (exercising write faults and task faults)
+/// and a warm run (exercising load faults). Both runs' result digests and
+/// the final cache contents are compared against the baseline.
+///
+/// # Errors
+/// Fails only when the baseline itself cannot run or the work directory is
+/// unusable; a diverging schedule is reported in its [`ScheduleOutcome`],
+/// not as an error.
+pub fn audit(
+    config: &FrameworkConfig,
+    n_schedules: u64,
+    seed: u64,
+    workdir: &Path,
+) -> Result<AuditReport, AuditError> {
+    let baseline_dir = workdir.join("baseline");
+    let _ = fs::remove_dir_all(&baseline_dir);
+    let cache = ArtifactCache::new(&baseline_dir)?;
+    let baseline = Framework::run_cached(config.clone(), &cache)?;
+    let baseline_digest = run_digest(&baseline);
+    let baseline_files = read_artifacts(&baseline_dir)?;
+
+    let mut schedules = Vec::new();
+    for s in 0..n_schedules {
+        let plan_seed = seed.wrapping_add(s);
+        let dir = workdir.join(format!("schedule-{s}"));
+        let _ = fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(&dir)?;
+
+        let faults_before = rv_obs::counters_with_prefix("fault.");
+        let retries_before = rv_obs::counters_with_prefix("retry.");
+        let guard = install(FaultPlan::new(plan_seed));
+        let cold = Framework::run_cached(config.clone(), &cache);
+        let warm = Framework::run_cached(config.clone(), &cache);
+        drop(guard);
+        let injected = counter_deltas(&faults_before, &rv_obs::counters_with_prefix("fault."));
+        let retries = counter_deltas(&retries_before, &rv_obs::counters_with_prefix("retry."));
+
+        let divergence = check_schedule(cold, warm, &baseline_digest, &baseline_files, &dir);
+        schedules.push(ScheduleOutcome {
+            seed: plan_seed,
+            injected,
+            retries,
+            divergence,
+        });
+    }
+    Ok(AuditReport {
+        n_artifacts: baseline_files.len(),
+        schedules,
+    })
+}
+
+fn check_schedule(
+    cold: Result<Framework, PipelineError>,
+    warm: Result<Framework, PipelineError>,
+    baseline_digest: &[u8],
+    baseline_files: &BTreeMap<String, Vec<u8>>,
+    dir: &Path,
+) -> Option<String> {
+    let cold = match cold {
+        Ok(f) => f,
+        Err(e) => return Some(format!("cold run failed under faults: {e}")),
+    };
+    let warm = match warm {
+        Ok(f) => f,
+        Err(e) => return Some(format!("warm run failed under faults: {e}")),
+    };
+    if run_digest(&cold) != baseline_digest {
+        return Some("cold run results differ from fault-free baseline".into());
+    }
+    if run_digest(&warm) != baseline_digest {
+        return Some("warm (cache-loaded) run results differ from fault-free baseline".into());
+    }
+    match read_artifacts(dir) {
+        Ok(files) => diff_artifacts(baseline_files, &files),
+        Err(e) => Some(format!("could not read schedule artifacts: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(7);
+        let b = FaultPlan::new(7);
+        let c = FaultPlan::new(8);
+        assert_eq!(
+            a.site_hash("store", "simulate", 0),
+            b.site_hash("store", "simulate", 0)
+        );
+        assert_ne!(
+            a.site_hash("store", "simulate", 0),
+            c.site_hash("store", "simulate", 0)
+        );
+        assert_ne!(
+            a.site_hash("store", "simulate", 0),
+            a.site_hash("load", "simulate", 0)
+        );
+    }
+
+    #[test]
+    fn faults_are_consumed_within_the_budget() {
+        let inj = Injector {
+            plan: FaultPlan::with_config(
+                3,
+                FaultConfig {
+                    torn_write_prob: 1.0,
+                    max_faults_per_site: 2,
+                    ..FaultConfig::default()
+                },
+            ),
+            attempts: Mutex::new(BTreeMap::new()),
+        };
+        let fired: Vec<bool> = (0..6)
+            .map(|_| inj.should_fault("store", "simulate", 1.0))
+            .collect();
+        let n_fired = fired.iter().filter(|&&f| f).count();
+        assert!(
+            (1..=2).contains(&n_fired),
+            "planned faults must be within 1..=max, got {n_fired}"
+        );
+        assert!(
+            fired.iter().skip(2).all(|&f| !f),
+            "attempts past the budget must run clean: {fired:?}"
+        );
+        // The first attempts are the poisoned ones.
+        assert!(fired[0]);
+    }
+
+    #[test]
+    fn frac_is_a_unit_fraction() {
+        for h in [0, 1, u64::MAX, 0x9e37_79b9_7f4a_7c15] {
+            let x = frac(h);
+            assert!((0.0..1.0).contains(&x), "frac({h}) = {x}");
+        }
+    }
+
+    #[test]
+    fn no_plan_installed_means_no_faults() {
+        // Must hold even when other tests in this binary install plans,
+        // because attempt state is keyed by an installed injector.
+        if active().is_none() {
+            assert_eq!(torn_write("simulate", 100), None);
+            let mut bytes = vec![1, 2, 3];
+            assert!(!corrupt_load("simulate", &mut bytes));
+            assert_eq!(bytes, vec![1, 2, 3]);
+        }
+    }
+}

@@ -28,12 +28,12 @@
 
 pub mod artifact;
 mod cache;
+pub mod fault;
 mod fingerprint;
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, Cursor};
 
 use rv_learn::{accuracy, confusion_matrix, LineReader, SerializeError};
 use rv_scope::{JobGroupKey, WorkloadGenerator};
@@ -49,7 +49,8 @@ use crate::framework::{Framework, FrameworkConfig, NormalizationPipeline};
 use crate::predictor::{label_groups, ShapePredictor};
 
 pub use artifact::{DatasetsArtifact, EvaluationArtifact, LabelsArtifact};
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, ARTIFACT_VERSION};
+pub use fault::{audit, AuditReport, FaultConfig, FaultGuard, FaultPlan};
 pub use fingerprint::Fingerprint;
 
 /// Why a pipeline run failed.
@@ -222,8 +223,8 @@ fn cached<T>(
     cache: Option<&ArtifactCache>,
     stage: &'static str,
     fp: Fingerprint,
-    read: impl FnOnce(&mut LineReader<BufReader<File>>) -> Result<T, SerializeError>,
-    write: impl FnOnce(&mut BufWriter<File>, &T) -> io::Result<()>,
+    read: impl Fn(&mut LineReader<Cursor<Vec<u8>>>) -> Result<T, SerializeError>,
+    write: impl FnOnce(&mut Vec<u8>, &T) -> io::Result<()>,
     compute: impl FnOnce() -> Result<T, PipelineError>,
 ) -> Result<T, PipelineError> {
     let Some(cache) = cache else {

@@ -168,6 +168,19 @@ pub fn metrics_snapshot() -> Vec<(String, MetricValue)> {
     hub().metrics.snapshot()
 }
 
+/// Sorted `(name, value)` snapshot of every global counter whose name
+/// starts with `prefix`. The fault-injection layer uses this to report
+/// `fault.*` and `retry.*` activity without enumerating counter names.
+pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
+    metrics_snapshot()
+        .into_iter()
+        .filter_map(|(name, value)| match value {
+            MetricValue::Counter(c) if name.starts_with(prefix) => Some((name, c)),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Snapshot of aggregated span timings.
 pub fn span_snapshot() -> Vec<(&'static str, SpanStat)> {
     hub().spans.snapshot()
@@ -278,6 +291,17 @@ mod tests {
             .expect("manually recorded span present");
         assert!(stat.calls >= 1);
         assert!(stat.total_s >= 0.25);
+    }
+
+    #[test]
+    fn counters_with_prefix_filters_and_sorts() {
+        counter("prefixtest.a").add(2);
+        counter("prefixtest.b").inc();
+        counter("otherprefix.c").inc();
+        let got = counters_with_prefix("prefixtest.");
+        let names: Vec<&str> = got.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["prefixtest.a", "prefixtest.b"]);
+        assert!(got[0].1 >= 2);
     }
 
     #[test]

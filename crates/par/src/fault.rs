@@ -1,0 +1,93 @@
+//! Low-level fault hook for worker-pool tasks.
+//!
+//! The pool itself stays policy-free: a higher layer (in practice
+//! `rv_core::pipeline::fault`) installs a process-global hook mapping a
+//! `(site, index)` pair to an optional [`TaskFault`], and fault-aware task
+//! bodies consult [`check`] at their entry point. With no hook installed
+//! the check is a single relaxed atomic load, so production paths pay
+//! nothing for the capability.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A fault to inject into one task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskFault {
+    /// The task should panic (exercises `catch_unwind` isolation).
+    Panic,
+    /// The task should fail with a typed error (exercises retry paths).
+    Error,
+}
+
+/// Hook mapping `(site, index)` to an optional fault for this attempt.
+pub type Hook = Arc<dyn Fn(&str, u64) -> Option<TaskFault> + Send + Sync>;
+
+static HOOK_ON: AtomicBool = AtomicBool::new(false);
+
+fn hook_cell() -> &'static RwLock<Option<Hook>> {
+    static CELL: OnceLock<RwLock<Option<Hook>>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-global task-fault hook.
+pub fn set_hook(hook: Option<Hook>) {
+    let is_some = hook.is_some();
+    *hook_cell().write().expect("fault hook lock poisoned") = hook;
+    HOOK_ON.store(is_some, Ordering::Release);
+}
+
+/// Asks the installed hook whether this `(site, index)` attempt should
+/// fault. Returns `None` — at the cost of one atomic load — when no hook
+/// is installed.
+pub fn check(site: &str, index: u64) -> Option<TaskFault> {
+    if !HOOK_ON.load(Ordering::Acquire) {
+        return None;
+    }
+    let guard = hook_cell().read().expect("fault hook lock poisoned");
+    guard.as_ref().and_then(|h| h(site, index))
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for panics whose message starts with `injected fault:`.
+/// All other panics still print through the previously installed hook.
+/// Keeps fault-injection runs and tests readable without hiding organic
+/// failures.
+pub fn install_quiet_panic_filter() {
+    static FILTER: OnceLock<()> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(|m| m.starts_with("injected fault:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_hook_means_no_fault() {
+        assert_eq!(check("nowhere", 0), None);
+    }
+
+    #[test]
+    fn hook_round_trip() {
+        set_hook(Some(Arc::new(|site, idx| {
+            (site == "t" && idx == 3).then_some(TaskFault::Panic)
+        })));
+        assert_eq!(check("t", 3), Some(TaskFault::Panic));
+        assert_eq!(check("t", 4), None);
+        assert_eq!(check("u", 3), None);
+        set_hook(None);
+        assert_eq!(check("t", 3), None);
+    }
+}

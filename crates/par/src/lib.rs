@@ -41,8 +41,11 @@
 //! given configuration; busy/idle are wall-clock quantities and live in
 //! the span layer, where timings are expected to vary run to run.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+pub mod fault;
 
 /// Process-wide thread-count override; `0` means "not set".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -171,6 +174,59 @@ where
         .collect()
 }
 
+/// A task that unwound inside an isolated parallel map.
+///
+/// Carries the input index the task was computing and the panic payload's
+/// message (when it was a string — the overwhelmingly common case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The input index whose task panicked.
+    pub index: usize,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Runs `f` under `catch_unwind`, converting a panic into a [`TaskPanic`]
+/// for item `index` instead of unwinding into the caller.
+///
+/// Every caught panic bumps the `fault.task_panic` counter, injected or
+/// organic — the count is the audit trail that isolation actually engaged.
+pub fn catch_task<T>(index: usize, f: impl FnOnce() -> T) -> Result<T, TaskPanic> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            rv_obs::counter("fault.task_panic").inc();
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(TaskPanic { index, message })
+        }
+    }
+}
+
+/// [`par_map`] with per-task panic isolation: a panicking task fails its
+/// own item as `Err(TaskPanic)` and every other item still completes. The
+/// index-order determinism contract is unchanged.
+pub fn par_map_isolated<T, F>(n_items: usize, threads: usize, f: F) -> Vec<Result<T, TaskPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map(n_items, threads, |i| catch_task(i, || f(i)))
+}
+
 /// Splits `items` into contiguous chunks and runs `f(start_index, chunk)`
 /// on up to `threads` workers (`0` = auto).
 ///
@@ -297,6 +353,50 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(Threads::fixed(7).get(), 7);
         assert!(Threads::AUTO.get() >= 1);
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_to_their_item() {
+        fault::install_quiet_panic_filter();
+        for threads in [1, 4] {
+            let before = rv_obs::counter("fault.task_panic").get();
+            let out = par_map_isolated(40, threads, |i| {
+                if i % 7 == 3 {
+                    panic!("injected fault: test task {i}");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 40);
+            for (i, r) in out.iter().enumerate() {
+                if i % 7 == 3 {
+                    let p = r.as_ref().expect_err("task should have panicked");
+                    assert_eq!(p.index, i);
+                    assert!(p.message.contains(&format!("test task {i}")), "{p}");
+                } else {
+                    assert_eq!(
+                        r.as_ref().expect("healthy task"),
+                        &(i * 2),
+                        "threads={threads}"
+                    );
+                }
+            }
+            let caught = out.iter().filter(|r| r.is_err()).count() as u64;
+            assert!(
+                rv_obs::counter("fault.task_panic").get() >= before + caught,
+                "every caught panic must be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn catch_task_passes_values_and_string_payloads() {
+        fault::install_quiet_panic_filter();
+        assert_eq!(catch_task(9, || 42), Ok(42));
+        let owned = catch_task(1, || -> u32 { panic!("injected fault: {}", "owned") });
+        assert_eq!(
+            owned.expect_err("panicked").message,
+            "injected fault: owned"
+        );
     }
 
     #[test]

@@ -108,6 +108,14 @@ impl WorkloadGenerator {
         &self.templates
     }
 
+    /// The template with id `id`, or `None` when no such template exists —
+    /// e.g. an instance record deserialized from a stale artifact whose
+    /// generator had more templates. The id/index invariant is re-checked
+    /// so a template is never returned under the wrong id.
+    pub fn template(&self, id: u32) -> Option<&JobTemplate> {
+        self.templates.get(id as usize).filter(|t| t.id == id)
+    }
+
     /// The configuration used.
     pub fn config(&self) -> &GeneratorConfig {
         &self.config
@@ -412,6 +420,20 @@ mod tests {
         for (i, t) in g.templates().iter().enumerate() {
             assert_eq!(t.id as usize, i);
         }
+    }
+
+    #[test]
+    fn template_lookup_validates_id() {
+        let g = generator(20, 3);
+        for t in g.templates() {
+            let found = g.template(t.id).expect("every generated id resolves");
+            assert_eq!(found.id, t.id);
+        }
+        assert!(
+            g.template(g.templates().len() as u32).is_none(),
+            "out-of-range id must be None, not a panic"
+        );
+        assert!(g.template(u32::MAX).is_none());
     }
 
     #[test]

@@ -70,6 +70,9 @@ impl SimConfig {
         if self.spare.cap_multiplier < 1.0 {
             return Err("spare cap_multiplier must be at least 1".into());
         }
+        self.disruption
+            .validate()
+            .map_err(|e| format!("disruption: {e}"))?;
         Ok(())
     }
 }
@@ -101,6 +104,14 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_disruption_model() {
+        let mut c = SimConfig::default();
+        c.disruption.pareto_alpha = -1.0;
+        let err = c.validate().expect_err("bad alpha must be rejected");
+        assert!(err.contains("disruption"), "{err}");
     }
 
     #[test]

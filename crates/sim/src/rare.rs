@@ -37,6 +37,43 @@ impl Default for DisruptionModel {
 }
 
 impl DisruptionModel {
+    /// Validates the parameters against the combinations under which
+    /// [`Self::sample_penalty`] could produce a NaN or infinite slowdown
+    /// factor: a non-positive or non-finite Pareto shape, a penalty range
+    /// that is unordered, non-positive, or non-finite, or a per-vertex
+    /// probability outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        // `!(x >= lo)`-style comparisons deliberately catch NaN too.
+        if !(self.per_vertex_prob >= 0.0 && self.per_vertex_prob <= 1.0) {
+            return Err(format!(
+                "per_vertex_prob must be in [0, 1], got {}",
+                self.per_vertex_prob
+            ));
+        }
+        if !(self.pareto_alpha > 0.0 && self.pareto_alpha.is_finite()) {
+            return Err(format!(
+                "pareto_alpha must be positive and finite, got {}",
+                self.pareto_alpha
+            ));
+        }
+        if !(self.min_penalty_factor > 0.0 && self.min_penalty_factor.is_finite()) {
+            return Err(format!(
+                "min_penalty_factor must be positive and finite, got {}",
+                self.min_penalty_factor
+            ));
+        }
+        if !(self.max_penalty_factor >= self.min_penalty_factor
+            && self.max_penalty_factor.is_finite())
+        {
+            return Err(format!(
+                "max_penalty_factor must be finite and at least min_penalty_factor \
+                 ({}), got {}",
+                self.min_penalty_factor, self.max_penalty_factor
+            ));
+        }
+        Ok(())
+    }
+
     /// Probability that a job with `n_vertices` vertices and combined
     /// sensitivity `sensitivity` (archetype × SKU factors) suffers at least
     /// one disruption: `1 - (1 - p·s)^n`.
@@ -125,6 +162,68 @@ mod tests {
             .count();
         // p ≈ 1 - (1-2e-5)^100 ≈ 0.2%; allow generous slack.
         assert!(hits < 100, "too many disruptions: {hits}");
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_nan_inf_sources() {
+        assert_eq!(DisruptionModel::default().validate(), Ok(()));
+        let bad = [
+            DisruptionModel {
+                pareto_alpha: 0.0,
+                ..Default::default()
+            },
+            DisruptionModel {
+                pareto_alpha: -1.5,
+                ..Default::default()
+            },
+            DisruptionModel {
+                pareto_alpha: f64::NAN,
+                ..Default::default()
+            },
+            DisruptionModel {
+                min_penalty_factor: 10.0,
+                max_penalty_factor: 2.0,
+                ..Default::default()
+            },
+            DisruptionModel {
+                min_penalty_factor: 0.0,
+                ..Default::default()
+            },
+            DisruptionModel {
+                max_penalty_factor: f64::INFINITY,
+                ..Default::default()
+            },
+            DisruptionModel {
+                per_vertex_prob: f64::NAN,
+                ..Default::default()
+            },
+            DisruptionModel {
+                per_vertex_prob: 1.5,
+                ..Default::default()
+            },
+        ];
+        for m in bad {
+            assert!(m.validate().is_err(), "{m:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn validated_params_sample_finite_penalties() {
+        // Near the edge of the valid space: tiny alpha, inverted-adjacent
+        // range. Every sampled factor must still be finite and in range.
+        let m = DisruptionModel {
+            per_vertex_prob: 1.0,
+            pareto_alpha: 0.05,
+            min_penalty_factor: 1.0 + f64::EPSILON,
+            max_penalty_factor: 1e6,
+        };
+        m.validate().expect("edge case is still valid");
+        let mut r = rng(7);
+        for _ in 0..2000 {
+            let p = m.sample_penalty(1, 1.0, &mut r).expect("always disrupted");
+            assert!(p.is_finite());
+            assert!(p >= m.min_penalty_factor && p <= m.max_penalty_factor);
+        }
     }
 
     #[test]

@@ -56,8 +56,8 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> Option<f64> {
     if xa.is_empty() || xb.is_empty() {
         return None;
     }
-    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    xa.sort_by(|x, y| x.total_cmp(y));
+    xb.sort_by(|x, y| x.total_cmp(y));
     let (na, nb) = (xa.len() as f64, xb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;
@@ -144,5 +144,22 @@ mod tests {
     #[should_panic(expected = "vector length mismatch")]
     fn mismatched_lengths_panic() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ks_ignores_non_finite_samples() {
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let noisy = [
+            1.0,
+            f64::NAN,
+            2.0,
+            3.0,
+            f64::INFINITY,
+            4.0,
+            f64::NEG_INFINITY,
+        ];
+        let d = ks_distance(&clean, &noisy).expect("finite values remain");
+        assert!(d.abs() < 1e-12, "identical finite parts, got {d}");
+        assert!(ks_distance(&[f64::NAN], &clean).is_none());
     }
 }

@@ -19,7 +19,7 @@ impl Ecdf {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(Self { sorted })
     }
 
@@ -68,7 +68,7 @@ pub fn wasserstein_distance(a: &[f64], b: &[f64]) -> Option<f64> {
     // Merge all sample points; between consecutive points both CDFs are
     // constant, so the integral is a sum of |Fa - Fb| * width terms.
     let mut grid: Vec<f64> = ea.samples().iter().chain(eb.samples()).copied().collect();
-    grid.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    grid.sort_by(|x, y| x.total_cmp(y));
     grid.dedup();
     let mut total = 0.0;
     for w in grid.windows(2) {

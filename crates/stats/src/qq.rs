@@ -23,8 +23,8 @@ pub fn qq_points(actual: &[f64], predicted: &[f64], n_points: usize) -> Option<V
     if a.is_empty() || p.is_empty() {
         return None;
     }
-    a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-    p.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    a.sort_by(|x, y| x.total_cmp(y));
+    p.sort_by(|x, y| x.total_cmp(y));
     Some(
         (0..n_points)
             .map(|i| {
@@ -112,5 +112,20 @@ mod tests {
     fn empty_inputs() {
         assert!(qq_points(&[], &[1.0], 10).is_none());
         assert!(qq_mae(&[1.0], &[f64::NAN], 10).is_none());
+    }
+
+    #[test]
+    fn nan_inputs_are_filtered_not_fatal() {
+        let a = [3.0, f64::NAN, 1.0, 2.0, f64::INFINITY, 4.0];
+        let p = [f64::NAN, 1.5, 3.5, f64::NEG_INFINITY, 2.5, 4.5];
+        let pts = qq_points(&a, &p, 8).expect("finite values remain");
+        assert!(pts.iter().all(|(x, y)| x.is_finite() && y.is_finite()));
+        let clean_pts = qq_points(&[3.0, 1.0, 2.0, 4.0], &[1.5, 3.5, 2.5, 4.5], 8).unwrap();
+        assert_eq!(
+            pts, clean_pts,
+            "non-finite samples must not shift quantiles"
+        );
+        assert!(qq_mae(&a, &p, 8).unwrap().is_finite());
+        assert!(qq_tail_mae(&a, &p, 8, 0.5).unwrap().is_finite());
     }
 }

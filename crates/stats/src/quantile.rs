@@ -15,7 +15,7 @@ pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&v, q))
 }
 
@@ -43,7 +43,7 @@ pub fn quantiles(samples: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     Some(qs.iter().map(|&q| quantile_sorted(&v, q)).collect())
 }
 

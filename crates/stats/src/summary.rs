@@ -69,7 +69,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        v.sort_by(|a, b| a.total_cmp(b));
         Some(Summary {
             count: v.len(),
             mean: mean(&v),
@@ -161,6 +161,24 @@ mod tests {
         let s = Summary::compute(&[f64::NAN, 2.0]).unwrap();
         assert_eq!(s.count, 1);
         assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn nan_samples_do_not_poison_summary() {
+        let clean = Summary::compute(&[1.0, 4.0, 2.0, 3.0]).unwrap();
+        let noisy = Summary::compute(&[
+            f64::NAN,
+            1.0,
+            4.0,
+            f64::INFINITY,
+            2.0,
+            f64::NEG_INFINITY,
+            3.0,
+            f64::NAN,
+        ])
+        .unwrap();
+        assert_eq!(clean, noisy, "non-finite samples must be invisible");
+        assert!(noisy.iqr().is_finite());
     }
 
     #[test]

@@ -35,7 +35,8 @@ impl Default for CampaignConfig {
     }
 }
 
-/// Why a campaign configuration was rejected before any job was simulated.
+/// Why a campaign was rejected before any job was simulated, or why an
+/// instance could not be captured.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
     /// The simulator configuration failed [`SimConfig::validate`].
@@ -44,6 +45,21 @@ pub enum CampaignError {
     Window(f64),
     /// `temp_data_fraction` was outside `[0, 1)`.
     TempDataFraction(f64),
+    /// An instance referenced a template id the generator does not have
+    /// (e.g. replayed from a stale artifact).
+    UnknownTemplate {
+        /// The unresolvable template id.
+        template_id: u32,
+    },
+    /// An instance's simulation task failed (a panic caught by the pool's
+    /// isolation, or an injected error) and did not recover within the
+    /// retry budget.
+    Instance {
+        /// Index of the failed instance in submission order.
+        index: usize,
+        /// What the task reported.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -53,6 +69,12 @@ impl std::fmt::Display for CampaignError {
             Self::Window(v) => write!(f, "window must be positive, got {v}"),
             Self::TempDataFraction(v) => {
                 write!(f, "temp_data_fraction must be in [0, 1), got {v}")
+            }
+            Self::UnknownTemplate { template_id } => {
+                write!(f, "instance references unknown template id {template_id}")
+            }
+            Self::Instance { index, message } => {
+                write!(f, "campaign instance {index} failed: {message}")
             }
         }
     }
@@ -68,9 +90,17 @@ impl std::error::Error for CampaignError {}
 /// independent) and rows are appended in instance order, making the store
 /// byte-identical at any thread count.
 ///
+/// Tasks run panic-isolated ([`rv_par::par_map_isolated`]): a panicking or
+/// erroring instance fails only its own slot and is retried serially up to
+/// three times (`retry.instance` counts the attempts spent). Because each
+/// instance's randomness is a pure function of its seeded streams, a retry
+/// computes exactly the row the original attempt would have.
+///
 /// # Errors
 /// Returns [`CampaignError`] if `sim` fails validation, `window_days` is
-/// not positive and finite, or `temp_data_fraction` is outside `[0, 1)`.
+/// not positive and finite, `temp_data_fraction` is outside `[0, 1)`, an
+/// instance names an unknown template id, or an instance keeps failing
+/// after the retry budget.
 pub fn collect_telemetry(
     generator: &WorkloadGenerator,
     cluster: &Cluster,
@@ -88,9 +118,26 @@ pub fn collect_telemetry(
     let window_s = campaign.window_days * 86_400.0;
     let instances = generator.instances_within(window_s);
 
-    let rows = rv_par::par_map(instances.len(), 0, |i| {
+    let run_one = |i: usize| -> Result<JobTelemetry, CampaignError> {
         let instance = &instances[i];
-        let template = &generator.templates()[instance.template_id as usize];
+        match rv_par::fault::check("campaign.instance", i as u64) {
+            Some(rv_par::fault::TaskFault::Panic) => {
+                panic!("injected fault: campaign instance {i} panicked")
+            }
+            Some(rv_par::fault::TaskFault::Error) => {
+                return Err(CampaignError::Instance {
+                    index: i,
+                    message: "injected fault: instance error".to_string(),
+                })
+            }
+            None => {}
+        }
+        let template =
+            generator
+                .template(instance.template_id)
+                .ok_or(CampaignError::UnknownTemplate {
+                    template_id: instance.template_id,
+                })?;
         // Optimizer estimates are drawn per run: parameters change between
         // recurrences, so so do the estimates.
         let mut est_rng = stream_rng(
@@ -115,7 +162,7 @@ pub fn collect_telemetry(
         let temp_data_gb =
             data_read_gb * campaign.temp_data_fraction / (1.0 - campaign.temp_data_fraction);
 
-        JobTelemetry::from_run(
+        Ok(JobTelemetry::from_run(
             template.group_key(),
             template.id,
             instance.seq,
@@ -134,12 +181,44 @@ pub fn collect_telemetry(
             sku_util_std,
             cluster.diurnal_load(instance.submit_time_s),
             cluster.spare_fraction(instance.submit_time_s),
-        )
-    });
+        ))
+    };
+
+    let flatten = |r: Result<Result<JobTelemetry, CampaignError>, rv_par::TaskPanic>| match r {
+        Ok(inner) => inner,
+        Err(p) => Err(CampaignError::Instance {
+            index: p.index,
+            message: p.message,
+        }),
+    };
+    let mut rows: Vec<Result<JobTelemetry, CampaignError>> =
+        rv_par::par_map_isolated(instances.len(), 0, run_one)
+            .into_iter()
+            .map(flatten)
+            .collect();
+
+    // Bounded serial retries: injected faults are transient by contract
+    // (consumed within the budget), so failed slots recover here; a
+    // persistent failure surfaces below after the budget is spent.
+    const MAX_INSTANCE_RETRIES: usize = 3;
+    for _ in 0..MAX_INSTANCE_RETRIES {
+        let failed: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_err().then_some(i))
+            .collect();
+        if failed.is_empty() {
+            break;
+        }
+        for i in failed {
+            rv_obs::counter("retry.instance").inc();
+            rows[i] = flatten(rv_par::catch_task(i, || run_one(i)));
+        }
+    }
 
     let mut store = TelemetryStore::with_capacity(rows.len());
     for row in rows {
-        store.push(row);
+        store.push(row?);
     }
     if rv_obs::enabled() {
         rv_obs::gauge("sim.campaign.rows").set(store.len() as f64);

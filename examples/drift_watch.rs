@@ -37,7 +37,10 @@ fn main() {
         if !pipe.test_labels.contains_key(&row.group) {
             continue;
         }
-        if let Some(v) = monitor.observe(&row.group, row.runtime_s) {
+        if let Some(v) = monitor
+            .observe(&row.group, row.runtime_s)
+            .expect("tracked above")
+        {
             if v.drifted {
                 drifts += 1;
                 println!(
@@ -64,7 +67,10 @@ fn main() {
         victim.normalized_name, median
     );
     for i in 0..16 {
-        if let Some(v) = monitor.observe(&victim, median * 2.5 * (1.0 + (i % 3) as f64 * 0.02)) {
+        if let Some(v) = monitor
+            .observe(&victim, median * 2.5 * (1.0 + (i % 3) as f64 * 0.02))
+            .expect("victim is tracked")
+        {
             if v.drifted {
                 println!(
                     "detected after {} slow runs: shape {} -> {} ({:.2} nats/obs)",

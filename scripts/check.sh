@@ -11,6 +11,9 @@
 #      run must be byte-identical on stdout and must actually hit the cache
 #      (cold hits == 0, warm hits > 0). Wall-clock for both runs is appended
 #      to target/bench/trajectory.json.
+#   5. fault audit: `runvar audit` replays the small run under 3 seeded
+#      fault schedules (torn writes, corrupted loads, panicking tasks) and
+#      must converge to artifacts byte-identical to a fault-free baseline.
 #
 # The test suite runs twice — RUNVAR_THREADS=1 and RUNVAR_THREADS=4 — so a
 # result that depends on worker-pool width fails the gate.
@@ -74,5 +77,10 @@ warm_s="$(awk -v a="$cold_end" -v b="$warm_end" 'BEGIN{printf "%.3f", b - a}')"
 printf '{"ts":%s,"gate":"cache-cold-warm","scale":"small","cold_s":%s,"warm_s":%s,"warm_hits":%s}\n' \
     "$(date +%s)" "$cold_s" "$warm_s" "$warm_hits" >> target/bench/trajectory.json
 echo "cache gate: cold ${cold_s}s, warm ${warm_s}s, ${warm_hits} warm hits"
+
+echo "==> fault audit gate: runvar audit --scale small --fault-schedules 3"
+audit_dir="$(mktemp -d)"
+trap 'rm -rf "$cache_dir" "$cold_out" "$warm_out" "$cold_err" "$warm_err" "$audit_dir"' EXIT
+target/release/runvar audit --scale small --fault-schedules 3 --work-dir "$audit_dir"
 
 echo "All checks passed."

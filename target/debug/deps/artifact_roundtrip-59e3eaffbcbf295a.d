@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/artifact_roundtrip-59e3eaffbcbf295a.d: crates/core/../../tests/artifact_roundtrip.rs
+
+/root/repo/target/debug/deps/artifact_roundtrip-59e3eaffbcbf295a: crates/core/../../tests/artifact_roundtrip.rs
+
+crates/core/../../tests/artifact_roundtrip.rs:

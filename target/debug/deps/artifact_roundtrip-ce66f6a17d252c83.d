@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/artifact_roundtrip-ce66f6a17d252c83.d: crates/core/../../tests/artifact_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libartifact_roundtrip-ce66f6a17d252c83.rmeta: crates/core/../../tests/artifact_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/artifact_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/catalog_robustness-84c700b874bb7bf9.d: crates/core/tests/catalog_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcatalog_robustness-84c700b874bb7bf9.rmeta: crates/core/tests/catalog_robustness.rs Cargo.toml
+
+crates/core/tests/catalog_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

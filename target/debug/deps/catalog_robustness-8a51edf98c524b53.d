@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catalog_robustness-8a51edf98c524b53.d: crates/core/tests/catalog_robustness.rs
+
+/root/repo/target/debug/deps/catalog_robustness-8a51edf98c524b53: crates/core/tests/catalog_robustness.rs
+
+crates/core/tests/catalog_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterize-98990cf9ac5642cb.d: crates/bench/benches/characterize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterize-98990cf9ac5642cb.rmeta: crates/bench/benches/characterize.rs Cargo.toml
+
+crates/bench/benches/characterize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_properties-1e3fa70d0905bcde.d: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_properties-1e3fa70d0905bcde.rmeta: crates/core/../../tests/dataset_properties.rs Cargo.toml
+
+crates/core/../../tests/dataset_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_properties-99f3dcf6f2788963.d: crates/core/../../tests/dataset_properties.rs
+
+/root/repo/target/debug/deps/dataset_properties-99f3dcf6f2788963: crates/core/../../tests/dataset_properties.rs
+
+crates/core/../../tests/dataset_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-0d5b64f1baddd7af.d: crates/core/../../tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-0d5b64f1baddd7af.rmeta: crates/core/../../tests/determinism.rs Cargo.toml
+
+crates/core/../../tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

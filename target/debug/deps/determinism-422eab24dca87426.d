@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-422eab24dca87426.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-422eab24dca87426: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

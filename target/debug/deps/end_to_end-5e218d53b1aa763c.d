@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5e218d53b1aa763c.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5e218d53b1aa763c: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-93747249910465a8.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-93747249910465a8: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

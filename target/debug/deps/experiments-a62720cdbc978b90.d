@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a62720cdbc978b90.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a62720cdbc978b90: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

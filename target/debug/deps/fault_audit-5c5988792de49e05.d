@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_audit-5c5988792de49e05.d: crates/core/../../tests/fault_audit.rs
+
+/root/repo/target/debug/deps/fault_audit-5c5988792de49e05: crates/core/../../tests/fault_audit.rs
+
+crates/core/../../tests/fault_audit.rs:

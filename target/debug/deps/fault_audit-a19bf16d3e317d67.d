@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_audit-a19bf16d3e317d67.d: crates/core/../../tests/fault_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_audit-a19bf16d3e317d67.rmeta: crates/core/../../tests/fault_audit.rs Cargo.toml
+
+crates/core/../../tests/fault_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/learners-bfd78e21a96a8845.d: crates/bench/benches/learners.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblearners-bfd78e21a96a8845.rmeta: crates/bench/benches/learners.rs Cargo.toml
+
+crates/bench/benches/learners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/likelihood-8c3293710556c82e.d: crates/bench/benches/likelihood.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblikelihood-8c3293710556c82e.rmeta: crates/bench/benches/likelihood.rs Cargo.toml
+
+crates/bench/benches/likelihood.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_integration-95b977e47a27325f.d: crates/core/../../tests/obs_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_integration-95b977e47a27325f.rmeta: crates/core/../../tests/obs_integration.rs Cargo.toml
+
+crates/core/../../tests/obs_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

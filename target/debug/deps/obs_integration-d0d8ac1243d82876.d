@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-d0d8ac1243d82876.d: crates/core/../../tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-d0d8ac1243d82876: crates/core/../../tests/obs_integration.rs
+
+crates/core/../../tests/obs_integration.rs:

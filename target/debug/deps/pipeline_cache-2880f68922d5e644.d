@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_cache-2880f68922d5e644.d: crates/core/../../tests/pipeline_cache.rs
+
+/root/repo/target/debug/deps/pipeline_cache-2880f68922d5e644: crates/core/../../tests/pipeline_cache.rs
+
+crates/core/../../tests/pipeline_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_cache-50be2e760f8627a6.d: crates/core/../../tests/pipeline_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_cache-50be2e760f8627a6.rmeta: crates/core/../../tests/pipeline_cache.rs Cargo.toml
+
+crates/core/../../tests/pipeline_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

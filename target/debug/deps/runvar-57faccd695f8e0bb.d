@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-57faccd695f8e0bb.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-57faccd695f8e0bb: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runvar-60cea5b399ef3827.d: crates/bench/src/bin/runvar.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunvar-60cea5b399ef3827.rmeta: crates/bench/src/bin/runvar.rs Cargo.toml
+
+crates/bench/src/bin/runvar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runvar-f49261a6b92bba2b.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/debug/deps/runvar-f49261a6b92bba2b: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

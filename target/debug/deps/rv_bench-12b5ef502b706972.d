@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rv_bench-12b5ef502b706972.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_bench-12b5ef502b706972.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp_characterize.rs:
+crates/bench/src/exp_descriptive.rs:
+crates/bench/src/exp_explain.rs:
+crates/bench/src/exp_predict.rs:
+crates/bench/src/exp_whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

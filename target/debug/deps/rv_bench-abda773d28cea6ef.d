@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rv_bench-abda773d28cea6ef.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/debug/deps/rv_bench-abda773d28cea6ef: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp_characterize.rs:
+crates/bench/src/exp_descriptive.rs:
+crates/bench/src/exp_explain.rs:
+crates/bench/src/exp_predict.rs:
+crates/bench/src/exp_whatif.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rv_bench-e723eb77881215cc.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/debug/deps/librv_bench-e723eb77881215cc.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/debug/deps/librv_bench-e723eb77881215cc.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp_characterize.rs:
+crates/bench/src/exp_descriptive.rs:
+crates/bench/src/exp_explain.rs:
+crates/bench/src/exp_predict.rs:
+crates/bench/src/exp_whatif.rs:

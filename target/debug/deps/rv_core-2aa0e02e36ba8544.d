@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/rv_core-2aa0e02e36ba8544.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
+/root/repo/target/debug/deps/rv_core-2aa0e02e36ba8544.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
 
-/root/repo/target/debug/deps/librv_core-2aa0e02e36ba8544.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
+/root/repo/target/debug/deps/librv_core-2aa0e02e36ba8544.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/characterize.rs:
@@ -12,6 +12,7 @@ crates/core/src/persist.rs:
 crates/core/src/pipeline/mod.rs:
 crates/core/src/pipeline/artifact.rs:
 crates/core/src/pipeline/cache.rs:
+crates/core/src/pipeline/fault.rs:
 crates/core/src/pipeline/fingerprint.rs:
 crates/core/src/predictor.rs:
 crates/core/src/regression_baseline.rs:

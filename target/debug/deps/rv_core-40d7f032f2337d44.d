@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/rv_core-40d7f032f2337d44.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/librv_core-40d7f032f2337d44.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/explain.rs:
+crates/core/src/framework.rs:
+crates/core/src/likelihood.rs:
+crates/core/src/monitor.rs:
+crates/core/src/persist.rs:
+crates/core/src/pipeline/mod.rs:
+crates/core/src/pipeline/artifact.rs:
+crates/core/src/pipeline/cache.rs:
+crates/core/src/pipeline/fault.rs:
+crates/core/src/pipeline/fingerprint.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regression_baseline.rs:
+crates/core/src/report.rs:
+crates/core/src/risk.rs:
+crates/core/src/scalar_metrics.rs:
+crates/core/src/shapes.rs:
+crates/core/src/whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/rv_core-5e366712e1c125f8.d: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/librv_core-5e366712e1c125f8.rlib: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs
+
+/root/repo/target/debug/deps/librv_core-5e366712e1c125f8.rmeta: crates/core/src/lib.rs crates/core/src/characterize.rs crates/core/src/explain.rs crates/core/src/framework.rs crates/core/src/likelihood.rs crates/core/src/monitor.rs crates/core/src/persist.rs crates/core/src/pipeline/mod.rs crates/core/src/pipeline/artifact.rs crates/core/src/pipeline/cache.rs crates/core/src/pipeline/fault.rs crates/core/src/pipeline/fingerprint.rs crates/core/src/predictor.rs crates/core/src/regression_baseline.rs crates/core/src/report.rs crates/core/src/risk.rs crates/core/src/scalar_metrics.rs crates/core/src/shapes.rs crates/core/src/whatif.rs
+
+crates/core/src/lib.rs:
+crates/core/src/characterize.rs:
+crates/core/src/explain.rs:
+crates/core/src/framework.rs:
+crates/core/src/likelihood.rs:
+crates/core/src/monitor.rs:
+crates/core/src/persist.rs:
+crates/core/src/pipeline/mod.rs:
+crates/core/src/pipeline/artifact.rs:
+crates/core/src/pipeline/cache.rs:
+crates/core/src/pipeline/fault.rs:
+crates/core/src/pipeline/fingerprint.rs:
+crates/core/src/predictor.rs:
+crates/core/src/regression_baseline.rs:
+crates/core/src/report.rs:
+crates/core/src/risk.rs:
+crates/core/src/scalar_metrics.rs:
+crates/core/src/shapes.rs:
+crates/core/src/whatif.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/rv_par-4da53ddf10ddcec6.d: crates/par/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rv_par-4da53ddf10ddcec6.d: crates/par/src/lib.rs crates/par/src/fault.rs Cargo.toml
 
-/root/repo/target/debug/deps/librv_par-4da53ddf10ddcec6.rmeta: crates/par/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librv_par-4da53ddf10ddcec6.rmeta: crates/par/src/lib.rs crates/par/src/fault.rs Cargo.toml
 
 crates/par/src/lib.rs:
+crates/par/src/fault.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

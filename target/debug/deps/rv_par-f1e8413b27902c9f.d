@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rv_par-f1e8413b27902c9f.d: crates/par/src/lib.rs
+/root/repo/target/debug/deps/rv_par-f1e8413b27902c9f.d: crates/par/src/lib.rs crates/par/src/fault.rs
 
-/root/repo/target/debug/deps/librv_par-f1e8413b27902c9f.rlib: crates/par/src/lib.rs
+/root/repo/target/debug/deps/librv_par-f1e8413b27902c9f.rlib: crates/par/src/lib.rs crates/par/src/fault.rs
 
-/root/repo/target/debug/deps/librv_par-f1e8413b27902c9f.rmeta: crates/par/src/lib.rs
+/root/repo/target/debug/deps/librv_par-f1e8413b27902c9f.rmeta: crates/par/src/lib.rs crates/par/src/fault.rs
 
 crates/par/src/lib.rs:
+crates/par/src/fault.rs:

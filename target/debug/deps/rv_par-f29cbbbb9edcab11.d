@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/rv_par-f29cbbbb9edcab11.d: crates/par/src/lib.rs
+/root/repo/target/debug/deps/rv_par-f29cbbbb9edcab11.d: crates/par/src/lib.rs crates/par/src/fault.rs
 
-/root/repo/target/debug/deps/rv_par-f29cbbbb9edcab11: crates/par/src/lib.rs
+/root/repo/target/debug/deps/rv_par-f29cbbbb9edcab11: crates/par/src/lib.rs crates/par/src/fault.rs
 
 crates/par/src/lib.rs:
+crates/par/src/fault.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shapley-4efdee5f14eed7bd.d: crates/bench/benches/shapley.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshapley-4efdee5f14eed7bd.rmeta: crates/bench/benches/shapley.rs Cargo.toml
+
+crates/bench/benches/shapley.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/whatif-1bef36d043003e6c.d: crates/bench/benches/whatif.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwhatif-1bef36d043003e6c.rmeta: crates/bench/benches/whatif.rs Cargo.toml
+
+crates/bench/benches/whatif.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_integration-5bd5667fa0791942.d: crates/core/../../tests/whatif_integration.rs
+
+/root/repo/target/debug/deps/whatif_integration-5bd5667fa0791942: crates/core/../../tests/whatif_integration.rs
+
+crates/core/../../tests/whatif_integration.rs:

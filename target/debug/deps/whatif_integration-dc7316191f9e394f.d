@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/whatif_integration-dc7316191f9e394f.d: crates/core/../../tests/whatif_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwhatif_integration-dc7316191f9e394f.rmeta: crates/core/../../tests/whatif_integration.rs Cargo.toml
+
+crates/core/../../tests/whatif_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

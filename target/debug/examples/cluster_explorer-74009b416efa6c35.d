@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cluster_explorer-74009b416efa6c35.d: crates/core/../../examples/cluster_explorer.rs
+
+/root/repo/target/debug/examples/cluster_explorer-74009b416efa6c35: crates/core/../../examples/cluster_explorer.rs
+
+crates/core/../../examples/cluster_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cluster_explorer-7cd820104f49469b.d: crates/core/../../examples/cluster_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcluster_explorer-7cd820104f49469b.rmeta: crates/core/../../examples/cluster_explorer.rs Cargo.toml
+
+crates/core/../../examples/cluster_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drift_watch-9ac999c8319f473b.d: crates/core/../../examples/drift_watch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrift_watch-9ac999c8319f473b.rmeta: crates/core/../../examples/drift_watch.rs Cargo.toml
+
+crates/core/../../examples/drift_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drift_watch-bfd879058b9a5778.d: crates/core/../../examples/drift_watch.rs
+
+/root/repo/target/debug/examples/drift_watch-bfd879058b9a5778: crates/core/../../examples/drift_watch.rs
+
+crates/core/../../examples/drift_watch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_trace-1db2ca88a3da41c2.d: crates/core/../../examples/pipeline_trace.rs
+
+/root/repo/target/debug/examples/pipeline_trace-1db2ca88a3da41c2: crates/core/../../examples/pipeline_trace.rs
+
+crates/core/../../examples/pipeline_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pipeline_trace-259f3ec36b9f9426.d: crates/core/../../examples/pipeline_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpipeline_trace-259f3ec36b9f9426.rmeta: crates/core/../../examples/pipeline_trace.rs Cargo.toml
+
+crates/core/../../examples/pipeline_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

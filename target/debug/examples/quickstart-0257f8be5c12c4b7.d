@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0257f8be5c12c4b7.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0257f8be5c12c4b7: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

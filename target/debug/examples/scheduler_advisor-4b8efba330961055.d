@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_advisor-4b8efba330961055.d: crates/core/../../examples/scheduler_advisor.rs
+
+/root/repo/target/debug/examples/scheduler_advisor-4b8efba330961055: crates/core/../../examples/scheduler_advisor.rs
+
+crates/core/../../examples/scheduler_advisor.rs:

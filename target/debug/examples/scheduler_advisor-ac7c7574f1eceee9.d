@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_advisor-ac7c7574f1eceee9.d: crates/core/../../examples/scheduler_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_advisor-ac7c7574f1eceee9.rmeta: crates/core/../../examples/scheduler_advisor.rs Cargo.toml
+
+crates/core/../../examples/scheduler_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

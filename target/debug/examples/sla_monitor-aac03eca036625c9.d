@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_monitor-aac03eca036625c9.d: crates/core/../../examples/sla_monitor.rs
+
+/root/repo/target/debug/examples/sla_monitor-aac03eca036625c9: crates/core/../../examples/sla_monitor.rs
+
+crates/core/../../examples/sla_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_monitor-df2beb2eb2d17bcd.d: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_monitor-df2beb2eb2d17bcd.rmeta: crates/core/../../examples/sla_monitor.rs Cargo.toml
+
+crates/core/../../examples/sla_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

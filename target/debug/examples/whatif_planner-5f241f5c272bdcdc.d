@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_planner-5f241f5c272bdcdc.d: crates/core/../../examples/whatif_planner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_planner-5f241f5c272bdcdc.rmeta: crates/core/../../examples/whatif_planner.rs Cargo.toml
+
+crates/core/../../examples/whatif_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_planner-a3d6d2395b722243.d: crates/core/../../examples/whatif_planner.rs
+
+/root/repo/target/debug/examples/whatif_planner-a3d6d2395b722243: crates/core/../../examples/whatif_planner.rs
+
+crates/core/../../examples/whatif_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d9495a3507e3cdb2.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d9495a3507e3cdb2: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

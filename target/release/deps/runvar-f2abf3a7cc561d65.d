@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runvar-f2abf3a7cc561d65.d: crates/bench/src/bin/runvar.rs
+
+/root/repo/target/release/deps/runvar-f2abf3a7cc561d65: crates/bench/src/bin/runvar.rs
+
+crates/bench/src/bin/runvar.rs:

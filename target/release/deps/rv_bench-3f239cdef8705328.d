@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rv_bench-3f239cdef8705328.d: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/release/deps/librv_bench-3f239cdef8705328.rlib: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+/root/repo/target/release/deps/librv_bench-3f239cdef8705328.rmeta: crates/bench/src/lib.rs crates/bench/src/ctx.rs crates/bench/src/exp_characterize.rs crates/bench/src/exp_descriptive.rs crates/bench/src/exp_explain.rs crates/bench/src/exp_predict.rs crates/bench/src/exp_whatif.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ctx.rs:
+crates/bench/src/exp_characterize.rs:
+crates/bench/src/exp_descriptive.rs:
+crates/bench/src/exp_explain.rs:
+crates/bench/src/exp_predict.rs:
+crates/bench/src/exp_whatif.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/rv_par-e85ddc79ee19e1b0.d: crates/par/src/lib.rs
+/root/repo/target/release/deps/rv_par-e85ddc79ee19e1b0.d: crates/par/src/lib.rs crates/par/src/fault.rs
 
-/root/repo/target/release/deps/librv_par-e85ddc79ee19e1b0.rlib: crates/par/src/lib.rs
+/root/repo/target/release/deps/librv_par-e85ddc79ee19e1b0.rlib: crates/par/src/lib.rs crates/par/src/fault.rs
 
-/root/repo/target/release/deps/librv_par-e85ddc79ee19e1b0.rmeta: crates/par/src/lib.rs
+/root/repo/target/release/deps/librv_par-e85ddc79ee19e1b0.rmeta: crates/par/src/lib.rs crates/par/src/fault.rs
 
 crates/par/src/lib.rs:
+crates/par/src/fault.rs:

@@ -214,7 +214,10 @@ fn drift_monitor_accepts_the_whole_test_window() {
     let mut verdicts = 0;
     let mut drifts = 0;
     for row in f.d3.store.rows() {
-        if let Some(v) = monitor.observe(&row.group, row.runtime_s) {
+        if let Some(v) = monitor
+            .observe(&row.group, row.runtime_s)
+            .expect("every test-window group is tracked")
+        {
             verdicts += 1;
             if v.drifted {
                 drifts += 1;

@@ -1,0 +1,213 @@
+//! Fault-injection integration tests: corruption at every byte offset
+//! degrades to a cache miss, injected pool panics stay isolated to their
+//! task, a faulted campaign converges to byte-identical telemetry, and the
+//! `audit` driver replays a full run to byte-identical artifacts under
+//! distinct fault schedules.
+
+use std::fs;
+use std::io::{self, Cursor, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use rv_core::pipeline::{audit, fault, ArtifactCache, FaultConfig, FaultPlan, Fingerprint};
+use rv_core::rv_learn::{LineReader, SerializeError};
+use rv_core::rv_scope::{GeneratorConfig, WorkloadGenerator};
+use rv_core::rv_sim::{Cluster, ClusterConfig, SimConfig};
+use rv_core::rv_telemetry::{collect_telemetry, write_store, CampaignConfig, TelemetryStore};
+use rv_core::FrameworkConfig;
+
+/// The fault plan and the metrics hub are process-global; tests that
+/// install a plan — or that need loads to be fault-free — must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rv-fault-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn counter_total(prefix: &str) -> u64 {
+    rv_obs::counters_with_prefix(prefix)
+        .iter()
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn write_rows(w: &mut Vec<u8>, rows: &Vec<u64>) -> io::Result<()> {
+    writeln!(w, "rows,{}", rows.len())?;
+    for r in rows {
+        writeln!(w, "row,{r}")?;
+    }
+    Ok(())
+}
+
+fn read_rows(r: &mut LineReader<Cursor<Vec<u8>>>) -> Result<Vec<u64>, SerializeError> {
+    let f = r.expect_tag("rows")?;
+    let n: usize = r.parse("rows", &f[0])?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f = r.expect_tag("row")?;
+        rows.push(r.parse("row", &f[0])?);
+    }
+    Ok(rows)
+}
+
+/// Satellite 5: corrupt a small `.rva` artifact at *every* byte offset —
+/// both by truncating there and by flipping a bit there — and check every
+/// corrupted load degrades to a miss (never a panic, never a wrong value),
+/// while restoring the original bytes always loads again.
+#[test]
+fn corruption_at_every_offset_is_a_miss_never_a_panic() {
+    let _lock = serial();
+    let dir = temp_dir("sweep");
+    let cache = ArtifactCache::new(&dir).expect("create cache");
+    let fp = Fingerprint::of_bytes(b"sweep");
+    let value: Vec<u64> = vec![7, 41, 1_000_003];
+    cache
+        .store("simulate", fp, &value, write_rows)
+        .expect("store");
+    let path = dir.join(format!("simulate-{fp}.rva"));
+    let pristine = fs::read(&path).expect("read artifact");
+    assert!(pristine.len() > 20, "artifact unexpectedly tiny");
+    assert_eq!(
+        cache.load("simulate", fp, read_rows),
+        Some(value.clone()),
+        "pristine artifact must load"
+    );
+
+    for offset in 0..pristine.len() {
+        // Truncate at `offset`.
+        fs::write(&path, &pristine[..offset]).expect("truncate");
+        assert_eq!(
+            cache.load("simulate", fp, read_rows),
+            None,
+            "truncation at offset {offset} must be a miss"
+        );
+        // Flip one bit at `offset`.
+        let mut flipped = pristine.clone();
+        flipped[offset] ^= 1 << (offset % 8);
+        fs::write(&path, &flipped).expect("flip");
+        assert_eq!(
+            cache.load("simulate", fp, read_rows),
+            None,
+            "bit flip at offset {offset} must be a miss"
+        );
+    }
+
+    fs::write(&path, &pristine).expect("restore");
+    assert_eq!(
+        cache.load("simulate", fp, read_rows),
+        Some(value),
+        "restored artifact must load again"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Acceptance: an injected panic inside the worker pool fails only its own
+/// task slot; every other task completes and results keep submission order.
+#[test]
+fn injected_pool_panics_stay_isolated_to_their_task() {
+    rv_core::rv_par::fault::install_quiet_panic_filter();
+    for threads in [1, 4] {
+        let results = rv_core::rv_par::par_map_isolated(64, threads, |i| {
+            if i % 9 == 4 {
+                panic!("injected fault: task {i} blew up");
+            }
+            i * 3
+        });
+        assert_eq!(results.len(), 64);
+        for (i, r) in results.iter().enumerate() {
+            if i % 9 == 4 {
+                let e = r.as_ref().expect_err("panicking task must fail its slot");
+                assert_eq!(e.index, i);
+                assert!(e.message.contains("blew up"), "message: {}", e.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy task"), i * 3);
+            }
+        }
+    }
+}
+
+fn campaign_store(generator: &WorkloadGenerator) -> TelemetryStore {
+    let cluster = Cluster::new(ClusterConfig::default());
+    collect_telemetry(
+        generator,
+        &cluster,
+        &SimConfig::default(),
+        &CampaignConfig {
+            window_days: 2.0,
+            ..Default::default()
+        },
+    )
+    .expect("campaign must converge")
+}
+
+/// A campaign run under an installed fault plan — tasks panicking and
+/// erroring mid-pool — retries to a store byte-identical to the fault-free
+/// run, and the fault/retry counters prove faults actually fired.
+#[test]
+fn campaign_converges_under_task_faults() {
+    let _lock = serial();
+    let generator = WorkloadGenerator::new(GeneratorConfig {
+        n_templates: 8,
+        seed: 5,
+        late_start_fraction: 0.0,
+        ..Default::default()
+    });
+    let clean = campaign_store(&generator);
+
+    let injected_before = counter_total("fault.injected.");
+    let retries_before = counter_total("retry.instance");
+    let guard = fault::install(FaultPlan::with_config(
+        99,
+        FaultConfig {
+            task_panic_prob: 0.15,
+            instance_error_prob: 0.15,
+            ..FaultConfig::default()
+        },
+    ));
+    let faulted = campaign_store(&generator);
+    drop(guard);
+
+    assert!(
+        counter_total("fault.injected.") > injected_before,
+        "the elevated fault plan must actually fire"
+    );
+    assert!(
+        counter_total("retry.instance") > retries_before,
+        "recovering must have spent instance retries"
+    );
+
+    let mut a = Vec::new();
+    write_store(&clean, &mut a).expect("serialize clean");
+    let mut b = Vec::new();
+    write_store(&faulted, &mut b).expect("serialize faulted");
+    assert_eq!(a, b, "faulted campaign must converge byte-identically");
+}
+
+/// Tentpole acceptance: `audit` replays the small config under two fault
+/// schedules; every schedule converges to artifacts byte-identical to the
+/// fault-free baseline while faults demonstrably fired.
+#[test]
+fn audit_replays_converge_byte_identical() {
+    let _lock = serial();
+    let dir = temp_dir("audit");
+    let report = audit(&FrameworkConfig::small(), 2, 9, &dir).expect("audit baseline must run");
+    assert_eq!(
+        report.n_artifacts, 10,
+        "simulate + datasets + 4 stages x 2 normalizations"
+    );
+    for s in &report.schedules {
+        assert_eq!(s.divergence, None, "schedule seed={} diverged", s.seed);
+    }
+    assert!(report.converged());
+    assert!(
+        report.total_injected() > 0,
+        "audit without any injected fault proves nothing"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
